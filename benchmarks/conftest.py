@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark file regenerates one experiment table (E1-E10, see DESIGN.md)
+and times its core computation with pytest-benchmark.  The rendered tables are
+written to ``benchmarks/results/`` so EXPERIMENTS.md can quote exactly what the
+harness produced.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ModuleNotFoundError:
+        sys.path.insert(0, str(_SRC))
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Persist a rendered experiment table under ``benchmarks/results/``."""
+
+    def _record(name: str, table) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.md"
+        path.write_text(table.render() + "\n", encoding="utf-8")
+
+    return _record

@@ -1,0 +1,34 @@
+"""E1 — Corollary 1.2(1): Linial's one-round color reduction.
+
+Regenerates the E1 table (rounds, colors, 256*Delta^2 bound per graph family)
+and times the one-round reduction kernel on a larger instance.
+"""
+
+import pytest
+
+from repro.analysis.experiments import delta4_colored_graph, run_e1
+from repro.core import corollaries
+from repro.verify.coloring import assert_proper_coloring
+
+
+def test_e1_regenerate_table(benchmark, record_table):
+    table = benchmark.pedantic(run_e1, kwargs=dict(n=300, deltas=(4, 8, 16)), rounds=1, iterations=1)
+    record_table("E1_linial_one_round", table)
+    assert all(r == 1 for r in table.column("rounds"))
+    for used, space, bound in zip(
+        table.column("colors used"), table.column("color space"),
+        table.column("paper bound 256*Delta^2"),
+    ):
+        assert used <= space <= bound
+
+
+@pytest.mark.parametrize("delta", [8, 16, 32])
+def test_e1_kernel_one_round_reduction(benchmark, delta):
+    graph, colors, m = delta4_colored_graph("random_regular", 1000, delta, seed=1)
+
+    def kernel():
+        return corollaries.linial_color_reduction(graph, colors, m, vectorized=True)
+
+    result = benchmark(kernel)
+    assert result.rounds == 1
+    assert_proper_coloring(graph, result.colors)

@@ -1,0 +1,27 @@
+"""E3 — Corollary 1.2(3): Delta^2 colors in O(1) rounds (k = ceil(Delta/16))."""
+
+import pytest
+
+from repro.analysis.experiments import delta4_colored_graph, run_e3
+from repro.core import corollaries
+from repro.verify.coloring import assert_proper_coloring
+
+
+def test_e3_regenerate_table(benchmark, record_table):
+    table = benchmark.pedantic(run_e3, kwargs=dict(n=400, deltas=(8, 16, 32)), rounds=1, iterations=1)
+    record_table("E3_delta_squared", table)
+    assert all(r <= 256 for r in table.column("rounds"))
+    for used, bound in zip(table.column("colors used"), table.column("color bound Delta^2")):
+        assert used <= max(bound, 256)
+
+
+@pytest.mark.parametrize("delta", [16, 32])
+def test_e3_kernel(benchmark, delta):
+    graph, colors, m = delta4_colored_graph("random_regular", 600, delta, seed=3)
+
+    def kernel():
+        return corollaries.delta_squared_coloring(graph, colors, m, vectorized=True)
+
+    result = benchmark(kernel)
+    assert_proper_coloring(graph, result.colors)
+    assert result.rounds <= 256

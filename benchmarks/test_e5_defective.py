@@ -1,0 +1,28 @@
+"""E5 — Corollary 1.2(5)/(6): d-defective O((Delta/d)^2) colorings."""
+
+import pytest
+
+from repro.analysis.experiments import delta4_colored_graph, run_e5
+from repro.core import corollaries
+from repro.verify.coloring import assert_defective_coloring
+
+
+def test_e5_regenerate_table(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_e5, kwargs=dict(n=300, delta=16, epsilons=(0.25, 0.5, 0.75)), rounds=1, iterations=1
+    )
+    record_table("E5_defective", table)
+    for d, defect in zip(table.column("d"), table.column("max defect")):
+        assert defect <= d
+
+
+@pytest.mark.parametrize("d", [2, 4, 8])
+def test_e5_kernel_one_round(benchmark, d):
+    graph, colors, m = delta4_colored_graph("random_regular", 600, 16, seed=5)
+
+    def kernel():
+        return corollaries.defective_coloring_one_round(graph, colors, m, d=d, vectorized=True)
+
+    result = benchmark(kernel)
+    assert result.rounds == 1
+    assert_defective_coloring(graph, result.colors, d=d)

@@ -1,0 +1,41 @@
+"""Quickstart: color a network with Delta + 1 colors in O(Delta) + log* n rounds.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a random 8-regular network, runs the full pipeline from the
+paper (unique IDs -> Linial's O(Delta^2)-coloring -> the mother algorithm with
+k = 1 -> color-class removal) and verifies the result.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.congest import generators
+from repro.core import pipelines
+from repro.verify.coloring import assert_proper_coloring
+
+
+def main() -> None:
+    graph = generators.random_regular(n=500, degree=8, seed=42)
+    print(f"network: {graph.n} nodes, {graph.num_edges} links, max degree {graph.max_degree}")
+
+    result = pipelines.delta_plus_one_coloring(graph, seed=42, vectorized=True)
+    assert_proper_coloring(graph, result.colors, max_colors=graph.max_degree + 1)
+
+    meta = result.metadata
+    print(f"colors used           : {result.num_colors}  (budget Delta+1 = {graph.max_degree + 1})")
+    print(f"total rounds          : {result.rounds}")
+    print(f"  Linial (log* n)     : {meta['linial_rounds']}")
+    print(f"  mother algorithm    : {meta['mother_rounds']}  (k = 1, O(Delta) colors)")
+    print(f"  color-class removal : {meta['reduction_rounds']}")
+    print("the coloring is proper and fits the Delta+1 budget — done.")
+
+
+if __name__ == "__main__":
+    main()

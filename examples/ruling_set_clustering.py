@@ -1,0 +1,67 @@
+"""Cluster-head election in a sensor network via (2, r)-ruling sets.
+
+A sensor network wants a small set of cluster heads such that (a) no two heads
+are adjacent (they would interfere) and (b) every sensor has a head within r
+hops (bounded reporting latency).  That is exactly a (2, r)-ruling set.
+
+The script compares Theorem 1.5's construction (coloring with few colors, then
+the Lemma 3.2 ruling-set subroutine) against the classical SEW13-style baseline
+(Lemma 3.2 on an O(Delta^2)-coloring) on a random geometric-ish network, for
+r = 2 and r = 3.
+
+Run with::
+
+    python examples/ruling_set_clustering.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.congest import generators
+from repro.congest.ids import distinct_input_coloring
+from repro.core.ruling_sets import ruling_set_sew13_baseline, ruling_set_theorem15
+from repro.verify.ruling import assert_ruling_set, domination_radius
+
+
+def main() -> None:
+    from repro.congest.graph import Graph
+
+    grid = generators.torus(20, 25)  # a 4-regular sensor grid with wraparound
+    extra = generators.gnp(grid.n, 0.004, seed=3)  # a few long-range links
+    network = Graph(grid.n, list(grid.edges()) + list(extra.edges()))
+    delta = network.max_degree
+    print(f"sensor network: {network.n} nodes, {network.num_edges} links, Delta = {delta}")
+
+    m = max(delta ** 4, network.n)
+    ids = distinct_input_coloring(network, m, seed=3)
+
+    for r in (2, 3):
+        ours = ruling_set_theorem15(network, ids, m, r=r, vectorized=True)
+        assert_ruling_set(network, ours.vertices, r=max(r, ours.r))
+        base = ruling_set_sew13_baseline(network, ids, m, r=r, vectorized=True)
+        assert_ruling_set(network, base.vertices, r=max(r, base.r))
+
+        print(f"\n--- latency bound r = {r} ---")
+        for name, res in (("Theorem 1.5", ours), ("SEW13 baseline", base)):
+            radius = domination_radius(network, res.vertices)
+            print(
+                f"{name:>15}: {res.size:4d} cluster heads, "
+                f"worst report distance {radius}, "
+                f"{res.rounds:4d} total rounds "
+                f"({res.metadata['ruling_rounds']} in the ruling-set phase)"
+            )
+
+    print(
+        "\nFewer colors entering the Lemma 3.2 subroutine (Theorem 1.5) means a smaller "
+        "digit base and fewer ruling-phase rounds for the same latency bound r."
+    )
+
+
+if __name__ == "__main__":
+    main()

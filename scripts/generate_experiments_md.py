@@ -1,0 +1,158 @@
+"""Regenerate EXPERIMENTS.md from the tables recorded by the benchmark harness.
+
+Usage::
+
+    python -m pytest benchmarks/ --benchmark-only -q   # writes benchmarks/results/*.md
+    python scripts/generate_experiments_md.py          # stitches EXPERIMENTS.md
+
+The per-experiment commentary below states what the paper claims, what we
+measure, and whether the shape holds; the numbers are pasted verbatim from
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+
+PREAMBLE = """\
+# EXPERIMENTS — paper claims vs measured behaviour
+
+The paper ("Distributed Graph Coloring Made Easy", Maus, SPAA 2021) is a theory
+paper with no empirical tables or figures; its evaluation is the set of
+theorems.  Every experiment below therefore reproduces one theorem / corollary
+item: we run the algorithm on the round-synchronous CONGEST simulator, measure
+rounds / colors / structural guarantees, and put the paper's bound next to the
+measurement.  Tables are produced by `pytest benchmarks/ --benchmark-only`
+(which writes `benchmarks/results/*.md`) and stitched together by
+`python scripts/generate_experiments_md.py`; the small-instance versions of the
+same tables are asserted in the test suite (`tests/test_analysis.py`).
+
+Reading guide:
+
+* **Hard invariants** (proper coloring, defect <= d, outdegree <= beta,
+  partition degree <= d, ruling-set independence and domination) are checked by
+  `repro.verify` on every run — a violation fails the test/benchmark, so every
+  number below comes from a verified structure.
+* **Round bounds** are worst-case bounds; on random input colorings the
+  algorithm typically colors almost everyone in the first round or two, so the
+  measured rounds are far below the bound.  The *shape* (rounds fall like
+  Delta/k, defective/outdegree variants finish in one or O(Delta/d) rounds,
+  etc.) is what the experiments confirm.
+* One documented substitution: the Theorem 3.1 black box ([Bar16, BEG18]:
+  O(Delta) colors in O(sqrt(Delta)) rounds) is replaced by the paper's own
+  k = 1 algorithm (O(Delta) colors in O(Delta) rounds).  This affects measured
+  rounds of E7/E8 (noted there) and nothing else.  See DESIGN.md.
+"""
+
+COMMENTARY = {
+    "E1_linial_one_round": (
+        "E1 — Corollary 1.2(1): Linial's color reduction",
+        "Claim: a Delta^4-input coloring is reduced to at most 256*Delta^2 colors in one round.\n"
+        "Measured: every row finishes in exactly 1 round and the output color space is well below\n"
+        "256*Delta^2; the colors actually used are far fewer on random graphs (the bound is a\n"
+        "worst-case guarantee over all graphs and input colorings).",
+    ),
+    "E2_rounds_vs_k": (
+        "E2 — Corollary 1.2(2): O(k*Delta) colors in O(Delta/k) rounds",
+        "Claim: batch size k trades rounds for colors, with at most 16*Delta*k colors in\n"
+        "ceil(16*Delta/k) rounds.  Measured: rounds are monotonically non-increasing in k and reach 1\n"
+        "round within a few doublings; the color budget grows linearly in k as predicted.  On random\n"
+        "inputs conflicts are rare, so the measured rounds sit far below the worst-case bound.",
+    ),
+    "E3_delta_squared": (
+        "E3 — Corollary 1.2(3): Delta^2 colors in O(1) rounds",
+        "Claim: with k = ceil(Delta/16) the algorithm needs only O(1) rounds (at most 256 by the\n"
+        "proof's constants).  Measured: 2-3 rounds across Delta = 8..32.  (For Delta < 16 the\n"
+        "corollary's Delta^2 color constant is not meaningful because k = 1; the color space is then\n"
+        "bounded by 16*Delta instead.)",
+    ),
+    "E4_outdegree": (
+        "E4 — Corollary 1.2(4): beta-outdegree colorings",
+        "Claim: k = 1, d = beta yields an O(Delta/beta)-coloring whose monochromatic edges can be\n"
+        "oriented with outdegree at most beta, in O(Delta/beta) rounds.  Measured: the orientation\n"
+        "outdegree never exceeds beta (hard invariant, checked on every run), colors and rounds are\n"
+        "within the X = 4*f*Delta/(beta+1) bound.",
+    ),
+    "E5_defective": (
+        "E5 — Corollary 1.2(5)/(6): d-defective colorings",
+        "Claim: defect parameter d gives an O((Delta/d)^2)-coloring, in one round (variant 5, one\n"
+        "batch) or O(Delta/d) rounds (variant 6, k = 1, color = (color, part) pair).  Measured: the\n"
+        "maximum defect never exceeds d (hard invariant); variant 5 always takes exactly 1 round.",
+    ),
+    "E6_delta_plus_one": (
+        "E6 — the (Delta+1)-coloring pipeline (Section 3.1)",
+        "Claim: unique IDs -> Linial -> k=1 mother algorithm -> color-class removal gives a proper\n"
+        "(Delta+1)-coloring in O(Delta) + log* n rounds.  Measured: colors used <= Delta+1 always;\n"
+        "total rounds are dominated by the two O(Delta) stages and grow only mildly with n (through\n"
+        "log* n and through how many of the O(Delta) color values actually occur).",
+    ),
+    "E7_theorem13": (
+        "E7 — Theorem 1.3: O(Delta^{1+eps}) colors",
+        "Claim: O(Delta^{1+eps}) colors in O(Delta^{1/2-eps/2}) + log* n rounds.  Our build follows\n"
+        "the proof exactly (d-defective coloring, then per-class coloring with disjoint color\n"
+        "spaces) but substitutes the Theorem 3.1 black box with the k = 1 algorithm, so the\n"
+        "measured rounds follow the substituted bound O(Delta^eps + Delta^{1-eps}) rather than the\n"
+        "paper's; the color count follows the paper's bound (with the implementation's constants).",
+    ),
+    "E8_ruling_sets": (
+        "E8 — Theorem 1.5: (2, r)-ruling sets",
+        "Claim: O(Delta^{2/(r+2)}) + log* n rounds, improving on the O(Delta^{2/r}) of [SEW13].\n"
+        "Measured: the Lemma 3.2 ruling-phase rounds are always smaller for Theorem 1.5's coloring\n"
+        "than for the Delta^2 baseline (the mechanism of the improvement), and the end-to-end round\n"
+        "counts also come out ahead on these instances; the asymptotic end-to-end advantage depends\n"
+        "on the substituted Theorem 3.1 component (see E7).  Independence and r-domination of every\n"
+        "returned set are verified.",
+    ),
+    "E9_one_round": (
+        "E9 — Theorem 1.6: one-round color reduction",
+        "Claim: with m = k(Delta-k+3) input colors exactly k colors can be removed in one round\n"
+        "(Lemma 4.1), and with one fewer input color no one-round algorithm can achieve m-k-1\n"
+        "output colors (Lemma 4.3).  Measured: the Lemma 4.1 algorithm always outputs a proper\n"
+        "coloring with exactly m-k colors in 1 round; the impossibility side is verified exhaustively\n"
+        "for Delta = 2, 3, 4 by the conflict-graph checker in the test suite\n"
+        "(tests/test_core_one_round.py::TestLemma43Impossibility).",
+    ),
+    "E10_baselines": (
+        "E10 — baselines",
+        "The mother algorithm at k = 1 matches the locally-iterative (BEG18) regime; adding\n"
+        "color-class removal gives Delta+1 colors in O(Delta) total rounds, against\n"
+        "O(Delta log Delta) for the classical Kuhn-Wattenhofer halving from Delta^2 colors, O(log n)\n"
+        "rounds for the randomized Luby-style baseline (not deterministic), and n rounds for the\n"
+        "sequential greedy.  Who-wins matches the paper's narrative: the simple deterministic\n"
+        "trade-off subsumes the older deterministic baselines.",
+    ),
+}
+
+ORDER = [
+    "E1_linial_one_round", "E2_rounds_vs_k", "E3_delta_squared", "E4_outdegree",
+    "E5_defective", "E6_delta_plus_one", "E7_theorem13", "E8_ruling_sets",
+    "E9_one_round", "E10_baselines",
+]
+
+
+def main() -> None:
+    if not RESULTS.exists():
+        sys.exit("benchmarks/results/ not found — run `pytest benchmarks/ --benchmark-only` first")
+    parts = [PREAMBLE]
+    for name in ORDER:
+        path = RESULTS / f"{name}.md"
+        title, commentary = COMMENTARY[name]
+        parts.append(f"\n## {title}\n")
+        parts.append(commentary + "\n")
+        if path.exists():
+            table = path.read_text(encoding="utf-8")
+            # drop the table's own "### ..." heading, the section heading above replaces it
+            lines = [ln for ln in table.splitlines() if not ln.startswith("### ")]
+            parts.append("\n".join(lines).strip() + "\n")
+        else:
+            parts.append(f"_missing: {path.name} (benchmark not run)_\n")
+    (ROOT / "EXPERIMENTS.md").write_text("\n".join(parts), encoding="utf-8")
+    print(f"wrote {ROOT / 'EXPERIMENTS.md'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment used for the reproduction has no network access and
+no ``wheel`` package, so PEP 517/660 editable installs (which build an editable
+wheel) are not available.  Keeping a classic ``setup.py`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` code path;
+all actual metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Distributed Graph Coloring Made Easy" (Maus, SPAA 2021).
+
+The package is organised around four layers:
+
+``repro.congest``
+    A faithful round-synchronous simulator of the LOCAL and CONGEST models of
+    distributed computing: static graphs, per-node algorithms that only see
+    their own state and received messages, and per-message bit accounting.
+
+``repro.fields``
+    The algebraic substrate used by the paper's color-sequence construction:
+    primes in Bertrand intervals, polynomials over finite fields and the
+    low-intersection property (Lemma 2.1), and low-intersecting set families.
+
+``repro.core``
+    The paper's contribution: the mother algorithm (Theorem 1.1), its
+    parameterizations (Corollary 1.2), Linial's coloring, the (Delta+1)
+    pipelines, Theorem 1.3, ruling sets (Theorem 1.5), one-round color
+    reduction (Theorem 1.6), and the baselines the paper compares against.
+
+``repro.verify`` / ``repro.analysis``
+    Validation of colorings / orientations / partitions / ruling sets, and the
+    experiment harness that regenerates the tables in ``EXPERIMENTS.md``.
+
+Quickstart
+----------
+
+>>> from repro.congest import generators
+>>> from repro.core import pipelines
+>>> g = generators.random_regular(n=200, degree=8, seed=1)
+>>> result = pipelines.delta_plus_one_coloring(g, seed=1)
+>>> result.num_colors <= g.max_degree + 1
+True
+"""
+
+from repro.congest.graph import Graph
+from repro.congest.runner import run_algorithm
+from repro.core.results import ColoringResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "run_algorithm",
+    "ColoringResult",
+    "__version__",
+]

@@ -1,0 +1,145 @@
+"""Closed-form bounds from the paper's theorems.
+
+These functions state — as executable formulas — what each theorem predicts,
+so the experiments can print "paper bound vs measured" side by side and the
+tests can assert the measured quantity never exceeds the bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "log_star",
+    "corollary12_1_colors",
+    "corollary12_2_colors",
+    "corollary12_2_rounds",
+    "corollary12_3_colors",
+    "corollary12_4_colors",
+    "corollary12_4_rounds",
+    "corollary12_5_colors",
+    "corollary12_6_rounds",
+    "theorem11_round_bound",
+    "theorem13_colors",
+    "theorem13_rounds",
+    "theorem15_rounds",
+    "theorem16_max_reduction",
+    "sew13_ruling_rounds",
+]
+
+
+def log_star(n: float) -> int:
+    """The iterated logarithm ``log* n`` (base 2)."""
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+# --- Corollary 1.2 (all for a Delta^4-input coloring) ----------------------- #
+
+
+def corollary12_1_colors(delta: int) -> int:
+    """(1): Linial's one-round reduction uses at most ``256 Delta^2`` colors."""
+    return 256 * delta * delta
+
+
+def corollary12_2_colors(delta: int, k: int) -> int:
+    """(2): the ``k``-batch algorithm uses at most ``16 Delta k`` colors."""
+    return 16 * delta * k
+
+
+def corollary12_2_rounds(delta: int, k: int) -> int:
+    """(2): the ``k``-batch algorithm runs for at most ``ceil(16 Delta / k)`` rounds."""
+    return math.ceil(16 * delta / k)
+
+
+def corollary12_3_colors(delta: int) -> int:
+    """(3): ``Delta^2`` colors with ``k = ceil(Delta / 16)``."""
+    return delta * delta
+
+
+def corollary12_4_colors(delta: int, beta: int) -> float:
+    """(4): a ``beta``-outdegree coloring with ``O(Delta / beta)`` colors.
+
+    The constant follows Theorem 1.1: at most ``X = 4 * Z * ceil(log_Z m)``
+    colors with ``Z = Delta / (beta + 1)`` and ``m = Delta^4``; for
+    ``beta = Delta^eps`` the log factor is at most ``4 / (1 - eps)``.
+    """
+    z = delta / (beta + 1)
+    if z <= 1:
+        return float(delta * delta)
+    f = math.ceil(math.log(delta ** 4) / math.log(max(z, 2.0)))
+    return 4.0 * z * f
+
+
+def corollary12_4_rounds(delta: int, beta: int) -> float:
+    """(4): round bound of the ``beta``-outdegree coloring (same ``X`` as the colors)."""
+    return corollary12_4_colors(delta, beta)
+
+
+def corollary12_5_colors(delta: int, d: int) -> float:
+    """(5)/(6): a ``d``-defective coloring with ``O((Delta/d)^2)`` colors.
+
+    Concretely at most ``X^2 * (R + 1)`` with ``X = 4 Z ceil(log_Z m)``; for the
+    experiments we report the dominant ``(4 f Delta / d)^2`` term.
+    """
+    z = delta / (d + 1)
+    f = math.ceil(math.log(delta ** 4) / math.log(max(z, 2.0)))
+    return (4.0 * z * f) ** 2
+
+
+def corollary12_6_rounds(delta: int, d: int) -> float:
+    """(6): round bound ``X = O(Delta / d)`` of the multi-round defective coloring."""
+    z = delta / (d + 1)
+    f = math.ceil(math.log(delta ** 4) / math.log(max(z, 2.0)))
+    return 4.0 * z * f
+
+
+# --- Theorem 1.1 ------------------------------------------------------------ #
+
+
+def theorem11_round_bound(m: int, delta: int, d: int, k: int) -> int:
+    """``R = ceil(X / k)`` with ``X = 4 Z ceil(log_Z m)`` and ``Z = Delta/(d+1)``."""
+    z = delta / (d + 1)
+    f = max(1, math.ceil(math.log(max(m, 2)) / math.log(max(z, 2.0))))
+    x = 4.0 * z * f
+    return math.ceil(x / k)
+
+
+# --- Theorems 1.3 / 1.5 / 1.6 ----------------------------------------------- #
+
+
+def theorem13_colors(delta: int, epsilon: float) -> float:
+    """Theorem 1.3 color bound ``O(Delta^{1+eps})`` (reported without the constant)."""
+    return float(delta ** (1.0 + epsilon))
+
+
+def theorem13_rounds(delta: int, epsilon: float, n: int | None = None) -> float:
+    """Theorem 1.3 round bound ``O(Delta^{1/2 - eps/2}) (+ log* n)``."""
+    extra = log_star(n) if n is not None else 0
+    return float(delta ** (0.5 - epsilon / 2.0)) + extra
+
+
+def theorem15_rounds(delta: int, r: int, n: int | None = None) -> float:
+    """Theorem 1.5 round bound ``O(Delta^{2/(r+2)}) (+ log* n)``."""
+    extra = log_star(n) if n is not None else 0
+    return float(delta ** (2.0 / (r + 2))) + extra
+
+
+def sew13_ruling_rounds(delta: int, r: int, n: int | None = None) -> float:
+    """The previous bound ``O(Delta^{2/r}) (+ log* n)`` of [SEW13]."""
+    extra = log_star(n) if n is not None else 0
+    return float(delta ** (2.0 / r)) + extra
+
+
+def theorem16_max_reduction(m: int, delta: int) -> int:
+    """Theorem 1.6: the exact number of colors a one-round algorithm can remove."""
+    upper = min(delta - 1, (delta + 3) // 2)
+    best = 0
+    for k in range(1, max(0, upper) + 1):
+        if m >= k * (delta - k + 3):
+            best = k
+    return best

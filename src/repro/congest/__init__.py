@@ -1,0 +1,39 @@
+"""Round-synchronous LOCAL / CONGEST simulator substrate.
+
+The LOCAL and CONGEST models (Linial; Peleg) abstract a communication network
+as an undirected graph.  Computation proceeds in synchronous rounds; per round
+every node may send one message to each neighbor, receive the messages sent to
+it, and update its local state.  In LOCAL the message size is unbounded, in
+CONGEST it is limited to ``O(log n)`` bits.
+
+This subpackage provides
+
+* :class:`repro.congest.graph.Graph` — a static undirected graph in CSR form,
+* :mod:`repro.congest.generators` — the graph families used in the experiments,
+* :class:`repro.congest.node.NodeAlgorithm` — the per-node algorithm API which
+  enforces locality (a node only sees its own state and received messages),
+* :class:`repro.congest.network.SynchronousNetwork` — the round scheduler with
+  per-message bit accounting,
+* :func:`repro.congest.runner.run_algorithm` — a run-to-completion driver that
+  collects round/message/bandwidth metrics.
+"""
+
+from repro.congest.graph import Graph
+from repro.congest.messages import Broadcast, message_bits
+from repro.congest.metrics import RoundMetrics, RunResult
+from repro.congest.node import NodeAlgorithm, NodeContext
+from repro.congest.network import SynchronousNetwork, CongestViolation
+from repro.congest.runner import run_algorithm
+
+__all__ = [
+    "Graph",
+    "Broadcast",
+    "message_bits",
+    "RoundMetrics",
+    "RunResult",
+    "NodeAlgorithm",
+    "NodeContext",
+    "SynchronousNetwork",
+    "CongestViolation",
+    "run_algorithm",
+]

@@ -1,0 +1,272 @@
+"""Graph families used by the tests, examples and benchmarks.
+
+Every generator returns a :class:`repro.congest.graph.Graph`.  All randomized
+generators take an explicit ``seed`` so experiments are reproducible.  The
+families cover the graphs distributed-coloring papers typically argue about:
+rings and paths (Linial's lower bound), bounded-degree random graphs
+(random regular, Erdos-Renyi), grids/tori, trees, complete and complete
+bipartite graphs (worst cases for greedy arguments) and power-law-ish graphs
+(skewed degrees).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.graph import Graph, GraphError
+
+__all__ = [
+    "empty_graph",
+    "path",
+    "ring",
+    "complete_graph",
+    "complete_bipartite",
+    "star",
+    "grid",
+    "torus",
+    "binary_tree",
+    "random_tree",
+    "caterpillar",
+    "gnp",
+    "random_regular",
+    "random_bipartite",
+    "power_law_cluster",
+    "disjoint_union",
+    "FAMILIES",
+    "by_name",
+]
+
+
+def empty_graph(n: int) -> Graph:
+    """Graph with ``n`` vertices and no edges."""
+    return Graph(n, [])
+
+
+def path(n: int) -> Graph:
+    """Path on ``n`` vertices."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def ring(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices (the classic Linial lower-bound family)."""
+    if n < 3:
+        raise GraphError("a ring needs at least 3 vertices")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph ``K_n``."""
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """Complete bipartite graph ``K_{a,b}`` with sides ``0..a-1`` and ``a..a+b-1``."""
+    return Graph(a + b, [(i, a + j) for i in range(a) for j in range(b)])
+
+
+def star(n: int) -> Graph:
+    """Star with one center (vertex 0) and ``n - 1`` leaves."""
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def grid(rows: int, cols: int) -> Graph:
+    """2D grid graph (max degree 4)."""
+    def idx(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((idx(r, c), idx(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((idx(r, c), idx(r + 1, c)))
+    return Graph(rows * cols, edges)
+
+
+def torus(rows: int, cols: int) -> Graph:
+    """2D torus (grid with wraparound, 4-regular when rows, cols >= 3)."""
+    if rows < 3 or cols < 3:
+        raise GraphError("torus needs rows >= 3 and cols >= 3")
+
+    def idx(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            edges.append((idx(r, c), idx(r, (c + 1) % cols)))
+            edges.append((idx(r, c), idx((r + 1) % rows, c)))
+    return Graph(rows * cols, edges)
+
+
+def binary_tree(depth: int) -> Graph:
+    """Complete binary tree of the given depth (root has depth 0)."""
+    n = 2 ** (depth + 1) - 1
+    edges = []
+    for v in range(1, n):
+        edges.append((v, (v - 1) // 2))
+    return Graph(n, edges)
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Uniform random recursive tree: vertex ``i`` attaches to a random earlier vertex."""
+    rng = np.random.default_rng(seed)
+    edges = [(i, int(rng.integers(0, i))) for i in range(1, n)]
+    return Graph(n, edges)
+
+
+def caterpillar(spine: int, legs: int) -> Graph:
+    """Caterpillar: a path of length ``spine`` with ``legs`` pendant leaves per spine vertex."""
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs):
+            edges.append((s, nxt))
+            nxt += 1
+    return Graph(nxt, edges)
+
+
+def gnp(n: int, p: float, seed: int = 0) -> Graph:
+    """Erdos-Renyi ``G(n, p)`` random graph."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    if n < 2:
+        return empty_graph(n)
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(iu.size) < p
+    edges = np.stack([iu[mask], ju[mask]], axis=1)
+    return Graph.from_edge_array(n, edges)
+
+
+def random_regular(n: int, degree: int, seed: int = 0, max_restarts: int = 500) -> Graph:
+    """Random ``degree``-regular simple graph (pairing model with rejection of bad pairs).
+
+    Requires ``n * degree`` even and ``degree < n``.  Stubs are matched one pair
+    at a time, rejecting pairs that would create a self-loop or a parallel
+    edge (Steger-Wormald style); if the matching gets stuck the construction
+    restarts with fresh randomness.  For ``degree`` well below ``n`` this
+    succeeds after very few restarts.
+    """
+    if degree >= n:
+        raise GraphError("degree must be smaller than n")
+    if (n * degree) % 2 != 0:
+        raise GraphError("n * degree must be even")
+    if degree == 0:
+        return empty_graph(n)
+
+    rng = np.random.default_rng(seed)
+
+    for _ in range(max_restarts):
+        stubs = rng.permutation(np.repeat(np.arange(n, dtype=np.int64), degree)).tolist()
+        edges: set[tuple[int, int]] = set()
+        stuck = False
+        while stubs:
+            placed = False
+            # Try a bounded number of random partners for the last stub before
+            # declaring the attempt stuck.  Removal uses swap-with-last so each
+            # accepted pair costs O(1).
+            for _attempt in range(200):
+                u = stubs[-1]
+                j = int(rng.integers(0, len(stubs) - 1)) if len(stubs) > 1 else 0
+                v = stubs[j]
+                if u == v:
+                    continue
+                key = (u, v) if u < v else (v, u)
+                if key in edges:
+                    continue
+                edges.add(key)
+                stubs.pop()
+                stubs[j] = stubs[-1]
+                stubs.pop()
+                placed = True
+                break
+            if not placed:
+                stuck = True
+                break
+        if not stuck:
+            return Graph(n, edges)
+
+    raise GraphError(
+        f"failed to sample a {degree}-regular graph on {n} vertices after {max_restarts} restarts"
+    )
+
+
+def random_bipartite(a: int, b: int, p: float, seed: int = 0) -> Graph:
+    """Random bipartite graph with sides of size ``a`` and ``b`` and edge probability ``p``."""
+    rng = np.random.default_rng(seed)
+    edges = []
+    for i in range(a):
+        mask = rng.random(b) < p
+        for j in np.nonzero(mask)[0]:
+            edges.append((i, a + int(j)))
+    return Graph(a + b, edges)
+
+
+def power_law_cluster(n: int, attach: int, seed: int = 0) -> Graph:
+    """Preferential-attachment graph (Barabasi-Albert style) with ``attach`` edges per new vertex.
+
+    Produces a skewed degree distribution; useful as a stress test for the
+    coloring algorithms because a handful of vertices have degree close to
+    ``Delta`` while most are low degree.
+    """
+    if attach < 1:
+        raise GraphError("attach must be >= 1")
+    if n <= attach:
+        return complete_graph(n)
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    # Start from a small clique so every early vertex has positive degree.
+    targets = list(range(attach))
+    repeated: list[int] = list(range(attach))
+    for u, v in complete_graph(attach).edges():
+        edges.append((u, v))
+    for new in range(attach, n):
+        chosen = set()
+        while len(chosen) < attach:
+            pick = int(rng.choice(repeated)) if repeated else int(rng.integers(0, new))
+            if pick != new:
+                chosen.add(pick)
+        for t in chosen:
+            edges.append((new, t))
+            repeated.append(t)
+            repeated.append(new)
+        targets.append(new)
+    return Graph(n, edges)
+
+
+def disjoint_union(*graphs: Graph) -> Graph:
+    """Disjoint union of graphs (vertex ids shifted)."""
+    offset = 0
+    n = 0
+    edges = []
+    for g in graphs:
+        for u, v in g.edges():
+            edges.append((u + offset, v + offset))
+        offset += g.n
+        n += g.n
+    return Graph(n, edges)
+
+
+#: Named standard families used by the experiment sweeps, each a callable
+#: ``family(n, delta, seed) -> Graph`` producing a graph with ~n vertices and
+#: maximum degree close to ``delta``.
+FAMILIES = {
+    "ring": lambda n, delta, seed: ring(max(n, 3)),
+    "random_regular": lambda n, delta, seed: random_regular(
+        n + ((n * delta) % 2), delta, seed=seed
+    ),
+    "gnp": lambda n, delta, seed: gnp(n, min(1.0, delta / max(n - 1, 1)), seed=seed),
+    "grid": lambda n, delta, seed: grid(max(2, int(np.sqrt(n))), max(2, int(np.sqrt(n)))),
+    "tree": lambda n, delta, seed: random_tree(n, seed=seed),
+    "power_law": lambda n, delta, seed: power_law_cluster(n, max(1, delta // 4), seed=seed),
+}
+
+
+def by_name(name: str, n: int, delta: int, seed: int = 0) -> Graph:
+    """Instantiate one of the named :data:`FAMILIES`."""
+    if name not in FAMILIES:
+        raise GraphError(f"unknown graph family {name!r}; known: {sorted(FAMILIES)}")
+    return FAMILIES[name](n, delta, seed)

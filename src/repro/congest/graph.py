@@ -1,0 +1,297 @@
+"""Static undirected graphs in compressed-sparse-row (CSR) form.
+
+The simulator and all algorithms operate on :class:`Graph`, a lightweight
+immutable adjacency structure backed by two NumPy arrays (``indptr`` and
+``indices``), the same layout used by ``scipy.sparse.csr_matrix``.  The CSR
+layout makes the vectorized twin of the mother algorithm
+(:mod:`repro.core.vectorized`) a collection of flat array operations and keeps
+per-node neighbor access an ``O(degree)`` slice.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Graph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised for malformed graph inputs (self loops, out-of-range vertices, ...)."""
+
+
+class Graph:
+    """An undirected simple graph on vertices ``0 .. n-1`` in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``u != v``.  Duplicate edges (in
+        either orientation) are collapsed; self loops raise :class:`GraphError`.
+
+    Notes
+    -----
+    The graph is immutable: the CSR arrays are created once and marked
+    read-only.  All algorithm state lives outside the graph.
+    """
+
+    __slots__ = ("_n", "_indptr", "_indices", "_degrees", "_num_edges")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()):
+        if n < 0:
+            raise GraphError(f"number of vertices must be non-negative, got {n}")
+        self._n = int(n)
+
+        pairs = set()
+        for u, v in edges:
+            u = int(u)
+            v = int(v)
+            if u == v:
+                raise GraphError(f"self loop on vertex {u} is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
+            if u > v:
+                u, v = v, u
+            pairs.add((u, v))
+
+        self._num_edges = len(pairs)
+        if pairs:
+            arr = np.array(sorted(pairs), dtype=np.int64)
+            src = np.concatenate([arr[:, 0], arr[:, 1]])
+            dst = np.concatenate([arr[:, 1], arr[:, 0]])
+            order = np.lexsort((dst, src))
+            src = src[order]
+            dst = dst[order]
+            counts = np.bincount(src, minlength=n)
+        else:
+            dst = np.empty(0, dtype=np.int64)
+            counts = np.zeros(n, dtype=np.int64)
+
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._indptr = indptr
+        self._indices = dst
+        self._degrees = counts.astype(np.int64)
+        for a in (self._indptr, self._indices, self._degrees):
+            a.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edge_array(cls, n: int, edges: np.ndarray) -> "Graph":
+        """Build a graph from an ``(m, 2)`` integer array of edges."""
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            return cls(n, [])
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise GraphError("edge array must have shape (m, 2)")
+        return cls(n, map(tuple, edges.tolist()))
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Sequence[Sequence[int]]) -> "Graph":
+        """Build a graph from an adjacency-list representation."""
+        n = len(adjacency)
+        edges = []
+        for u, nbrs in enumerate(adjacency):
+            for v in nbrs:
+                edges.append((u, int(v)))
+        return cls(n, edges)
+
+    @classmethod
+    def from_networkx(cls, nxgraph) -> "Graph":
+        """Build a graph from a ``networkx`` graph with integer-convertible nodes.
+
+        Node labels are relabelled to ``0..n-1`` in sorted order.
+        """
+        nodes = sorted(nxgraph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nxgraph.edges() if u != v]
+        return cls(len(nodes), edges)
+
+    def to_networkx(self):
+        """Return a ``networkx.Graph`` copy (requires networkx)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(self.edges())
+        return g
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges."""
+        return self._num_edges
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointer, shape ``(n + 1,)``."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column indices (flattened neighbor lists), shape ``(2 * num_edges,)``."""
+        return self._indices
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Vertex degrees, shape ``(n,)``."""
+        return self._degrees
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree ``Delta`` of the graph (0 for an empty graph)."""
+        if self._n == 0 or self._degrees.size == 0:
+            return 0
+        return int(self._degrees.max())
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return int(self._degrees[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted array of neighbors of ``v`` (a read-only view)."""
+        return self._indices[self._indptr[v]:self._indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return whether ``{u, v}`` is an edge."""
+        if u == v:
+            return False
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return pos < nbrs.size and nbrs[pos] == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, int(v))
+
+    def edge_array(self) -> np.ndarray:
+        """Return all edges as an ``(num_edges, 2)`` array with ``u < v`` per row."""
+        if self._num_edges == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        src = np.repeat(np.arange(self._n, dtype=np.int64), self._degrees)
+        mask = src < self._indices
+        return np.stack([src[mask], self._indices[mask]], axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns
+        -------
+        (subgraph, mapping):
+            ``subgraph`` is a :class:`Graph` on ``len(vertices)`` relabelled
+            vertices and ``mapping`` maps subgraph vertex ``i`` back to the
+            original vertex id ``mapping[i]``.
+        """
+        verts = np.array(sorted(set(int(v) for v in vertices)), dtype=np.int64)
+        if verts.size and (verts[0] < 0 or verts[-1] >= self._n):
+            raise GraphError("subgraph vertices out of range")
+        position = -np.ones(self._n, dtype=np.int64)
+        position[verts] = np.arange(verts.size)
+        edges = []
+        for new_u, u in enumerate(verts):
+            for v in self.neighbors(int(u)):
+                new_v = position[v]
+                if new_v >= 0 and new_u < new_v:
+                    edges.append((new_u, int(new_v)))
+        return Graph(verts.size, edges), verts
+
+    def power_graph(self, power: int) -> "Graph":
+        """Return ``G^power``: vertices at distance ``<= power`` become adjacent.
+
+        Used for ``(alpha, r)``-ruling sets, where independence is required in
+        ``G^(alpha-1)``.  Implemented by breadth-first search from every vertex,
+        which is fine for the moderate graph sizes used in the experiments.
+        """
+        if power < 1:
+            raise GraphError("power must be >= 1")
+        if power == 1:
+            return self
+        edges = []
+        for source in range(self._n):
+            dist = self.bfs_distances(source, cutoff=power)
+            close = np.nonzero((dist > 0) & (dist <= power))[0]
+            for v in close:
+                if source < v:
+                    edges.append((source, int(v)))
+        return Graph(self._n, edges)
+
+    def bfs_distances(self, source: int, cutoff: int | None = None) -> np.ndarray:
+        """Breadth-first-search distances from ``source``.
+
+        Unreachable vertices get distance ``-1``.  If ``cutoff`` is given, the
+        search stops after ``cutoff`` levels (farther vertices report ``-1``).
+        """
+        dist = -np.ones(self._n, dtype=np.int64)
+        dist[source] = 0
+        frontier = [source]
+        level = 0
+        while frontier and (cutoff is None or level < cutoff):
+            level += 1
+            nxt = []
+            for u in frontier:
+                for v in self.neighbors(u):
+                    if dist[v] < 0:
+                        dist[v] = level
+                        nxt.append(int(v))
+            frontier = nxt
+        return dist
+
+    def connected_components(self) -> list[np.ndarray]:
+        """Return the connected components as arrays of vertex ids."""
+        seen = np.zeros(self._n, dtype=bool)
+        components = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            comp = []
+            while stack:
+                u = stack.pop()
+                comp.append(u)
+                for v in self.neighbors(u):
+                    if not seen[v]:
+                        seen[v] = True
+                        stack.append(int(v))
+            components.append(np.array(sorted(comp), dtype=np.int64))
+        return components
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self._n}, edges={self._num_edges}, max_degree={self.max_degree})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._num_edges, self._indices.tobytes()))

@@ -1,0 +1,77 @@
+"""Message envelopes and CONGEST bit accounting.
+
+The CONGEST model limits every message to ``O(log n)`` bits.  The simulator
+does not serialize messages; instead :func:`message_bits` computes a
+conservative bit-size estimate of the payload so the runner can record the
+maximum message size of an execution and (optionally) enforce the CONGEST
+budget.
+
+Payloads are restricted to a small, explicitly supported vocabulary — ``None``,
+``bool``, ``int``, ``str`` tags, and flat tuples/lists of those — which keeps
+the accounting honest: algorithms cannot smuggle unbounded state through an
+opaque Python object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Broadcast", "message_bits", "UnsupportedPayload"]
+
+
+class UnsupportedPayload(TypeError):
+    """Raised when a message payload is outside the supported vocabulary."""
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Marker meaning "send this payload to every neighbor".
+
+    Most algorithms in the paper are broadcast algorithms (each node sends the
+    same trial/color to all neighbors), which also matches the CONGEST
+    convention that a node may send *different* messages per neighbor but
+    rarely needs to.
+    """
+
+    payload: Any
+
+
+def _int_bits(value: int) -> int:
+    """Bits needed for a (signed) integer, at least 1."""
+    return max(1, int(abs(int(value))).bit_length() + (1 if value < 0 else 0))
+
+
+def message_bits(payload: Any) -> int:
+    """Conservative bit size of a message payload.
+
+    * ``None`` counts 1 bit (presence flag).
+    * ``bool`` counts 1 bit.
+    * ``int`` counts its binary length.
+    * ``str`` tags count 8 bits per character (tags are short constants such as
+      ``"TRY"`` or ``"COLORED"``; they stand for an ``O(1)``-bit opcode).
+    * tuples / lists count the sum of their elements plus 2 bits of framing per
+      element.
+
+    Raises
+    ------
+    UnsupportedPayload
+        If the payload contains anything outside this vocabulary (e.g. dicts,
+        sets, arbitrary objects).
+    """
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int,)):
+        return _int_bits(payload)
+    if isinstance(payload, str):
+        return 8 * max(1, len(payload))
+    if isinstance(payload, (tuple, list)):
+        total = 0
+        for item in payload:
+            total += 2 + message_bits(item)
+        return max(1, total)
+    raise UnsupportedPayload(
+        f"unsupported message payload of type {type(payload).__name__}: {payload!r}"
+    )

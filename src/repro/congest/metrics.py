@@ -1,0 +1,74 @@
+"""Execution metrics: rounds, message counts, and bandwidth.
+
+The complexity measure of the LOCAL/CONGEST models is the number of
+synchronous rounds; CONGEST additionally constrains the per-message size.
+:class:`RunResult` records both, plus total message counts, so the experiment
+harness can report measured round complexities next to the paper's bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["RoundMetrics", "RunResult"]
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """Per-round statistics."""
+
+    round_index: int
+    messages_sent: int
+    total_bits: int
+    max_message_bits: int
+    active_nodes: int
+
+
+@dataclass
+class RunResult:
+    """Result of running a distributed algorithm to completion.
+
+    Attributes
+    ----------
+    outputs:
+        ``outputs[v]`` is node ``v``'s local output.
+    rounds:
+        Number of synchronous communication rounds executed.
+    round_metrics:
+        One :class:`RoundMetrics` per round.
+    model:
+        ``"LOCAL"`` or ``"CONGEST"``.
+    """
+
+    outputs: list[Any]
+    rounds: int
+    round_metrics: list[RoundMetrics] = field(default_factory=list)
+    model: str = "CONGEST"
+
+    @property
+    def total_messages(self) -> int:
+        """Total number of messages sent over the whole execution."""
+        return sum(m.messages_sent for m in self.round_metrics)
+
+    @property
+    def total_bits(self) -> int:
+        """Total number of payload bits sent over the whole execution."""
+        return sum(m.total_bits for m in self.round_metrics)
+
+    @property
+    def max_message_bits(self) -> int:
+        """Largest single message (in bits) observed during the execution."""
+        if not self.round_metrics:
+            return 0
+        return max(m.max_message_bits for m in self.round_metrics)
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dictionary summary used by the experiment tables."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "model": self.model,
+        }

@@ -1,0 +1,212 @@
+"""The synchronous round scheduler for the LOCAL and CONGEST models.
+
+:class:`SynchronousNetwork` owns one :class:`~repro.congest.node.NodeAlgorithm`
+instance per vertex and drives the round structure:
+
+1. every non-halted node produces its outgoing messages from its state at the
+   *start* of the round (the scheduler collects all outboxes before delivering
+   anything, so no node can react to a message from the same round),
+2. messages are delivered along edges,
+3. every non-halted node processes its inbox.
+
+The scheduler also accounts message sizes in bits (:func:`message_bits`) and,
+when ``model="CONGEST"`` and ``strict_bandwidth=True``, raises
+:class:`CongestViolation` if a message exceeds ``bandwidth_factor * log2(n)``
+bits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping
+
+from repro.congest.graph import Graph
+from repro.congest.messages import Broadcast, message_bits
+from repro.congest.metrics import RoundMetrics, RunResult
+from repro.congest.node import NodeAlgorithm, NodeContext
+
+__all__ = ["SynchronousNetwork", "CongestViolation", "AlgorithmFactory"]
+
+#: Callable that builds one node algorithm from a node context.
+AlgorithmFactory = Callable[[NodeContext], NodeAlgorithm]
+
+
+class CongestViolation(RuntimeError):
+    """A message exceeded the CONGEST bandwidth budget in strict mode."""
+
+
+class SynchronousNetwork:
+    """Round-synchronous execution of a per-node algorithm on a graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.
+    factory:
+        Callable building a :class:`NodeAlgorithm` from each node's
+        :class:`NodeContext`.
+    globals:
+        Globally known values handed to every node (``n`` and ``delta`` are
+        always added automatically).
+    model:
+        ``"CONGEST"`` (default) or ``"LOCAL"``.
+    bandwidth_factor:
+        CONGEST allows messages of ``O(log n)`` bits; a message is flagged when
+        it exceeds ``bandwidth_factor * max(1, log2(n))`` bits.
+    strict_bandwidth:
+        If True, a flagged message raises :class:`CongestViolation`; otherwise
+        violations are only counted (``self.bandwidth_violations``).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        factory: AlgorithmFactory,
+        globals: Mapping[str, Any] | None = None,
+        model: str = "CONGEST",
+        bandwidth_factor: float = 32.0,
+        strict_bandwidth: bool = False,
+    ):
+        if model not in ("CONGEST", "LOCAL"):
+            raise ValueError(f"model must be 'CONGEST' or 'LOCAL', got {model!r}")
+        self.graph = graph
+        self.model = model
+        self.bandwidth_factor = float(bandwidth_factor)
+        self.strict_bandwidth = bool(strict_bandwidth)
+        self.bandwidth_violations = 0
+        self.rounds_executed = 0
+        self.round_metrics: list[RoundMetrics] = []
+
+        shared = dict(globals or {})
+        shared.setdefault("n", graph.n)
+        shared.setdefault("delta", graph.max_degree)
+        self.globals = shared
+
+        self.nodes: list[NodeAlgorithm] = []
+        for v in range(graph.n):
+            ctx = NodeContext(
+                node=v,
+                degree=graph.degree(v),
+                neighbors=graph.neighbors(v),
+                globals=shared,
+            )
+            self.nodes.append(factory(ctx))
+
+        #: pending outboxes produced by ``start()`` / the previous ``receive()``
+        self._pending: list[Any] = [None] * graph.n
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bandwidth_bits(self) -> float:
+        """The per-message bit budget used for CONGEST accounting."""
+        return self.bandwidth_factor * max(1.0, math.log2(max(2, self.graph.n)))
+
+    def all_halted(self) -> bool:
+        """Whether every node has halted."""
+        return all(node.halted for node in self.nodes)
+
+    # ------------------------------------------------------------------ #
+
+    def _collect_start(self) -> None:
+        for v, node in enumerate(self.nodes):
+            if not node.halted:
+                self._pending[v] = node.start()
+        self._started = True
+
+    def _expand_outbox(self, v: int, outbox: Any) -> dict[int, Any]:
+        """Normalise an outbox to ``{neighbor: payload}``."""
+        if outbox is None:
+            return {}
+        if isinstance(outbox, Broadcast):
+            return {int(u): outbox.payload for u in self.graph.neighbors(v)}
+        if isinstance(outbox, dict):
+            for u in outbox:
+                if not self.graph.has_edge(v, int(u)):
+                    raise ValueError(
+                        f"node {v} attempted to send to non-neighbor {u}"
+                    )
+            return {int(u): payload for u, payload in outbox.items()}
+        raise TypeError(
+            f"node {v} returned an invalid outbox of type {type(outbox).__name__}; "
+            "expected None, Broadcast, or dict"
+        )
+
+    def step(self) -> bool:
+        """Execute one synchronous round.
+
+        Returns ``True`` if a round was executed, ``False`` if every node had
+        already halted (in which case nothing happens).
+        """
+        if not self._started:
+            self._collect_start()
+        if self.all_halted():
+            return False
+
+        budget = self.bandwidth_bits
+        inboxes: list[dict[int, Any]] = [dict() for _ in range(self.graph.n)]
+        messages_sent = 0
+        total_bits = 0
+        max_bits = 0
+        active = 0
+
+        # Phase 1: collect and deliver all messages (state frozen at round start).
+        for v, node in enumerate(self.nodes):
+            if node.halted:
+                continue
+            active += 1
+            outbox = self._expand_outbox(v, self._pending[v])
+            self._pending[v] = None
+            for u, payload in outbox.items():
+                bits = message_bits(payload)
+                messages_sent += 1
+                total_bits += bits
+                max_bits = max(max_bits, bits)
+                if self.model == "CONGEST" and bits > budget:
+                    self.bandwidth_violations += 1
+                    if self.strict_bandwidth:
+                        raise CongestViolation(
+                            f"node {v} sent a {bits}-bit message to {u}, exceeding "
+                            f"the CONGEST budget of {budget:.0f} bits"
+                        )
+                inboxes[u][v] = payload
+
+        # Phase 2: every non-halted node processes its inbox and queues the
+        # next round's messages.
+        for v, node in enumerate(self.nodes):
+            if node.halted:
+                continue
+            self._pending[v] = node.receive(inboxes[v])
+            if node.halted:
+                self._pending[v] = None
+
+        self.rounds_executed += 1
+        self.round_metrics.append(
+            RoundMetrics(
+                round_index=self.rounds_executed,
+                messages_sent=messages_sent,
+                total_bits=total_bits,
+                max_message_bits=max_bits,
+                active_nodes=active,
+            )
+        )
+        return True
+
+    def run(self, max_rounds: int = 100_000) -> RunResult:
+        """Run until every node halts (or ``max_rounds`` is exceeded)."""
+        while not self.all_halted():
+            if self.rounds_executed >= max_rounds:
+                raise RuntimeError(
+                    f"algorithm did not terminate within {max_rounds} rounds "
+                    f"({sum(1 for nd in self.nodes if not nd.halted)} nodes still active)"
+                )
+            progressed = self.step()
+            if not progressed:
+                break
+        return RunResult(
+            outputs=[node.output() for node in self.nodes],
+            rounds=self.rounds_executed,
+            round_metrics=self.round_metrics,
+            model=self.model,
+        )

@@ -1,0 +1,108 @@
+"""Per-node algorithm API.
+
+A distributed algorithm is written as a subclass of :class:`NodeAlgorithm`.
+One instance is created per vertex and receives a :class:`NodeContext` that
+exposes *only* the information a node legitimately has in the LOCAL/CONGEST
+models:
+
+* its own id / input color,
+* its own degree (the number of communication ports),
+* globally known scalars (``n``, ``Delta``, ``m``, algorithm parameters), which
+  the paper also assumes to be global knowledge,
+* whatever it has received from its neighbors in previous rounds.
+
+Nodes address neighbors by vertex id (equivalently: by port — the simulator
+hands the inbox keyed by the sending neighbor's id, which is the standard
+"nodes learn who sent what" convention once the first message arrives).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.congest.messages import Broadcast
+
+__all__ = ["NodeContext", "NodeAlgorithm", "Outbox"]
+
+#: What a node may return from :meth:`NodeAlgorithm.start` / ``receive``:
+#: ``None`` (silence), a :class:`Broadcast`, or a dict ``{neighbor_id: payload}``.
+Outbox = "None | Broadcast | dict[int, Any]"
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """The immutable local view handed to a node algorithm.
+
+    Attributes
+    ----------
+    node:
+        This node's vertex id.  In the paper nodes are anonymous except for an
+        input coloring / id; algorithms must not use ``node`` for anything other
+        than indexing their own input (e.g. ``input_colors[node]`` supplied via
+        ``globals``) — the provided algorithms only use it that way.
+    degree:
+        Number of incident edges.
+    neighbors:
+        The ids of the adjacent vertices (read-only array).  This models the
+        ports of the node; ids become meaningful to the algorithm only through
+        received messages.
+    globals:
+        Mapping of globally known values (``n``, ``delta``, ``m``, parameters).
+    """
+
+    node: int
+    degree: int
+    neighbors: np.ndarray
+    globals: Mapping[str, Any] = field(default_factory=dict)
+
+    def globl(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor for a globally known value."""
+        return self.globals.get(key, default)
+
+
+class NodeAlgorithm(ABC):
+    """Base class for per-node algorithms.
+
+    Lifecycle (driven by :class:`repro.congest.network.SynchronousNetwork`):
+
+    1. ``__init__(ctx)`` — local initialization, no communication.
+    2. ``start()`` — returns the messages for round 1.
+    3. For every round: the network delivers the inbox and calls
+       ``receive(inbox)`` which returns the messages for the *next* round.
+    4. A node signals completion by setting ``self.halted = True``; once every
+       node has halted the execution stops.  A halted node neither sends nor
+       receives.
+    5. ``output()`` — the node's local output (e.g. its color).
+
+    Messages returned by ``start``/``receive`` are either ``None``, a
+    :class:`~repro.congest.messages.Broadcast`, or a dict mapping neighbor id to
+    payload.
+    """
+
+    def __init__(self, ctx: NodeContext):
+        self.ctx = ctx
+        self.halted = False
+
+    # -- communication hooks ------------------------------------------------
+
+    def start(self):
+        """Messages to send in the first round (default: nothing)."""
+        return None
+
+    @abstractmethod
+    def receive(self, inbox: dict[int, Any]):
+        """Process the messages received this round; return next round's messages."""
+
+    # -- results ------------------------------------------------------------
+
+    def halt(self) -> None:
+        """Mark this node as finished (no further sends or receives)."""
+        self.halted = True
+
+    @abstractmethod
+    def output(self) -> Any:
+        """The node's local output once the algorithm has finished."""

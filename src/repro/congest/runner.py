@@ -1,0 +1,57 @@
+"""Run-to-completion driver for distributed algorithms."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.congest.graph import Graph
+from repro.congest.metrics import RunResult
+from repro.congest.network import AlgorithmFactory, SynchronousNetwork
+
+__all__ = ["run_algorithm"]
+
+
+def run_algorithm(
+    graph: Graph,
+    factory: AlgorithmFactory,
+    globals: Mapping[str, Any] | None = None,
+    model: str = "CONGEST",
+    max_rounds: int = 100_000,
+    bandwidth_factor: float = 32.0,
+    strict_bandwidth: bool = False,
+) -> RunResult:
+    """Instantiate a per-node algorithm on ``graph`` and run it to completion.
+
+    Parameters
+    ----------
+    graph:
+        Communication graph.
+    factory:
+        ``factory(ctx) -> NodeAlgorithm`` building each node's algorithm.
+    globals:
+        Globally known values (the paper assumes ``n``, ``Delta``, ``m`` and the
+        algorithm parameters are global knowledge); ``n`` and ``delta`` are
+        added automatically.
+    model:
+        ``"CONGEST"`` (default, with bandwidth accounting) or ``"LOCAL"``.
+    max_rounds:
+        Safety bound; a :class:`RuntimeError` is raised if the algorithm does
+        not terminate in time (all the paper's algorithms have explicit round
+        bounds, so hitting this indicates a bug).
+    bandwidth_factor / strict_bandwidth:
+        See :class:`repro.congest.network.SynchronousNetwork`.
+
+    Returns
+    -------
+    RunResult
+        Node outputs plus round / message / bandwidth metrics.
+    """
+    network = SynchronousNetwork(
+        graph,
+        factory,
+        globals=globals,
+        model=model,
+        bandwidth_factor=bandwidth_factor,
+        strict_bandwidth=strict_bandwidth,
+    )
+    return network.run(max_rounds=max_rounds)

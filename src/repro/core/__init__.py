@@ -1,0 +1,38 @@
+"""The paper's contribution: the mother algorithm and everything built on it.
+
+Module map (mirrors the paper's structure):
+
+* :mod:`repro.core.params` — the parameter calculus of Theorem 1.1
+  (``Z``, ``f``, the prime ``q``, ``X``, ``R``).
+* :mod:`repro.core.sequences` — the color sequences
+  ``s_i(x) = (x mod k, p_i(x))``.
+* :mod:`repro.core.algorithm1` — Algorithm 1 / Theorem 1.1 as a per-node
+  message-passing algorithm on the CONGEST simulator.
+* :mod:`repro.core.vectorized` — a whole-graph NumPy twin of Algorithm 1 used
+  for large benchmarks (bit-for-bit equivalent outputs).
+* :mod:`repro.core.corollaries` — the parameter settings of Corollary 1.2.
+* :mod:`repro.core.linial` — Linial's ``O(log* n)``-round ``O(Delta^2)``
+  coloring from unique IDs, realised by iterating the mother algorithm.
+* :mod:`repro.core.reduce` — color-class removal and Kuhn-Wattenhofer style
+  block reduction to ``Delta + 1`` colors.
+* :mod:`repro.core.pipelines` — end-to-end ``(Delta + 1)``-coloring pipelines
+  (Section 3.1) and the ``O(Delta^{1+eps})`` algorithm of Theorem 1.3.
+* :mod:`repro.core.ruling_sets` — Lemma 3.2 and Theorem 1.5 ruling sets plus
+  the SEW13-style baseline.
+* :mod:`repro.core.one_round` — Theorem 1.6: the one-round color reduction of
+  Lemma 4.1 and the exhaustive impossibility checker of Lemma 4.3.
+* :mod:`repro.core.baselines` — greedy and randomized (Luby-style) baselines.
+"""
+
+from repro.core.results import ColoringResult, RulingSetResult
+from repro.core.params import MotherParameters
+from repro.core.algorithm1 import run_mother_algorithm
+from repro.core.vectorized import run_mother_algorithm_vectorized
+
+__all__ = [
+    "ColoringResult",
+    "RulingSetResult",
+    "MotherParameters",
+    "run_mother_algorithm",
+    "run_mother_algorithm_vectorized",
+]

@@ -1,0 +1,155 @@
+"""Corollary 1.2 — the most important parameter settings of Theorem 1.1.
+
+Every function below is a thin wrapper that chooses ``(d, k)`` exactly as the
+corollary's proof does and delegates to the mother algorithm.  The color / round
+bounds stated in the corollary (for a ``Delta^4``-input coloring) are exposed by
+:mod:`repro.analysis.bounds` and checked by the tests and experiments.
+
+1. ``linial_color_reduction``   — ``d = 0``, one batch:   ``<= 256 Delta^2`` colors in 1 round.
+2. ``kdelta_coloring``          — ``d = 0``, batch size ``k``: ``<= 16 Delta k`` colors in ``O(Delta / k)`` rounds.
+3. ``delta_squared_coloring``   — ``k = ceil(Delta / 16)``: ``<= Delta^2`` colors in ``O(1)`` rounds.
+4. ``outdegree_coloring``       — ``k = 1``, ``d = beta``: ``beta``-outdegree ``O(Delta/beta)``-coloring in ``O(Delta/beta)`` rounds.
+5. ``defective_coloring_one_round`` — ``k`` = one batch, defect ``d``: ``d``-defective ``O((Delta/d)^2)``-coloring in 1 round.
+6. ``defective_coloring``       — ``k = 1``, defect ``d``, output ``(color, part)``: same color bound in ``O(Delta/d)`` rounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.congest.graph import Graph
+from repro.core.algorithm1 import run_mother_algorithm
+from repro.core.params import MotherParameters
+from repro.core.results import ColoringResult
+from repro.core.vectorized import run_mother_algorithm_vectorized
+
+__all__ = [
+    "linial_color_reduction",
+    "kdelta_coloring",
+    "delta_squared_coloring",
+    "outdegree_coloring",
+    "defective_coloring_one_round",
+    "defective_coloring",
+]
+
+
+def _run(graph, input_colors, m, d, k, vectorized, with_orientation=True, params=None):
+    runner = run_mother_algorithm_vectorized if vectorized else run_mother_algorithm
+    return runner(
+        graph,
+        input_colors,
+        m=m,
+        d=d,
+        k=k,
+        params=params,
+        with_orientation=with_orientation,
+    )
+
+
+def _single_batch_params(m: int, delta: int, d: int) -> MotherParameters:
+    """Parameters with ``k`` large enough that the whole sequence is one batch (``k = q``)."""
+    probe = MotherParameters.derive(m=m, delta=delta, d=d, k=1)
+    return MotherParameters(m=probe.m, delta=probe.delta, d=probe.d, k=probe.q, f=probe.f, q=probe.q)
+
+
+def linial_color_reduction(
+    graph: Graph, input_colors: np.ndarray, m: int, vectorized: bool = False
+) -> ColoringResult:
+    """Corollary 1.2 (1): Linial's one-round color reduction.
+
+    With ``d = 0`` and the batch covering the entire sequence the node tries
+    all ``q`` colors of its sequence at once; since at most ``2 f Z < q`` of
+    them can be blocked it succeeds immediately.  For ``m = Delta^4`` this is
+    a ``<= 256 Delta^2``-coloring in exactly one round.
+    """
+    delta = max(1, graph.max_degree)
+    params = _single_batch_params(m, delta, 0)
+    return _run(graph, input_colors, m, 0, params.k, vectorized, params=params)
+
+
+def kdelta_coloring(
+    graph: Graph, input_colors: np.ndarray, m: int, k: int, vectorized: bool = False
+) -> ColoringResult:
+    """Corollary 1.2 (2): ``O(k Delta)`` colors in ``O(Delta / k)`` rounds.
+
+    The smooth trade-off between Linial (``k = X``) and the locally-iterative
+    regime (``k = 1``).  For a ``Delta^4``-input coloring the concrete bounds
+    are ``16 Delta k`` colors in ``16 Delta / k`` rounds.
+    """
+    return _run(graph, input_colors, m, 0, k, vectorized)
+
+
+def delta_squared_coloring(
+    graph: Graph, input_colors: np.ndarray, m: int, vectorized: bool = False
+) -> ColoringResult:
+    """Corollary 1.2 (3): ``Delta^2`` colors in ``O(1)`` rounds (``k = ceil(Delta/16)``)."""
+    delta = max(1, graph.max_degree)
+    k = max(1, math.ceil(delta / 16))
+    return _run(graph, input_colors, m, 0, k, vectorized)
+
+
+def outdegree_coloring(
+    graph: Graph, input_colors: np.ndarray, m: int, beta: int, vectorized: bool = False
+) -> ColoringResult:
+    """Corollary 1.2 (4): a ``beta``-outdegree ``O(Delta / beta)``-coloring in ``O(Delta / beta)`` rounds.
+
+    Runs the mother algorithm with ``k = 1`` and defect tolerance ``d = beta``;
+    the orientation of Theorem 1.1 point (1) (later round -> earlier round,
+    ties by input color) has outdegree at most ``beta``.  These colorings are
+    the "arbdefective" schedules used by every sublinear-in-``Delta``
+    ``(Delta+1)``-coloring algorithm.
+    """
+    delta = max(1, graph.max_degree)
+    if not (1 <= beta <= delta - 1):
+        raise ValueError(f"beta must satisfy 1 <= beta <= Delta - 1, got beta={beta}, Delta={delta}")
+    return _run(graph, input_colors, m, beta, 1, vectorized, with_orientation=True)
+
+
+def defective_coloring_one_round(
+    graph: Graph, input_colors: np.ndarray, m: int, d: int, vectorized: bool = False
+) -> ColoringResult:
+    """Corollary 1.2 (5): a ``d``-defective ``O((Delta/d)^2)``-coloring in one round.
+
+    With a single batch there is only one part ``P_1``, so the partition bound
+    of Theorem 1.1 (2) *is* a defect bound: every node tolerated at most ``d``
+    same-color neighbors, and nobody colors later.
+    """
+    delta = max(1, graph.max_degree)
+    if not (1 <= d <= delta - 1):
+        raise ValueError(f"d must satisfy 1 <= d <= Delta - 1, got d={d}, Delta={delta}")
+    params = _single_batch_params(m, delta, d)
+    return _run(graph, input_colors, m, d, params.k, vectorized, params=params)
+
+
+def defective_coloring(
+    graph: Graph, input_colors: np.ndarray, m: int, d: int, vectorized: bool = False
+) -> ColoringResult:
+    """Corollary 1.2 (6): a ``d``-defective ``O((Delta/d)^2)``-coloring in ``O(Delta/d)`` rounds.
+
+    Runs the mother algorithm with ``k = 1`` and defect ``d`` and outputs the
+    *pair* ``(color, part)``: within one part every color class has degree at
+    most ``d`` (Theorem 1.1 point (2)), so the pair coloring is ``d``-defective.
+    The pair is encoded as ``color * (R + 1) + part``.
+    """
+    delta = max(1, graph.max_degree)
+    if not (1 <= d <= delta - 1):
+        raise ValueError(f"d must satisfy 1 <= d <= Delta - 1, got d={d}, Delta={delta}")
+    base = _run(graph, input_colors, m, d, 1, vectorized, with_orientation=False)
+    if base.parts is None:  # pragma: no cover - defensive
+        raise RuntimeError("mother algorithm did not report parts")
+    stride = int(base.parts.max(initial=0)) + 1
+    combined = base.colors * stride + base.parts
+    return ColoringResult(
+        colors=combined,
+        rounds=base.rounds,
+        color_space_size=base.color_space_size * stride,
+        parts=base.parts,
+        orientation=None,
+        metadata={
+            **base.metadata,
+            "pair_encoding_stride": stride,
+            "base_color_space": base.color_space_size,
+        },
+    )

@@ -1,0 +1,116 @@
+"""Linial's ``O(log* n)``-round ``O(Delta^2)``-coloring, realised via the mother algorithm.
+
+Linial's algorithm treats the unique ``O(log n)``-bit IDs as an input coloring
+with ``m = poly(n)`` colors and repeatedly applies a one-round color reduction
+that maps an ``m``-coloring to an ``O(Delta^2 * polylog m)``-coloring.  After
+``O(log* n)`` iterations the number of colors stabilises at ``O(Delta^2)``.
+
+Here each iteration is exactly Corollary 1.2 (1) — the mother algorithm with
+``d = 0`` and a single batch — so this module is also the standard preprocessing
+step that produces the ``Delta^4`` / ``Delta^2`` input colorings every other
+algorithm in the package starts from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.graph import Graph
+from repro.congest.ids import assign_unique_ids
+from repro.core.corollaries import linial_color_reduction
+from repro.core.results import ColoringResult
+
+__all__ = ["linial_coloring", "iterated_color_reduction"]
+
+
+def iterated_color_reduction(
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    target_colors: int | None = None,
+    max_iterations: int = 64,
+    vectorized: bool = False,
+) -> ColoringResult:
+    """Iterate the one-round reduction until the color space stops shrinking.
+
+    Parameters
+    ----------
+    target_colors:
+        Stop as soon as the color-space bound is at most this value (default:
+        ``256 * Delta^2``, the bound of Corollary 1.2 (1)).
+
+    Returns
+    -------
+    ColoringResult
+        ``rounds`` counts one round per reduction step (the paper's
+        ``O(log* n)``); metadata records the sequence of color-space sizes.
+    """
+    delta = max(1, graph.max_degree)
+    if target_colors is None:
+        target_colors = 256 * delta * delta
+
+    colors = np.asarray(input_colors, dtype=np.int64)
+    space = int(m)
+    history = [space]
+    rounds = 0
+    result: ColoringResult | None = None
+
+    for _ in range(max_iterations):
+        if space <= target_colors:
+            break
+        step = linial_color_reduction(graph, colors, space, vectorized=vectorized)
+        new_space = step.color_space_size
+        if new_space >= space:
+            # No further progress possible (already at the fixed point of the
+            # reduction); stop rather than looping forever.
+            break
+        rounds += 1
+        result = step
+        # The next iteration's input coloring is the output color space of this
+        # step *as is* (no global relabelling — that would not be a legal
+        # distributed step); the encoded colors already lie in
+        # [step.color_space_size].
+        colors = step.colors
+        space = new_space
+        history.append(space)
+
+    metadata = {"color_space_history": history, "target_colors": target_colors}
+    return ColoringResult(
+        colors=colors if result is not None else colors.copy(),
+        rounds=rounds,
+        color_space_size=space,
+        metadata=metadata,
+    )
+
+
+def linial_coloring(
+    graph: Graph,
+    ids: np.ndarray | None = None,
+    id_space: int | None = None,
+    seed: int | None = None,
+    target_colors: int | None = None,
+    vectorized: bool = False,
+) -> ColoringResult:
+    """Compute an ``O(Delta^2)``-coloring from unique IDs in ``O(log* n)`` rounds.
+
+    Parameters
+    ----------
+    ids:
+        Unique IDs (one per vertex); assigned automatically when omitted
+        (identity IDs, or a seeded random injection into ``[n^2]`` when ``seed``
+        is given).
+    id_space:
+        Size of the ID space (``m`` for the first reduction step); defaults to
+        ``max(ids) + 1``.
+    target_colors:
+        Stop once the color space is at most this bound (default ``256 Delta^2``).
+    """
+    if ids is None:
+        ids = assign_unique_ids(graph, id_space=id_space, seed=seed)
+    ids = np.asarray(ids, dtype=np.int64)
+    if np.unique(ids).size != ids.size:
+        raise ValueError("ids must be unique")
+    space = int(id_space) if id_space is not None else (int(ids.max()) + 1 if ids.size else 1)
+    return iterated_color_reduction(
+        graph, ids, space, target_colors=target_colors, vectorized=vectorized
+    )

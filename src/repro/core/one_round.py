@@ -1,0 +1,273 @@
+"""One-round color reduction (Section 4 / Theorem 1.6).
+
+Theorem 1.6: for ``m`` input colors and maximum degree ``Delta``, let ``k`` be
+the largest integer with ``1 <= k <= min(Delta - 1, Delta/2 + 3/2)`` and
+``m >= k (Delta - k + 3)``.  Then ``k`` colors can be removed in one round
+(Lemma 4.1), and no one-round algorithm can remove ``k + 1`` colors
+(Lemma 4.3).
+
+This module provides
+
+* :func:`max_reducible_colors` — the closed-form ``k`` of Theorem 1.6,
+* :func:`one_round_color_reduction` — the algorithm of Lemma 4.1 (regimes and
+  color stealing), executed in exactly one communication round,
+* :func:`one_round_reduction_exists` — an exact feasibility decision for
+  whether *any* one-round algorithm with a given output color budget exists,
+  by modelling one-round algorithms as colorings of a finite conflict graph of
+  neighborhood configurations and deciding colorability by backtracking.  For
+  the small parameters used in the tests it verifies the impossibility side of
+  Theorem 1.6 (Lemma 4.3) exhaustively.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations
+
+import numpy as np
+
+from repro.congest.graph import Graph
+from repro.congest.ids import validate_proper_coloring
+from repro.core.results import ColoringResult
+
+__all__ = [
+    "max_reducible_colors",
+    "one_round_color_reduction",
+    "one_round_reduction_exists",
+    "required_input_colors",
+]
+
+
+def required_input_colors(delta: int, k: int) -> int:
+    """``k (Delta - k + 3)`` — the input colors needed to remove ``k`` colors in one round."""
+    return k * (delta - k + 3)
+
+
+def max_reducible_colors(m: int, delta: int) -> int:
+    """The largest ``k`` such that a one-round algorithm can reduce an ``m``-coloring by ``k`` colors.
+
+    Returns 0 when not even one color can be removed (``m < Delta + 2``).
+    """
+    if delta < 1:
+        return 0
+    # k <= Delta/2 + 3/2 i.e. 2k <= Delta + 3.
+    upper = min(delta - 1, (delta + 3) // 2)
+    best = 0
+    for k in range(1, upper + 1):
+        if m >= required_input_colors(delta, k):
+            best = k
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 4.1 — the one-round reduction algorithm
+# --------------------------------------------------------------------------- #
+
+
+def one_round_color_reduction(
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    k: int | None = None,
+    delta: int | None = None,
+    validate_input: bool = True,
+) -> ColoringResult:
+    """Lemma 4.1: remove ``k`` colors from an ``m``-coloring in one round.
+
+    Only vertices whose color lies in the top ``k`` "recoloring" colors of the
+    block ``[k(Delta-k+3)]`` change their color; each recoloring color owns a
+    regime of ``Delta - k + 2`` output colors, and a recoloring vertex may
+    additionally *steal* one color from the regime of every recoloring color
+    that does not appear in its neighborhood.  Colors ``>= k(Delta-k+3)`` (when
+    ``m`` is larger than required) are left untouched, as described in the
+    paper's proof.
+
+    Returns a coloring over a color space of size ``m - k``.
+    """
+    input_colors = np.asarray(input_colors, dtype=np.int64)
+    if delta is None:
+        delta = max(1, graph.max_degree)
+    if validate_input:
+        validate_proper_coloring(graph, input_colors, m)
+    if k is None:
+        k = max_reducible_colors(m, delta)
+    if k < 1:
+        raise ValueError(
+            f"cannot remove any color in one round: m={m} < Delta + 2 = {delta + 2}"
+        )
+    if k > min(delta - 1, (delta + 3) // 2):
+        raise ValueError(
+            f"k={k} exceeds the Theorem 1.6 range min(Delta-1, Delta/2+3/2) for Delta={delta}"
+        )
+    block = required_input_colors(delta, k)  # = m in the tight case
+    if m < block:
+        raise ValueError(
+            f"removing {k} colors in one round requires m >= k(Delta-k+3) = {block}, got m={m}"
+        )
+
+    ell = k * (delta - k + 2)          # number of output colors inside the block
+    regime_size = delta - k + 2        # size of each regime R_i
+
+    def regime(i: int) -> list[int]:
+        return [i * regime_size + j for j in range(regime_size)]
+
+    def steal(j: int, phi: int) -> int:
+        """``f_j(phi)``: the color vertex of input color ``phi`` may steal from regime ``j``.
+
+        ``phi`` ranges over the recoloring colors other than ``ell + j``; the
+        map sends the ``t``-th such color to the ``t``-th color of regime ``j``
+        (injective because ``k - 1 <= regime_size``).
+        """
+        t = phi - ell
+        slot = t if t < j else t - 1
+        return j * regime_size + slot
+
+    n = graph.n
+    output = input_colors.copy()
+    # One round: every vertex learns its neighbors' input colors.
+    for v in range(n):
+        phi = int(input_colors[v])
+        if phi < ell or phi >= block:
+            continue  # case 1 (keeps a color < ell) or an untouched color >= block
+        neighbor_colors = {int(input_colors[u]) for u in graph.neighbors(v)}
+        if neighbor_colors and max(neighbor_colors) < ell:
+            # Case 2: all neighbors keep their colors; Delta + 1 <= ell colors suffice.
+            c = 0
+            while c in neighbor_colors:
+                c += 1
+            output[v] = c
+            continue
+        if not neighbor_colors:
+            output[v] = 0
+            continue
+        # Case 3: regime of the own recoloring color plus stolen colors.
+        i = phi - ell
+        available = set(regime(i))
+        for j in range(k):
+            if j == i:
+                continue
+            if (ell + j) not in neighbor_colors:
+                available.add(steal(j, phi))
+        candidates = sorted(available - neighbor_colors)
+        if not candidates:  # pragma: no cover - contradicts Lemma 4.1
+            raise RuntimeError(
+                f"vertex {v} found no free color — this contradicts Lemma 4.1"
+            )
+        output[v] = candidates[0]
+
+    # Compact the removed block: colors >= block shift down by k so the output
+    # space is exactly [m - k].  (A node can do this locally, no extra round.)
+    high = output >= block
+    output[high] -= k
+
+    return ColoringResult(
+        colors=output,
+        rounds=1,
+        color_space_size=m - k,
+        metadata={
+            "method": "lemma41_one_round",
+            "k": k,
+            "delta": delta,
+            "ell": ell,
+            "block": block,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 4.3 — exhaustive impossibility checking for small parameters
+# --------------------------------------------------------------------------- #
+
+
+@lru_cache(maxsize=None)
+def _configurations(m: int, delta: int) -> tuple[tuple[int, frozenset[int]], ...]:
+    """All one-round views ``(own color, set of neighbor colors)`` with ``<= delta`` neighbors.
+
+    Neighbor multiplicities do not matter for a deterministic one-round
+    algorithm without IDs (the algorithm sees the multiset, but a correct
+    algorithm must already be correct on the set-instances; conversely any
+    set-instance is realisable), so configurations are (color, subset) pairs
+    with the subset not containing the own color and of size at most ``delta``.
+    """
+    configs = []
+    others = list(range(m))
+    for phi in range(m):
+        rest = [c for c in others if c != phi]
+        for size in range(0, min(delta, len(rest)) + 1):
+            for subset in combinations(rest, size):
+                configs.append((phi, frozenset(subset)))
+    return tuple(configs)
+
+
+def _conflict_pairs(configs) -> list[tuple[int, int]]:
+    """Pairs of configuration indices that could be adjacent in some graph.
+
+    Configurations ``(phi, A)`` and ``(phi', B)`` conflict when ``phi != phi'``,
+    ``phi' in A`` and ``phi in B`` — then two adjacent vertices can have exactly
+    these views, so a correct algorithm must give them different output colors.
+    """
+    pairs = []
+    for a, (phi_a, set_a) in enumerate(configs):
+        for b in range(a + 1, len(configs)):
+            phi_b, set_b = configs[b]
+            if phi_a != phi_b and phi_b in set_a and phi_a in set_b:
+                pairs.append((a, b))
+    return pairs
+
+
+def one_round_reduction_exists(m: int, delta: int, output_colors: int) -> bool:
+    """Decide whether *any* deterministic one-round algorithm maps every ``m``-input-colored
+    graph of maximum degree ``delta`` to a proper ``output_colors``-coloring.
+
+    A one-round algorithm (without IDs) is exactly a function from
+    configurations to output colors that gives conflicting configurations
+    different outputs, i.e. a proper coloring of the conflict graph.  The
+    function decides colorability by backtracking with the most-constrained-
+    vertex heuristic.  Exponential in the worst case — intended for the small
+    ``(m, delta)`` values used to verify Lemma 4.3 (for these it finishes
+    quickly, because the conflict graph either contains an easy certificate or
+    an easy coloring).
+    """
+    if output_colors >= m:
+        return True
+    configs = _configurations(m, delta)
+    num = len(configs)
+    adjacency: list[set[int]] = [set() for _ in range(num)]
+    for a, b in _conflict_pairs(configs):
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+
+    assignment = [-1] * num
+
+    def choose() -> int:
+        best, best_key = -1, None
+        for v in range(num):
+            if assignment[v] >= 0:
+                continue
+            used = {assignment[u] for u in adjacency[v] if assignment[u] >= 0}
+            key = (-(len(used)), -len(adjacency[v]))
+            if best_key is None or key < best_key:
+                best, best_key = v, key
+        return best
+
+    def backtrack() -> bool:
+        v = choose()
+        if v < 0:
+            return True
+        used = {assignment[u] for u in adjacency[v] if assignment[u] >= 0}
+        for c in range(output_colors):
+            if c in used:
+                continue
+            assignment[v] = c
+            if backtrack():
+                return True
+            assignment[v] = -1
+            # Symmetry breaking: if color c was brand new (unused anywhere),
+            # trying another brand-new color is equivalent — prune.
+            if c not in set(a for a in assignment if a >= 0) and c >= max(
+                [a for a in assignment if a >= 0], default=-1
+            ):
+                break
+        return False
+
+    return backtrack()

@@ -1,0 +1,140 @@
+"""Per-node (message-passing) implementation of the Lemma 4.1 one-round reduction.
+
+:mod:`repro.core.one_round` implements Lemma 4.1 as a whole-graph array pass —
+convenient for experiments and exhaustive tests.  This module runs the *same*
+algorithm on the CONGEST simulator: every node broadcasts its input color,
+receives its neighbors' input colors, and recolors locally, all within a single
+communication round.  The two implementations produce identical colorings
+(tested in ``tests/test_core_one_round_node.py``), and this one additionally
+certifies the claim that a single ``O(log m)``-bit broadcast per node suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.congest.graph import Graph
+from repro.congest.ids import validate_proper_coloring
+from repro.congest.messages import Broadcast
+from repro.congest.node import NodeAlgorithm, NodeContext
+from repro.congest.runner import run_algorithm
+from repro.core.one_round import max_reducible_colors, required_input_colors
+from repro.core.results import ColoringResult
+
+__all__ = ["OneRoundReductionNode", "run_one_round_reduction_distributed"]
+
+
+class OneRoundReductionNode(NodeAlgorithm):
+    """One node of the Lemma 4.1 algorithm (Algorithm 2 of the paper)."""
+
+    def __init__(self, ctx: NodeContext, input_color: int, m: int, k: int, delta: int):
+        super().__init__(ctx)
+        self.input_color = int(input_color)
+        self.m = int(m)
+        self.k = int(k)
+        self.delta = int(delta)
+        self.block = required_input_colors(self.delta, self.k)
+        self.ell = self.k * (self.delta - self.k + 2)
+        self.regime_size = self.delta - self.k + 2
+        self.output_color: int | None = None
+
+    # -- the three cases of Algorithm 2 -------------------------------------
+
+    def _regime(self, i: int) -> list[int]:
+        return [i * self.regime_size + j for j in range(self.regime_size)]
+
+    def _steal(self, j: int, phi: int) -> int:
+        t = phi - self.ell
+        slot = t if t < j else t - 1
+        return j * self.regime_size + slot
+
+    def _recolor(self, neighbor_colors: set[int]) -> int:
+        phi = self.input_color
+        if phi < self.ell or phi >= self.block:
+            return phi  # case 1 (or an untouched color beyond the block)
+        if neighbor_colors and max(neighbor_colors) < self.ell:
+            c = 0  # case 2: all neighbors keep their colors
+            while c in neighbor_colors:
+                c += 1
+            return c
+        if not neighbor_colors:
+            return 0
+        i = phi - self.ell  # case 3: own regime plus stolen colors
+        available = set(self._regime(i))
+        for j in range(self.k):
+            if j != i and (self.ell + j) not in neighbor_colors:
+                available.add(self._steal(j, phi))
+        candidates = sorted(available - neighbor_colors)
+        if not candidates:  # pragma: no cover - contradicts Lemma 4.1
+            raise RuntimeError("no free color available — contradicts Lemma 4.1")
+        return candidates[0]
+
+    # -- NodeAlgorithm hooks --------------------------------------------------
+
+    def start(self):
+        return Broadcast(self.input_color)
+
+    def receive(self, inbox: dict[int, Any]):
+        raw = self._recolor({int(c) for c in inbox.values()})
+        # compact the removed block locally (colors beyond the block shift down by k)
+        self.output_color = raw - self.k if raw >= self.block else raw
+        self.halt()
+        return None
+
+    def output(self) -> int:
+        if self.output_color is None:  # pragma: no cover - defensive
+            raise RuntimeError("node finished without an output color")
+        return self.output_color
+
+
+def run_one_round_reduction_distributed(
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    k: int | None = None,
+    delta: int | None = None,
+    validate_input: bool = True,
+    model: str = "CONGEST",
+) -> ColoringResult:
+    """Run Lemma 4.1 on the CONGEST simulator (one communication round).
+
+    Same signature and output conventions as
+    :func:`repro.core.one_round.one_round_color_reduction`.
+    """
+    input_colors = np.asarray(input_colors, dtype=np.int64)
+    if delta is None:
+        delta = max(1, graph.max_degree)
+    if validate_input:
+        validate_proper_coloring(graph, input_colors, m)
+    if k is None:
+        k = max_reducible_colors(m, delta)
+    if k < 1:
+        raise ValueError(f"cannot remove any color in one round: m={m} < Delta + 2 = {delta + 2}")
+    if k > min(delta - 1, (delta + 3) // 2):
+        raise ValueError(
+            f"k={k} exceeds the Theorem 1.6 range min(Delta-1, Delta/2+3/2) for Delta={delta}"
+        )
+    if m < required_input_colors(delta, k):
+        raise ValueError(
+            f"removing {k} colors needs m >= k(Delta-k+3) = {required_input_colors(delta, k)}, got m={m}"
+        )
+
+    def factory(ctx: NodeContext) -> OneRoundReductionNode:
+        return OneRoundReductionNode(ctx, int(input_colors[ctx.node]), m, k, delta)
+
+    run = run_algorithm(graph, factory, globals={"m": m, "k": k}, model=model, max_rounds=2)
+    colors = np.array(run.outputs, dtype=np.int64)
+    return ColoringResult(
+        colors=colors,
+        rounds=run.rounds,
+        color_space_size=m - k,
+        metadata={
+            "method": "lemma41_one_round_distributed",
+            "k": k,
+            "delta": delta,
+            "max_message_bits": run.max_message_bits,
+            "total_messages": run.total_messages,
+        },
+    )

@@ -1,0 +1,202 @@
+"""End-to-end coloring pipelines (Sections 3.1 and 3.2 of the paper).
+
+* :func:`delta_plus_one_coloring` — the full ``(Delta + 1)``-coloring pipeline:
+  unique IDs -> Linial (``O(log* n)`` rounds) -> mother algorithm with ``k = 1``
+  (``O(Delta)`` colors in ``O(Delta)`` rounds) -> color-class removal
+  (``O(Delta)`` rounds).  Total ``O(Delta) + log* n`` — the classical
+  [BE09, Kuh09, BEK14] bound obtained with a single, simple algorithm.
+
+* :func:`o_delta_coloring` — an ``O(Delta)``-coloring subroutine ("Theorem 3.1"
+  in the paper, due to [Bar16, BEG18]).  The paper uses it as a black box; we
+  substitute our own ``k = 1`` mother algorithm, which achieves the same
+  ``O(Delta)`` color bound in ``O(Delta)`` (instead of ``O(sqrt(Delta))``)
+  rounds.  The substitution is recorded in the result metadata and discussed in
+  DESIGN.md / EXPERIMENTS.md — it affects measured round counts of
+  Theorem 1.3 / 1.5 but none of the color-count or structural guarantees.
+
+* :func:`theorem13_coloring` — Theorem 1.3: an ``O(Delta^{1+eps})``-coloring
+  computed exactly as in the paper's proof: a ``d``-defective coloring with
+  ``d = Delta^{1-eps}`` (Corollary 1.2 (6)), then an ``O(d)``-coloring of every
+  defect class in parallel with a disjoint color space per class, output color
+  ``(psi, phi)``.
+
+* :func:`corollary14_coloring` — Corollary 1.4: the ``O(k Delta)`` colors /
+  ``O(sqrt(Delta / k))``-style trade-off obtained by instantiating Theorem 1.3
+  with ``eps = log_Delta k``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.congest.graph import Graph
+from repro.core.corollaries import defective_coloring, kdelta_coloring
+from repro.core.linial import linial_coloring
+from repro.core.reduce import remove_color_class_reduction
+from repro.core.results import ColoringResult
+from repro.verify.coloring import color_classes
+
+__all__ = [
+    "delta_plus_one_coloring",
+    "o_delta_coloring",
+    "theorem13_coloring",
+    "corollary14_coloring",
+]
+
+
+def delta_plus_one_coloring(
+    graph: Graph,
+    ids: np.ndarray | None = None,
+    seed: int | None = None,
+    vectorized: bool = False,
+) -> ColoringResult:
+    """The full ``(Delta + 1)``-coloring pipeline in ``O(Delta) + log* n`` rounds.
+
+    Stage 1 (Linial): reduce the unique-ID coloring to ``O(Delta^2)`` colors.
+    Stage 2 (mother algorithm, ``k = 1``): ``O(Delta)`` colors in ``O(Delta)`` rounds.
+    Stage 3 (color-class removal): ``Delta + 1`` colors in ``O(Delta)`` rounds.
+    """
+    delta = max(1, graph.max_degree)
+    stage1 = linial_coloring(graph, ids=ids, seed=seed, vectorized=vectorized)
+    stage2 = kdelta_coloring(
+        graph, stage1.colors, stage1.color_space_size, k=1, vectorized=vectorized
+    )
+    stage3 = remove_color_class_reduction(graph, stage2.colors, target_colors=delta + 1)
+    return ColoringResult(
+        colors=stage3.colors,
+        rounds=stage1.rounds + stage2.rounds + stage3.rounds,
+        color_space_size=delta + 1,
+        metadata={
+            "method": "delta_plus_one_pipeline",
+            "linial_rounds": stage1.rounds,
+            "linial_color_space": stage1.color_space_size,
+            "mother_rounds": stage2.rounds,
+            "mother_color_space": stage2.color_space_size,
+            "reduction_rounds": stage3.rounds,
+        },
+    )
+
+
+def o_delta_coloring(
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    vectorized: bool = False,
+) -> ColoringResult:
+    """An ``O(Delta)``-coloring of ``graph`` given a proper ``m``-input coloring.
+
+    This is the package's stand-in for the paper's Theorem 3.1 black box
+    ([Bar16, BEG18]: ``O(Delta)`` colors in ``O(sqrt(Delta) + log* n)`` rounds).
+    We realise the same color bound with the paper's own ``k = 1`` mother
+    algorithm in ``O(Delta)`` rounds; the round-complexity substitution is
+    flagged in the metadata so downstream results (Theorem 1.3 / 1.5) can report
+    both the paper bound and the measured rounds honestly.
+    """
+    result = kdelta_coloring(graph, input_colors, m, k=1, vectorized=vectorized)
+    result.metadata["substitution"] = (
+        "Theorem 3.1 [Bar16, BEG18] replaced by the k=1 mother algorithm: "
+        "same O(Delta) color bound, O(Delta) instead of O(sqrt(Delta)) rounds"
+    )
+    return result
+
+
+def theorem13_coloring(
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    epsilon: float = 0.5,
+    low_degree_coloring: Callable[[Graph, np.ndarray, int], ColoringResult] | None = None,
+    vectorized: bool = False,
+) -> ColoringResult:
+    """Theorem 1.3: an ``O(Delta^{1+eps})``-coloring.
+
+    Following the proof verbatim: set ``d = Delta^{1-eps}``; compute a
+    ``d``-defective coloring ``psi`` with ``O((Delta/d)^2)`` colors in
+    ``O(Delta/d)`` rounds (Corollary 1.2 (6)); then color every ``psi``-class
+    (whose induced degree is at most ``d``) in parallel with an ``O(d)``-coloring
+    ``phi`` using a disjoint color space per class; output ``(psi, phi)``.
+    Total colors ``O((Delta/d)^2 * d) = O(Delta^{1+eps})``.
+
+    ``low_degree_coloring(subgraph, sub_input_colors, m)`` is the Theorem 3.1
+    black box; it defaults to :func:`o_delta_coloring` (see the substitution
+    note there).  The parallel step's round count is the maximum over the
+    classes, as all classes run concurrently on vertex-disjoint subgraphs with
+    disjoint output color spaces.
+    """
+    if not (0.0 < epsilon <= 1.0):
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    delta = max(1, graph.max_degree)
+    input_colors = np.asarray(input_colors, dtype=np.int64)
+    if low_degree_coloring is None:
+        def low_degree_coloring(sub: Graph, sub_colors: np.ndarray, sub_m: int) -> ColoringResult:
+            return o_delta_coloring(sub, sub_colors, sub_m, vectorized=vectorized)
+
+    d = max(1, min(delta - 1, int(round(delta ** (1.0 - epsilon)))))
+    if delta <= 2 or d >= delta:
+        # Degenerate small-degree case: the defective step is pointless; fall
+        # back to the plain O(Delta)-coloring which satisfies the color bound.
+        base = o_delta_coloring(graph, input_colors, m, vectorized=vectorized)
+        base.metadata["theorem13_degenerate"] = True
+        return base
+
+    # Step 1: d-defective coloring psi (Corollary 1.2 (6)).
+    psi = defective_coloring(graph, input_colors, m, d=d, vectorized=vectorized)
+
+    # Step 2: color every psi-class in parallel with a disjoint output space.
+    classes = color_classes(graph, psi.colors)
+    final = np.zeros(graph.n, dtype=np.int64)
+    per_class_rounds = 0
+    per_class_space = 0
+    class_results: list[tuple[int, np.ndarray, ColoringResult]] = []
+    for class_index, (_psi_color, vertices) in enumerate(sorted(classes.items())):
+        subgraph, mapping = graph.induced_subgraph(vertices)
+        sub_colors = input_colors[mapping]
+        sub = low_degree_coloring(subgraph, sub_colors, m)
+        class_results.append((class_index, mapping, sub))
+        per_class_rounds = max(per_class_rounds, sub.rounds)
+        per_class_space = max(per_class_space, sub.color_space_size)
+
+    # A common per-class color space (the maximum) keeps the pair encoding
+    # globally consistent; every class then uses its own disjoint slice.
+    for class_index, mapping, sub in class_results:
+        final[mapping] = class_index * per_class_space + sub.colors
+
+    total_space = len(classes) * per_class_space
+    return ColoringResult(
+        colors=final,
+        rounds=psi.rounds + per_class_rounds,
+        color_space_size=total_space,
+        metadata={
+            "method": "theorem13",
+            "epsilon": epsilon,
+            "defect_d": d,
+            "defective_rounds": psi.rounds,
+            "defective_color_space": psi.color_space_size,
+            "per_class_rounds": per_class_rounds,
+            "per_class_color_space": per_class_space,
+            "paper_round_bound": "O(Delta^{1/2 - eps/2}) + log* n (with the Theorem 3.1 black box)",
+        },
+    )
+
+
+def corollary14_coloring(
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    k: int,
+    vectorized: bool = False,
+) -> ColoringResult:
+    """Corollary 1.4: an ``O(k Delta)``-coloring via Theorem 1.3 with ``eps = log_Delta k``."""
+    delta = max(1, graph.max_degree)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if delta <= 2 or k <= 1:
+        epsilon = 1e-9
+    else:
+        epsilon = min(1.0, math.log(k) / math.log(delta))
+    return theorem13_coloring(
+        graph, input_colors, m, epsilon=max(epsilon, 1e-9), vectorized=vectorized
+    )

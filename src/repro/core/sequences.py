@@ -1,0 +1,114 @@
+"""The color sequences of Algorithm 1.
+
+A node with input color ``i`` locally computes the sequence
+
+    ``s_i(x) = (x mod k, p_i(x) mod q)``   for ``x = 0, ..., q - 1``
+
+where ``p_i`` is the ``(i + q)``-th polynomial of ``P^f_q`` in the lexicographic
+enumeration — the offset of ``q`` skips the constant polynomials.  (The paper
+assigns "the ``i``-th polynomial"; its conflict bound for already-colored
+neighbors invokes Lemma 2.1 against the constant polynomial ``y_u``, which
+silently requires the trial polynomial itself to be non-constant.  Skipping the
+``q`` constants makes that requirement hold unconditionally while changing
+nothing else: the polynomials are still distinct per input color and the color
+space is still ``[k] x [q]``.)  The sequence is split into ``ceil(q / k)``
+consecutive batches of size ``k`` (the last one may be shorter); batch ``j``
+contains the positions ``x in [j k, min((j+1) k, q))``.
+
+Two facts drive the analysis and are unit/property-tested directly:
+
+* within one batch, all first coordinates ``x mod k`` are distinct, so two
+  nodes can conflict in a batch only at the *same position* ``x``;
+* for two distinct input colors, the positions where the sequences agree
+  number at most ``f`` (Lemma 2.1), and a fixed already-adopted color is hit
+  at most ``f`` times — hence at most ``2 f`` conflicts per neighbor ever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import MotherParameters
+from repro.fields.polynomials import PolynomialFq, polynomial_from_index
+
+__all__ = ["ColorSequence", "build_sequence", "batch_positions"]
+
+
+def batch_positions(params: MotherParameters, batch_index: int) -> np.ndarray:
+    """The positions ``x`` tried in batch ``batch_index`` (0-based)."""
+    lo = batch_index * params.k
+    hi = min(lo + params.k, params.q)
+    if lo >= params.q:
+        return np.empty(0, dtype=np.int64)
+    return np.arange(lo, hi, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ColorSequence:
+    """The full color sequence of one input color.
+
+    Attributes
+    ----------
+    input_color:
+        The input color ``i`` this sequence belongs to.
+    params:
+        The shared :class:`MotherParameters`.
+    values:
+        ``values[x] = p_i(x)`` for every ``x`` in ``F_q``.
+    """
+
+    input_color: int
+    params: MotherParameters
+    values: np.ndarray
+
+    @property
+    def polynomial(self) -> PolynomialFq:
+        """The underlying (non-constant) polynomial ``p_i``."""
+        return polynomial_from_index(
+            self.input_color + self.params.q, self.params.f, self.params.q
+        )
+
+    @property
+    def num_batches(self) -> int:
+        return self.params.num_batches
+
+    def tuple_at(self, x: int) -> tuple[int, int]:
+        """The color tuple ``(x mod k, p_i(x))`` at position ``x``."""
+        return (x % self.params.k, int(self.values[x]))
+
+    def encoded_at(self, x: int) -> int:
+        """The encoded (integer) color at position ``x``."""
+        return self.params.encode_color(x, int(self.values[x]))
+
+    def batch(self, batch_index: int) -> list[tuple[int, int, int]]:
+        """The batch as a list of ``(position, first_coord, value)`` triples in trial order."""
+        return [
+            (int(x), int(x % self.params.k), int(self.values[x]))
+            for x in batch_positions(self.params, batch_index)
+        ]
+
+    def encoded_sequence(self) -> np.ndarray:
+        """All encoded colors of the sequence in trial order."""
+        xs = np.arange(self.params.q, dtype=np.int64)
+        return (xs % self.params.k) * self.params.q + self.values
+
+
+def build_sequence(input_color: int, params: MotherParameters) -> ColorSequence:
+    """Construct the color sequence for ``input_color`` under ``params``.
+
+    Raises
+    ------
+    ValueError
+        If the input color is outside ``[m]`` (every node must hold a legal
+        input color for the distinct-polynomial assignment to work).
+    """
+    if not (0 <= input_color < params.m):
+        raise ValueError(
+            f"input color {input_color} out of range for m={params.m}"
+        )
+    poly = polynomial_from_index(input_color + params.q, params.f, params.q)
+    return ColorSequence(
+        input_color=int(input_color), params=params, values=poly.evaluate_all()
+    )

@@ -1,0 +1,34 @@
+"""Algebraic substrate: primes, polynomials over finite fields, set families.
+
+The mother algorithm's color sequences are built from polynomials over a prime
+field ``F_q`` (Section 2 of the paper).  The key algebraic fact is Lemma 2.1:
+two distinct polynomials of degree at most ``f`` agree on at most ``f`` points,
+which bounds the number of conflicting trials between any two neighbors.
+"""
+
+from repro.fields.primes import is_prime, next_prime, prime_in_range, bertrand_prime
+from repro.fields.polynomials import (
+    PolynomialFq,
+    enumerate_polynomials,
+    polynomial_from_index,
+    intersection_count,
+)
+from repro.fields.set_families import (
+    polynomial_set_family,
+    greedy_low_intersecting_family,
+    max_pairwise_intersection,
+)
+
+__all__ = [
+    "is_prime",
+    "next_prime",
+    "prime_in_range",
+    "bertrand_prime",
+    "PolynomialFq",
+    "enumerate_polynomials",
+    "polynomial_from_index",
+    "intersection_count",
+    "polynomial_set_family",
+    "greedy_low_intersecting_family",
+    "max_pairwise_intersection",
+]

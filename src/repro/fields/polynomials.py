@@ -1,0 +1,139 @@
+"""Polynomials over prime fields ``F_q``.
+
+Every input color ``i`` of the mother algorithm is mapped to a distinct
+polynomial ``p_i`` of degree at most ``f`` over ``F_q``, obtained by writing
+``i`` in base ``q`` (the lexicographic enumeration described in Section 2).
+The crucial property is Lemma 2.1: two distinct polynomials of degree at most
+``f`` agree on at most ``max(f1, f2) <= f`` points of ``F_q``, which bounds
+how often two neighbors can try the same color.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fields.primes import is_prime
+
+__all__ = [
+    "PolynomialFq",
+    "polynomial_from_index",
+    "enumerate_polynomials",
+    "intersection_count",
+    "coefficients_from_index",
+]
+
+
+def coefficients_from_index(index: int, degree_bound: int, q: int) -> tuple[int, ...]:
+    """Coefficients ``(a_0, ..., a_f)`` of the ``index``-th polynomial in ``P^f_q``.
+
+    The enumeration writes ``index`` in base ``q``: ``a_j`` is the ``j``-th
+    base-``q`` digit.  This is a bijection between ``[q^(f+1)]`` and the
+    coefficient tuples, so distinct indices give distinct polynomials, exactly
+    what the algorithm needs ("assign the polynomial corresponding to the i-th
+    tuple to input color i").
+    """
+    if index < 0:
+        raise ValueError("polynomial index must be non-negative")
+    if index >= q ** (degree_bound + 1):
+        raise ValueError(
+            f"index {index} out of range: only {q ** (degree_bound + 1)} polynomials "
+            f"of degree <= {degree_bound} over F_{q}"
+        )
+    coeffs = []
+    rest = int(index)
+    for _ in range(degree_bound + 1):
+        coeffs.append(rest % q)
+        rest //= q
+    return tuple(coeffs)
+
+
+@dataclass(frozen=True)
+class PolynomialFq:
+    """A polynomial ``p(x) = a_0 + a_1 x + ... + a_f x^f`` over ``F_q``.
+
+    Attributes
+    ----------
+    coefficients:
+        Tuple ``(a_0, ..., a_f)`` with entries in ``[q]``.
+    q:
+        The (prime) field size.
+    """
+
+    coefficients: tuple[int, ...]
+    q: int
+
+    def __post_init__(self):
+        if not is_prime(self.q):
+            raise ValueError(f"field size q={self.q} must be prime")
+        if not self.coefficients:
+            raise ValueError("a polynomial needs at least one coefficient")
+        if any(not (0 <= c < self.q) for c in self.coefficients):
+            raise ValueError(f"coefficients must lie in [0, {self.q})")
+
+    @property
+    def degree_bound(self) -> int:
+        """``f`` such that the polynomial lives in ``P^f_q`` (len(coefficients) - 1)."""
+        return len(self.coefficients) - 1
+
+    @property
+    def degree(self) -> int:
+        """The actual degree (index of the highest non-zero coefficient; 0 for the zero polynomial)."""
+        for j in range(len(self.coefficients) - 1, -1, -1):
+            if self.coefficients[j] != 0:
+                return j
+        return 0
+
+    def __call__(self, x: int) -> int:
+        """Evaluate at a single point via Horner's rule."""
+        acc = 0
+        for a in reversed(self.coefficients):
+            acc = (acc * x + a) % self.q
+        return acc
+
+    def evaluate_all(self) -> np.ndarray:
+        """Evaluate at every point of ``F_q``; returns an array of length ``q``.
+
+        Vectorized Horner evaluation — this is the hot path of the sequence
+        construction, so it avoids Python-level loops over the field.
+        """
+        xs = np.arange(self.q, dtype=np.int64)
+        acc = np.zeros(self.q, dtype=np.int64)
+        for a in reversed(self.coefficients):
+            acc = (acc * xs + a) % self.q
+        return acc
+
+    def evaluate_many(self, xs: np.ndarray) -> np.ndarray:
+        """Evaluate at the given points (taken modulo ``q``)."""
+        xs = np.asarray(xs, dtype=np.int64) % self.q
+        acc = np.zeros(xs.shape, dtype=np.int64)
+        for a in reversed(self.coefficients):
+            acc = (acc * xs + a) % self.q
+        return acc
+
+
+def polynomial_from_index(index: int, degree_bound: int, q: int) -> PolynomialFq:
+    """The ``index``-th polynomial of ``P^f_q`` in the lexicographic enumeration."""
+    return PolynomialFq(coefficients_from_index(index, degree_bound, q), q)
+
+
+def enumerate_polynomials(count: int, degree_bound: int, q: int) -> list[PolynomialFq]:
+    """The first ``count`` polynomials of ``P^f_q``; one per input color."""
+    if count > q ** (degree_bound + 1):
+        raise ValueError(
+            f"cannot enumerate {count} distinct polynomials of degree <= {degree_bound} "
+            f"over F_{q} (only {q ** (degree_bound + 1)} exist)"
+        )
+    return [polynomial_from_index(i, degree_bound, q) for i in range(count)]
+
+
+def intersection_count(p1: PolynomialFq, p2: PolynomialFq) -> int:
+    """Number of points ``x`` in ``F_q`` with ``p1(x) == p2(x)``.
+
+    By Lemma 2.1 this is at most ``max(deg p1, deg p2)`` for distinct
+    polynomials — the property the whole conflict analysis rests on.
+    """
+    if p1.q != p2.q:
+        raise ValueError("polynomials live over different fields")
+    return int(np.count_nonzero(p1.evaluate_all() == p2.evaluate_all()))

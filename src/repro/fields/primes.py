@@ -1,0 +1,94 @@
+"""Primality testing and prime selection in intervals.
+
+The mother algorithm needs a prime ``q`` with ``2 f Z < q < 4 f Z``
+(Equation (1) of the paper); such a prime exists by Bertrand's postulate.
+The numbers involved are tiny (polynomial in ``Delta`` and ``log m``), so a
+deterministic Miller-Rabin test over the known-good witness set for 64-bit
+integers is more than sufficient.
+"""
+
+from __future__ import annotations
+
+__all__ = ["is_prime", "next_prime", "prime_in_range", "bertrand_prime", "primes_up_to"]
+
+# Deterministic Miller-Rabin witnesses valid for all n < 3,317,044,064,679,887,385,961,981.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test (Miller-Rabin with fixed witnesses)."""
+    n = int(n)
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        if a % n == 0:
+            continue
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = max(2, int(n) + 1)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def prime_in_range(low: int, high: int) -> int:
+    """Smallest prime ``p`` with ``low < p < high``.
+
+    Raises
+    ------
+    ValueError
+        If no prime lies strictly between ``low`` and ``high``.
+    """
+    p = next_prime(int(low))
+    if p >= high:
+        raise ValueError(f"no prime strictly between {low} and {high}")
+    return p
+
+
+def bertrand_prime(x: int) -> int:
+    """A prime in ``(x, 2x)`` for ``x >= 1`` (exists by Bertrand's postulate)."""
+    x = int(x)
+    if x < 1:
+        raise ValueError("bertrand_prime requires x >= 1")
+    if x == 1:
+        return 2
+    return prime_in_range(x, 2 * x)
+
+
+def primes_up_to(n: int) -> list[int]:
+    """All primes ``<= n`` (simple sieve; used in tests)."""
+    n = int(n)
+    if n < 2:
+        return []
+    sieve = bytearray([1]) * (n + 1)
+    sieve[0] = sieve[1] = 0
+    p = 2
+    while p * p <= n:
+        if sieve[p]:
+            sieve[p * p:: p] = bytearray(len(sieve[p * p:: p]))
+        p += 1
+    return [i for i in range(2, n + 1) if sieve[i]]

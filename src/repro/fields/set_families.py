@@ -1,0 +1,86 @@
+"""Low-intersecting set families.
+
+Linial's one-round color reduction rests on a family ``S_1, ..., S_m`` of
+subsets of a small ground set such that every pairwise intersection is small:
+a node with input color ``i`` tries all colors in ``S_i`` simultaneously, and
+because ``|S_i ∩ S_j|`` is small at least one element of ``S_i`` is untouched
+by the node's at most ``Delta`` neighbors.
+
+The paper uses the polynomial construction (sets
+``S_i = {(x, p_i(x)) : x ∈ F_q}``, pairwise intersections at most ``f`` by
+Lemma 2.1) and remarks that the sequences can also be built greedily as in
+[MT20].  Both constructions are provided here; the greedy one is used in tests
+as an alternative certificate that the polynomial route is not load-bearing.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.fields.polynomials import enumerate_polynomials
+
+__all__ = [
+    "polynomial_set_family",
+    "greedy_low_intersecting_family",
+    "max_pairwise_intersection",
+]
+
+
+def polynomial_set_family(m: int, degree_bound: int, q: int) -> list[set[tuple[int, int]]]:
+    """The polynomial-based family: ``S_i = {(x, p_i(x)) : x in F_q}`` for ``i in [m]``.
+
+    Each set has exactly ``q`` elements from the ground set ``[q] x [q]`` and
+    any two distinct sets intersect in at most ``degree_bound`` elements.
+    """
+    polys = enumerate_polynomials(m, degree_bound, q)
+    family = []
+    for p in polys:
+        values = p.evaluate_all()
+        family.append({(int(x), int(values[x])) for x in range(q)})
+    return family
+
+
+def greedy_low_intersecting_family(
+    m: int,
+    set_size: int,
+    ground_size: int,
+    max_intersection: int,
+    seed: int = 0,
+    max_attempts: int = 5000,
+) -> list[set[int]]:
+    """Greedily build ``m`` subsets of ``[ground_size]`` of size ``set_size``
+    with pairwise intersections at most ``max_intersection``.
+
+    This mirrors the greedy construction mentioned in the paper's Remark after
+    Theorem 1.1 (and used in the arXiv version of [MT20]).  Sets are sampled
+    randomly and kept when they respect the intersection bound against all
+    previously kept sets; a :class:`RuntimeError` is raised when the parameters
+    are infeasible for the sampling budget.
+    """
+    if set_size > ground_size:
+        raise ValueError("set_size cannot exceed ground_size")
+    rng = np.random.default_rng(seed)
+    family: list[set[int]] = []
+    attempts = 0
+    while len(family) < m:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"could not build a low-intersecting family with m={m}, "
+                f"set_size={set_size}, ground_size={ground_size}, "
+                f"max_intersection={max_intersection} within {max_attempts} samples"
+            )
+        candidate = set(rng.choice(ground_size, size=set_size, replace=False).tolist())
+        if all(len(candidate & other) <= max_intersection for other in family):
+            family.append(candidate)
+    return family
+
+
+def max_pairwise_intersection(family: list[set]) -> int:
+    """Largest pairwise intersection size over all distinct pairs (0 for < 2 sets)."""
+    best = 0
+    for a, b in combinations(family, 2):
+        best = max(best, len(a & b))
+    return best

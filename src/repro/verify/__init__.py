@@ -1,0 +1,52 @@
+"""Validation of the structures the paper's theorems guarantee.
+
+Theorem 1.1 guarantees, beyond the color count and round bound, that
+
+1. every monochromatic edge can be oriented with outdegree at most ``d``,
+2. every color class partitions into ``R`` induced subgraphs of degree at most
+   ``d``,
+
+and the derived results guarantee proper colorings, ``d``-defective colorings,
+``beta``-outdegree colorings and ``(2, r)``-ruling sets.  This subpackage
+checks each of those properties directly on the graph, independently of how
+the structure was computed.
+"""
+
+from repro.verify.coloring import (
+    is_proper_coloring,
+    assert_proper_coloring,
+    count_colors,
+    defect_vector,
+    max_defect,
+    assert_defective_coloring,
+    color_classes,
+)
+from repro.verify.orientation import (
+    orientation_outdegrees,
+    assert_outdegree_orientation,
+    monochromatic_edges,
+)
+from repro.verify.partition import assert_partition_degree_bound, partition_classes
+from repro.verify.ruling import (
+    is_independent_set,
+    domination_radius,
+    assert_ruling_set,
+)
+
+__all__ = [
+    "is_proper_coloring",
+    "assert_proper_coloring",
+    "count_colors",
+    "defect_vector",
+    "max_defect",
+    "assert_defective_coloring",
+    "color_classes",
+    "orientation_outdegrees",
+    "assert_outdegree_orientation",
+    "monochromatic_edges",
+    "assert_partition_degree_bound",
+    "partition_classes",
+    "is_independent_set",
+    "domination_radius",
+    "assert_ruling_set",
+]

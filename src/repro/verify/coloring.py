@@ -1,0 +1,113 @@
+"""Proper and defective coloring verification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.graph import Graph
+
+__all__ = [
+    "VerificationError",
+    "is_proper_coloring",
+    "assert_proper_coloring",
+    "count_colors",
+    "color_classes",
+    "defect_vector",
+    "max_defect",
+    "assert_defective_coloring",
+]
+
+
+class VerificationError(AssertionError):
+    """Raised when a claimed structural property does not hold."""
+
+
+def _as_colors(graph: Graph, colors) -> np.ndarray:
+    arr = np.asarray(colors)
+    if arr.shape != (graph.n,):
+        raise VerificationError(
+            f"coloring has shape {arr.shape}, expected ({graph.n},)"
+        )
+    return arr
+
+
+def is_proper_coloring(graph: Graph, colors) -> bool:
+    """True iff no edge is monochromatic."""
+    arr = _as_colors(graph, colors)
+    edges = graph.edge_array()
+    if edges.size == 0:
+        return True
+    return not bool(np.any(arr[edges[:, 0]] == arr[edges[:, 1]]))
+
+
+def assert_proper_coloring(graph: Graph, colors, max_colors: int | None = None) -> None:
+    """Raise :class:`VerificationError` unless ``colors`` is proper (and within ``max_colors``)."""
+    arr = _as_colors(graph, colors)
+    edges = graph.edge_array()
+    if edges.size:
+        same = arr[edges[:, 0]] == arr[edges[:, 1]]
+        if np.any(same):
+            u, v = edges[np.argmax(same)]
+            raise VerificationError(
+                f"edge ({int(u)}, {int(v)}) is monochromatic with color {arr[u]!r}"
+            )
+    if max_colors is not None and count_colors(graph, arr) > max_colors:
+        raise VerificationError(
+            f"coloring uses {count_colors(graph, arr)} colors, allowed at most {max_colors}"
+        )
+
+
+def count_colors(graph: Graph, colors) -> int:
+    """Number of distinct colors used."""
+    arr = _as_colors(graph, colors)
+    if arr.size == 0:
+        return 0
+    if arr.dtype == object:
+        return len(set(arr.tolist()))
+    return int(np.unique(arr).size)
+
+
+def color_classes(graph: Graph, colors) -> dict:
+    """Mapping ``color -> sorted array of vertices`` of that color."""
+    arr = _as_colors(graph, colors)
+    classes: dict = {}
+    for v in range(graph.n):
+        key = arr[v] if arr.dtype == object else int(arr[v])
+        classes.setdefault(key, []).append(v)
+    return {c: np.array(vs, dtype=np.int64) for c, vs in classes.items()}
+
+
+def defect_vector(graph: Graph, colors) -> np.ndarray:
+    """Per-vertex defect: number of neighbors sharing the vertex's color."""
+    arr = _as_colors(graph, colors)
+    defect = np.zeros(graph.n, dtype=np.int64)
+    edges = graph.edge_array()
+    if edges.size:
+        same = arr[edges[:, 0]] == arr[edges[:, 1]]
+        mono = edges[same]
+        if mono.size:
+            np.add.at(defect, mono[:, 0], 1)
+            np.add.at(defect, mono[:, 1], 1)
+    return defect
+
+
+def max_defect(graph: Graph, colors) -> int:
+    """Maximum per-vertex defect (0 for a proper coloring)."""
+    vec = defect_vector(graph, colors)
+    return int(vec.max()) if vec.size else 0
+
+
+def assert_defective_coloring(
+    graph: Graph, colors, d: int, max_colors: int | None = None
+) -> None:
+    """Raise unless the coloring is ``d``-defective (every defect ``<= d``) and within ``max_colors``."""
+    vec = defect_vector(graph, colors)
+    if vec.size and int(vec.max()) > d:
+        v = int(np.argmax(vec))
+        raise VerificationError(
+            f"vertex {v} has defect {int(vec[v])}, exceeding the allowed defect {d}"
+        )
+    if max_colors is not None and count_colors(graph, colors) > max_colors:
+        raise VerificationError(
+            f"coloring uses {count_colors(graph, colors)} colors, allowed at most {max_colors}"
+        )

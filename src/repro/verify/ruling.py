@@ -1,0 +1,90 @@
+"""Verification of ``(alpha, r)``-ruling sets.
+
+A ``(2, r)``-ruling set is an independent set ``S`` such that every vertex has
+a vertex of ``S`` within hop distance ``r``.  More generally an
+``(alpha, r)``-ruling set requires ``S`` to be independent in the power graph
+``G^(alpha - 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.congest.graph import Graph
+from repro.verify.coloring import VerificationError
+
+__all__ = ["is_independent_set", "domination_radius", "assert_ruling_set"]
+
+
+def is_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+    """True iff no two vertices of the set are adjacent."""
+    chosen = set(int(v) for v in vertices)
+    for v in chosen:
+        for u in graph.neighbors(v):
+            if int(u) in chosen:
+                return False
+    return True
+
+
+def domination_radius(graph: Graph, vertices: Iterable[int]) -> int:
+    """Smallest ``r`` such that every vertex is within distance ``r`` of the set.
+
+    Returns ``-1`` if some vertex cannot reach the set at all (or the set is
+    empty while the graph is not).
+    """
+    chosen = sorted(set(int(v) for v in vertices))
+    if graph.n == 0:
+        return 0
+    if not chosen:
+        return -1
+    # Multi-source BFS from the whole set.
+    dist = -np.ones(graph.n, dtype=np.int64)
+    frontier = list(chosen)
+    for v in frontier:
+        dist[v] = 0
+    level = 0
+    while frontier:
+        level += 1
+        nxt = []
+        for u in frontier:
+            for w in graph.neighbors(u):
+                if dist[w] < 0:
+                    dist[w] = level
+                    nxt.append(int(w))
+        frontier = nxt
+    if np.any(dist < 0):
+        return -1
+    return int(dist.max())
+
+
+def assert_ruling_set(
+    graph: Graph,
+    vertices: Iterable[int],
+    r: int,
+    alpha: int = 2,
+) -> None:
+    """Check that ``vertices`` is an ``(alpha, r)``-ruling set.
+
+    Raises
+    ------
+    VerificationError
+        If the set is not independent in ``G^(alpha - 1)`` or some vertex is
+        farther than ``r`` hops from the set.
+    """
+    chosen = sorted(set(int(v) for v in vertices))
+    for v in chosen:
+        if not (0 <= v < graph.n):
+            raise VerificationError(f"ruling-set vertex {v} out of range")
+    base = graph if alpha == 2 else graph.power_graph(alpha - 1)
+    if not is_independent_set(base, chosen):
+        raise VerificationError(
+            f"set is not independent in G^{alpha - 1}"
+        )
+    radius = domination_radius(graph, chosen)
+    if radius < 0 or radius > r:
+        raise VerificationError(
+            f"set does not dominate the graph within distance {r} "
+            f"(measured radius: {radius})"
+        )

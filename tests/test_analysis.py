@@ -1,0 +1,125 @@
+"""Tests for the analysis layer: bounds, tables, and the experiment harness."""
+
+import pytest
+
+from repro.analysis import bounds
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.tables import Table
+
+
+class TestBounds:
+    def test_log_star(self):
+        assert bounds.log_star(1) == 0
+        assert bounds.log_star(2) == 1
+        assert bounds.log_star(4) == 2
+        assert bounds.log_star(16) == 3
+        assert bounds.log_star(65536) == 4
+        assert bounds.log_star(2 ** 65536 if False else 10 ** 80) == 5
+
+    def test_corollary12_formulas(self):
+        assert bounds.corollary12_1_colors(10) == 25600
+        assert bounds.corollary12_2_colors(10, 4) == 640
+        assert bounds.corollary12_2_rounds(10, 4) == 40
+        assert bounds.corollary12_3_colors(9) == 81
+
+    def test_outdegree_and_defective_bounds_positive(self):
+        for delta in (8, 16, 64):
+            for b in (1, 2, 4):
+                assert bounds.corollary12_4_colors(delta, b) > 0
+                assert bounds.corollary12_5_colors(delta, b) > 0
+                assert bounds.corollary12_6_rounds(delta, b) > 0
+
+    def test_theorem11_round_bound_decreases_in_k(self):
+        values = [bounds.theorem11_round_bound(16 ** 4, 16, 0, k) for k in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_theorem13_and_15(self):
+        assert bounds.theorem13_colors(16, 0.5) == 64
+        assert bounds.theorem13_rounds(16, 0.5) == 2
+        assert bounds.theorem15_rounds(16, 2) == 4
+        assert bounds.sew13_ruling_rounds(16, 2) == 16
+
+    def test_theorem16_matches_examples(self):
+        delta = 20
+        assert bounds.theorem16_max_reduction(delta + 1, delta) == 0
+        assert bounds.theorem16_max_reduction(delta + 2, delta) == 1
+        assert bounds.theorem16_max_reduction(2 * delta + 2, delta) == 2
+        assert bounds.theorem16_max_reduction(3 * delta, delta) == 3
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row("x", 3)
+        t.add_note("a note")
+        text = t.render()
+        assert "### demo" in text
+        assert "| a" in text and "2.50" in text
+        assert "- a note" in text
+
+    def test_row_length_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_and_dicts(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]
+        assert t.to_dicts()[1] == {"a": 3, "b": 4}
+
+
+class TestExperimentHarness:
+    def test_registry_complete(self):
+        assert sorted(EXPERIMENTS) == [f"E{i}" for i in (1, 10, 2, 3, 4, 5, 6, 7, 8, 9)]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    # Small-instance smoke runs of each experiment (the benchmarks run the
+    # full-size versions).  Every experiment enforces its own invariants
+    # internally via the verify module, so "it returns a non-empty table" plus
+    # those internal assertions is a meaningful check.
+    def test_e1_small(self):
+        table = run_experiment("E1", n=60, deltas=(4, 6))
+        assert len(table.rows) == 4
+        assert all(r == 1 for r in table.column("rounds"))
+
+    def test_e2_small(self):
+        table = run_experiment("E2", n=80, delta=8)
+        assert len(table.rows) >= 2
+
+    def test_e3_small(self):
+        table = run_experiment("E3", n=80, deltas=(4, 8))
+        assert len(table.rows) == 2
+
+    def test_e4_small(self):
+        table = run_experiment("E4", n=60, delta=8, epsilons=(0.5,))
+        assert len(table.rows) == 1
+
+    def test_e5_small(self):
+        table = run_experiment("E5", n=60, delta=8, epsilons=(0.5,))
+        assert len(table.rows) == 2
+
+    def test_e6_small(self):
+        table = run_experiment("E6", sizes=(60,), delta=6)
+        assert len(table.rows) == 1
+
+    def test_e7_small(self):
+        table = run_experiment("E7", n=60, deltas=(8,))
+        assert len(table.rows) == 1
+
+    def test_e8_small(self):
+        table = run_experiment("E8", n=60, delta=8, rs=(2,))
+        assert len(table.rows) == 2
+
+    def test_e9_small(self):
+        table = run_experiment("E9", n=40, deltas=(4, 6))
+        assert all(table.column("proper"))
+
+    def test_e10_small(self):
+        table = run_experiment("E10", n=60, delta=8)
+        assert len(table.rows) >= 6

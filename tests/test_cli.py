@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["color", "--family", "hypercube"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["color"])
+        assert args.nodes == 200
+        assert args.delta == 8
+        assert args.k is None
+
+
+class TestCommands:
+    def test_color_pipeline(self, capsys):
+        assert main(["color", "-n", "80", "--delta", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "verified proper" in out
+        assert "(Delta+1) pipeline" in out
+
+    def test_color_trade_off(self, capsys):
+        assert main(["color", "-n", "80", "--delta", "6", "--k", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "k=4" in out
+
+    def test_defective(self, capsys):
+        assert main(["defective", "-n", "60", "--delta", "8", "--d", "2", "--seed", "2"]) == 0
+        assert "2-defective" in capsys.readouterr().out
+
+    def test_outdegree(self, capsys):
+        assert main(["defective", "-n", "60", "--delta", "8", "--d", "2", "--outdegree",
+                     "--seed", "2"]) == 0
+        assert "beta-outdegree" in capsys.readouterr().out
+
+    def test_ruling_set(self, capsys):
+        assert main(["ruling-set", "-n", "60", "--delta", "8", "--r", "2", "--seed", "3"]) == 0
+        assert "ruling set" in capsys.readouterr().out
+
+    def test_ruling_set_baseline(self, capsys):
+        assert main(["ruling-set", "-n", "60", "--delta", "8", "--r", "2", "--baseline",
+                     "--seed", "3"]) == 0
+        assert "SEW13" in capsys.readouterr().out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "E9"]) == 0
+        assert "Theorem 1.6" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("family", ["ring", "grid", "tree", "gnp", "power_law"])
+    def test_color_all_families(self, family, capsys):
+        assert main(["color", "--family", family, "-n", "50", "--delta", "4", "--seed", "4"]) == 0
+        assert "verified proper" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Unit tests for the graph family generators."""
+
+import numpy as np
+import pytest
+
+from repro.congest import generators
+from repro.congest.graph import GraphError
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = generators.path(6)
+        assert g.num_edges == 5
+        assert g.max_degree == 2
+
+    def test_ring(self):
+        g = generators.ring(7)
+        assert g.num_edges == 7
+        assert set(g.degrees.tolist()) == {2}
+
+    def test_ring_too_small(self):
+        with pytest.raises(GraphError):
+            generators.ring(2)
+
+    def test_complete(self):
+        g = generators.complete_graph(6)
+        assert g.num_edges == 15
+        assert g.max_degree == 5
+
+    def test_complete_bipartite(self):
+        g = generators.complete_bipartite(3, 4)
+        assert g.num_edges == 12
+        assert g.max_degree == 4
+
+    def test_star(self):
+        g = generators.star(10)
+        assert g.degree(0) == 9
+        assert all(g.degree(v) == 1 for v in range(1, 10))
+
+    def test_grid(self):
+        g = generators.grid(3, 4)
+        assert g.n == 12
+        assert g.max_degree == 4
+        assert g.num_edges == 3 * 3 + 2 * 4
+
+    def test_torus_regular(self):
+        g = generators.torus(4, 5)
+        assert set(g.degrees.tolist()) == {4}
+
+    def test_torus_too_small(self):
+        with pytest.raises(GraphError):
+            generators.torus(2, 5)
+
+    def test_binary_tree(self):
+        g = generators.binary_tree(3)
+        assert g.n == 15
+        assert g.num_edges == 14
+        assert g.max_degree == 3
+
+    def test_caterpillar(self):
+        g = generators.caterpillar(4, 2)
+        assert g.n == 4 + 8
+        assert g.num_edges == 3 + 8
+
+    def test_empty(self):
+        g = generators.empty_graph(5)
+        assert g.num_edges == 0
+
+
+class TestRandomFamilies:
+    def test_gnp_reproducible(self):
+        a = generators.gnp(40, 0.1, seed=5)
+        b = generators.gnp(40, 0.1, seed=5)
+        assert a == b
+
+    def test_gnp_different_seeds_differ(self):
+        a = generators.gnp(40, 0.2, seed=1)
+        b = generators.gnp(40, 0.2, seed=2)
+        assert a != b
+
+    def test_gnp_extreme_probabilities(self):
+        assert generators.gnp(10, 0.0, seed=0).num_edges == 0
+        assert generators.gnp(10, 1.0, seed=0).num_edges == 45
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(GraphError):
+            generators.gnp(10, 1.5)
+
+    def test_random_regular_is_regular(self):
+        g = generators.random_regular(50, 6, seed=3)
+        assert set(g.degrees.tolist()) == {6}
+
+    def test_random_regular_reproducible(self):
+        assert generators.random_regular(30, 4, seed=9) == generators.random_regular(30, 4, seed=9)
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(GraphError):
+            generators.random_regular(9, 3)
+
+    def test_random_regular_degree_too_large(self):
+        with pytest.raises(GraphError):
+            generators.random_regular(5, 5)
+
+    def test_random_regular_degree_zero(self):
+        assert generators.random_regular(8, 0).num_edges == 0
+
+    def test_random_tree_is_tree(self):
+        g = generators.random_tree(30, seed=2)
+        assert g.num_edges == 29
+        assert len(g.connected_components()) == 1
+
+    def test_random_bipartite_sides(self):
+        g = generators.random_bipartite(10, 12, 0.3, seed=4)
+        for u, v in g.edges():
+            assert (u < 10) != (v < 10)
+
+    def test_power_law_cluster(self):
+        g = generators.power_law_cluster(60, 3, seed=1)
+        assert g.n == 60
+        assert len(g.connected_components()) == 1
+        # skewed degrees: max degree well above the attachment parameter
+        assert g.max_degree >= 6
+
+    def test_power_law_invalid(self):
+        with pytest.raises(GraphError):
+            generators.power_law_cluster(10, 0)
+
+    def test_disjoint_union(self):
+        g = generators.disjoint_union(generators.ring(4), generators.ring(5))
+        assert g.n == 9
+        assert g.num_edges == 9
+
+
+class TestNamedFamilies:
+    @pytest.mark.parametrize("name", sorted(generators.FAMILIES))
+    def test_by_name_produces_graph(self, name):
+        g = generators.by_name(name, 60, 6, seed=1)
+        assert g.n >= 3
+        assert g.max_degree >= 1
+
+    def test_by_name_unknown(self):
+        with pytest.raises(GraphError):
+            generators.by_name("hypercube", 10, 3)

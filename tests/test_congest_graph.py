@@ -1,0 +1,158 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.congest.graph import Graph, GraphError
+from repro.congest import generators
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.n == 0
+        assert g.num_edges == 0
+        assert g.max_degree == 0
+
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1)])
+        assert g.num_edges == 1
+        assert g.degree(0) == 1
+        assert g.degree(1) == 1
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 3)])
+        with pytest.raises(GraphError):
+            Graph(3, [(-1, 0)])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1, [])
+
+    def test_from_edge_array(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        g = Graph.from_edge_array(4, edges)
+        assert g.num_edges == 3
+        assert g.max_degree == 2
+
+    def test_from_edge_array_bad_shape(self):
+        with pytest.raises(GraphError):
+            Graph.from_edge_array(3, np.array([[0, 1, 2]]))
+
+    def test_from_adjacency(self):
+        g = Graph.from_adjacency([[1, 2], [0], [0]])
+        assert g.num_edges == 2
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_networkx_round_trip(self):
+        nx = pytest.importorskip("networkx")
+        original = generators.grid(3, 4)
+        back = Graph.from_networkx(original.to_networkx())
+        assert back == original
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(0, 4), (0, 2), (0, 1)])
+        assert g.neighbors(0).tolist() == [1, 2, 4]
+
+    def test_degrees_and_max_degree(self):
+        g = generators.star(7)
+        assert g.degree(0) == 6
+        assert g.max_degree == 6
+        assert g.degrees.sum() == 2 * g.num_edges
+
+    def test_has_edge_false_cases(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(1, 1)
+
+    def test_edges_iteration_matches_edge_array(self):
+        g = generators.gnp(25, 0.2, seed=1)
+        from_iter = sorted(g.edges())
+        from_array = sorted(map(tuple, g.edge_array().tolist()))
+        assert from_iter == from_array
+
+    def test_indptr_consistency(self):
+        g = generators.random_regular(30, 4, seed=0)
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == g.indices.size
+        assert np.all(np.diff(g.indptr) == g.degrees)
+
+    def test_arrays_read_only(self):
+        g = generators.ring(5)
+        with pytest.raises(ValueError):
+            g.indices[0] = 99
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self):
+        g = generators.complete_graph(6)
+        sub, mapping = g.induced_subgraph([1, 3, 5])
+        assert sub.n == 3
+        assert sub.num_edges == 3
+        assert mapping.tolist() == [1, 3, 5]
+
+    def test_induced_subgraph_no_edges(self):
+        g = generators.ring(8)
+        sub, _ = g.induced_subgraph([0, 2, 4, 6])
+        assert sub.num_edges == 0
+
+    def test_induced_subgraph_out_of_range(self):
+        g = generators.ring(5)
+        with pytest.raises(GraphError):
+            g.induced_subgraph([0, 99])
+
+    def test_power_graph_of_path(self):
+        g = generators.path(5)
+        g2 = g.power_graph(2)
+        assert g2.has_edge(0, 2)
+        assert g2.has_edge(0, 1)
+        assert not g2.has_edge(0, 3)
+
+    def test_power_graph_identity(self):
+        g = generators.ring(7)
+        assert g.power_graph(1) is g
+
+    def test_power_graph_invalid(self):
+        with pytest.raises(GraphError):
+            generators.ring(5).power_graph(0)
+
+    def test_bfs_distances(self):
+        g = generators.path(6)
+        dist = g.bfs_distances(0)
+        assert dist.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_bfs_cutoff(self):
+        g = generators.path(6)
+        dist = g.bfs_distances(0, cutoff=2)
+        assert dist.tolist() == [0, 1, 2, -1, -1, -1]
+
+    def test_bfs_unreachable(self):
+        g = Graph(4, [(0, 1)])
+        dist = g.bfs_distances(0)
+        assert dist[2] == -1 and dist[3] == -1
+
+    def test_connected_components(self):
+        g = generators.disjoint_union(generators.ring(4), generators.path(3))
+        comps = g.connected_components()
+        assert sorted(len(c) for c in comps) == [3, 4]
+
+    def test_equality_and_hash(self):
+        a = generators.ring(6)
+        b = generators.ring(6)
+        c = generators.path(6)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c

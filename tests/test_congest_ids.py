@@ -1,0 +1,121 @@
+"""Tests for ID assignment and input-coloring helpers."""
+
+import numpy as np
+import pytest
+
+from repro.congest import generators
+from repro.congest.ids import (
+    InputColoringError,
+    assign_unique_ids,
+    distinct_input_coloring,
+    greedy_coloring,
+    ids_as_coloring,
+    random_proper_coloring,
+    validate_proper_coloring,
+)
+from repro.verify.coloring import is_proper_coloring
+
+
+class TestUniqueIds:
+    def test_identity_ids(self):
+        g = generators.ring(8)
+        ids = assign_unique_ids(g)
+        assert ids.tolist() == list(range(8))
+
+    def test_random_ids_unique_and_in_space(self):
+        g = generators.ring(10)
+        ids = assign_unique_ids(g, id_space=1000, seed=3)
+        assert np.unique(ids).size == 10
+        assert ids.max() < 1000
+
+    def test_random_ids_reproducible(self):
+        g = generators.ring(10)
+        assert np.array_equal(assign_unique_ids(g, seed=1), assign_unique_ids(g, seed=1))
+
+    def test_id_space_too_small(self):
+        g = generators.ring(10)
+        with pytest.raises(InputColoringError):
+            assign_unique_ids(g, id_space=5)
+        with pytest.raises(InputColoringError):
+            assign_unique_ids(g, id_space=5, seed=1)
+
+    def test_ids_as_coloring(self):
+        ids = np.array([4, 0, 9])
+        colors, m = ids_as_coloring(ids)
+        assert m == 10
+        assert colors.tolist() == [4, 0, 9]
+
+    def test_ids_as_coloring_out_of_range(self):
+        with pytest.raises(InputColoringError):
+            ids_as_coloring(np.array([4, 0, 9]), id_space=5)
+
+
+class TestGreedyColoring:
+    def test_greedy_is_proper_and_small(self):
+        g = generators.random_regular(40, 6, seed=2)
+        colors = greedy_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert colors.max() <= g.max_degree
+
+    def test_greedy_custom_order(self):
+        g = generators.ring(6)
+        colors = greedy_coloring(g, order=np.array([5, 4, 3, 2, 1, 0]))
+        assert is_proper_coloring(g, colors)
+
+    def test_greedy_invalid_order(self):
+        g = generators.ring(4)
+        with pytest.raises(InputColoringError):
+            greedy_coloring(g, order=np.array([0, 1, 2, 2]))
+
+
+class TestManufacturedColorings:
+    def test_random_proper_coloring(self):
+        g = generators.gnp(60, 0.1, seed=4)
+        colors, m = random_proper_coloring(g, num_colors=500, seed=4)
+        assert is_proper_coloring(g, colors)
+        assert colors.max() < m == 500
+
+    def test_random_proper_coloring_defaults_to_greedy_count(self):
+        g = generators.ring(9)
+        colors, m = random_proper_coloring(g, seed=1)
+        assert m <= g.max_degree + 1
+
+    def test_random_proper_coloring_too_few_colors(self):
+        g = generators.complete_graph(5)
+        with pytest.raises(InputColoringError):
+            random_proper_coloring(g, num_colors=3, seed=0)
+
+    def test_distinct_input_coloring(self):
+        g = generators.random_regular(30, 4, seed=1)
+        colors = distinct_input_coloring(g, 200, seed=1)
+        assert np.unique(colors).size == 30
+        assert colors.max() < 200
+        assert is_proper_coloring(g, colors)
+
+    def test_distinct_input_coloring_space_too_small(self):
+        g = generators.ring(10)
+        with pytest.raises(InputColoringError):
+            distinct_input_coloring(g, 9)
+
+
+class TestValidation:
+    def test_validate_accepts_proper(self):
+        g = generators.ring(6)
+        validate_proper_coloring(g, np.array([0, 1, 0, 1, 0, 1]), m=2)
+
+    def test_validate_rejects_monochromatic_edge(self):
+        g = generators.path(3)
+        with pytest.raises(InputColoringError, match="monochromatic"):
+            validate_proper_coloring(g, np.array([0, 0, 1]))
+
+    def test_validate_rejects_wrong_shape(self):
+        g = generators.path(3)
+        with pytest.raises(InputColoringError):
+            validate_proper_coloring(g, np.array([0, 1]))
+
+    def test_validate_rejects_out_of_range(self):
+        g = generators.path(3)
+        with pytest.raises(InputColoringError):
+            validate_proper_coloring(g, np.array([0, 1, 5]), m=3)
+        with pytest.raises(InputColoringError):
+            validate_proper_coloring(g, np.array([0, -1, 1]))

@@ -1,0 +1,59 @@
+"""Unit tests for message payloads and bit accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.congest.messages import Broadcast, UnsupportedPayload, message_bits
+
+
+class TestMessageBits:
+    def test_none_and_bool(self):
+        assert message_bits(None) == 1
+        assert message_bits(True) == 1
+        assert message_bits(False) == 1
+
+    def test_small_int(self):
+        assert message_bits(0) == 1
+        assert message_bits(1) == 1
+        assert message_bits(2) == 2
+        assert message_bits(255) == 8
+        assert message_bits(256) == 9
+
+    def test_negative_int_counts_sign(self):
+        assert message_bits(-5) == message_bits(5) + 1
+
+    def test_string_tag(self):
+        assert message_bits("TRY") == 24
+        assert message_bits("") == 8
+
+    def test_tuple_framing(self):
+        assert message_bits(("TRY", 3)) == 2 + 24 + 2 + 2
+
+    def test_nested_sequences(self):
+        assert message_bits((1, (2, 3))) > message_bits((1, 2))
+
+    def test_unsupported_payload(self):
+        with pytest.raises(UnsupportedPayload):
+            message_bits({"a": 1})
+        with pytest.raises(UnsupportedPayload):
+            message_bits(object())
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_int_bits_matches_bit_length(self, value):
+        assert message_bits(value) == max(1, value.bit_length())
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), max_size=8))
+    def test_list_bits_at_least_elementwise_sum(self, values):
+        total = message_bits(tuple(values))
+        assert total >= sum(message_bits(v) for v in values)
+
+
+class TestBroadcast:
+    def test_broadcast_is_frozen(self):
+        b = Broadcast(("TRY", 1))
+        with pytest.raises(AttributeError):
+            b.payload = ("TRY", 2)
+
+    def test_broadcast_equality(self):
+        assert Broadcast(5) == Broadcast(5)
+        assert Broadcast(5) != Broadcast(6)

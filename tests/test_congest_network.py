@@ -1,0 +1,193 @@
+"""Tests of the synchronous round scheduler: synchrony, locality, bandwidth accounting."""
+
+import numpy as np
+import pytest
+
+from repro.congest import generators
+from repro.congest.graph import Graph
+from repro.congest.messages import Broadcast
+from repro.congest.network import CongestViolation, SynchronousNetwork
+from repro.congest.node import NodeAlgorithm, NodeContext
+from repro.congest.runner import run_algorithm
+
+
+class EchoDegree(NodeAlgorithm):
+    """Each node broadcasts a token, counts received tokens, halts."""
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.count = None
+
+    def start(self):
+        return Broadcast(("PING", 1))
+
+    def receive(self, inbox):
+        self.count = len(inbox)
+        self.halt()
+        return None
+
+    def output(self):
+        return self.count
+
+
+class FloodMinId(NodeAlgorithm):
+    """Flood the minimum id seen so far; halt after a fixed number of rounds."""
+
+    def __init__(self, ctx, rounds):
+        super().__init__(ctx)
+        self.best = ctx.node
+        self.remaining = rounds
+
+    def start(self):
+        return Broadcast(self.best)
+
+    def receive(self, inbox):
+        for value in inbox.values():
+            self.best = min(self.best, value)
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.halt()
+            return None
+        return Broadcast(self.best)
+
+    def output(self):
+        return self.best
+
+
+class BigTalker(NodeAlgorithm):
+    """Sends a message far larger than the CONGEST budget."""
+
+    def start(self):
+        return Broadcast(tuple(range(4096)))
+
+    def receive(self, inbox):
+        self.halt()
+        return None
+
+    def output(self):
+        return None
+
+
+class NonNeighborSender(NodeAlgorithm):
+    def start(self):
+        return {self.ctx.node: 1} if self.ctx.degree == 0 else {(self.ctx.node + 2) % self.ctx.globl("n"): 1}
+
+    def receive(self, inbox):
+        self.halt()
+        return None
+
+    def output(self):
+        return None
+
+
+class TestScheduler:
+    def test_degree_counting(self, petersen):
+        result = run_algorithm(petersen, EchoDegree)
+        assert result.outputs == [3] * 10
+        assert result.rounds == 1
+
+    def test_flooding_reaches_min_within_diameter(self):
+        g = generators.path(8)
+        result = run_algorithm(g, lambda ctx: FloodMinId(ctx, rounds=7))
+        assert result.outputs == [0] * 8
+        assert result.rounds == 7
+
+    def test_flooding_too_few_rounds_misses_min(self):
+        g = generators.path(8)
+        result = run_algorithm(g, lambda ctx: FloodMinId(ctx, rounds=3))
+        assert result.outputs[-1] != 0
+
+    def test_synchrony_messages_from_round_start(self):
+        # In one round of flooding, information travels exactly one hop: after
+        # a single round node 2 cannot know node 0's id yet.
+        g = generators.path(5)
+        result = run_algorithm(g, lambda ctx: FloodMinId(ctx, rounds=1))
+        assert result.outputs == [0, 0, 1, 2, 3]
+
+    def test_isolated_nodes_halt(self):
+        g = Graph(3, [])
+        result = run_algorithm(g, EchoDegree)
+        assert result.outputs == [0, 0, 0]
+
+    def test_max_rounds_guard(self):
+        class Forever(NodeAlgorithm):
+            def receive(self, inbox):
+                return Broadcast(1)
+
+            def output(self):
+                return None
+
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            run_algorithm(generators.ring(4), Forever, max_rounds=10)
+
+    def test_sending_to_non_neighbor_rejected(self):
+        g = generators.ring(6)
+        with pytest.raises(ValueError, match="non-neighbor"):
+            run_algorithm(g, NonNeighborSender)
+
+    def test_invalid_outbox_type_rejected(self):
+        class BadOutbox(NodeAlgorithm):
+            def start(self):
+                return 42
+
+            def receive(self, inbox):
+                self.halt()
+                return None
+
+            def output(self):
+                return None
+
+        with pytest.raises(TypeError, match="invalid outbox"):
+            run_algorithm(generators.ring(4), BadOutbox)
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError):
+            SynchronousNetwork(generators.ring(4), EchoDegree, model="PRAM")
+
+    def test_globals_injected(self):
+        seen = {}
+
+        class Reader(NodeAlgorithm):
+            def start(self):
+                seen[self.ctx.node] = (self.ctx.globl("n"), self.ctx.globl("delta"), self.ctx.globl("custom"))
+                return None
+
+            def receive(self, inbox):
+                self.halt()
+                return None
+
+            def output(self):
+                return None
+
+        run_algorithm(generators.star(5), Reader, globals={"custom": 17})
+        assert seen[0] == (5, 4, 17)
+
+
+class TestBandwidthAccounting:
+    def test_metrics_recorded(self, petersen):
+        result = run_algorithm(petersen, EchoDegree)
+        assert result.total_messages == 30
+        assert result.max_message_bits > 0
+        assert len(result.round_metrics) == result.rounds
+
+    def test_congest_violation_strict(self):
+        g = generators.ring(4)
+        with pytest.raises(CongestViolation):
+            run_algorithm(g, BigTalker, strict_bandwidth=True, bandwidth_factor=1.0)
+
+    def test_congest_violation_counted_when_lenient(self):
+        g = generators.ring(4)
+        net = SynchronousNetwork(g, BigTalker, bandwidth_factor=1.0)
+        net.run()
+        assert net.bandwidth_violations > 0
+
+    def test_local_model_ignores_budget(self):
+        g = generators.ring(4)
+        result = run_algorithm(g, BigTalker, model="LOCAL", strict_bandwidth=True, bandwidth_factor=1.0)
+        assert result.rounds >= 1
+
+    def test_step_returns_false_when_all_halted(self):
+        g = generators.ring(4)
+        net = SynchronousNetwork(g, EchoDegree)
+        net.run()
+        assert net.step() is False

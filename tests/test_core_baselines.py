@@ -1,0 +1,80 @@
+"""Tests for the baseline algorithms."""
+
+import numpy as np
+import pytest
+
+from conftest import make_input_coloring
+from repro.congest import generators
+from repro.core import baselines
+from repro.verify.coloring import assert_proper_coloring
+
+
+class TestGreedySequential:
+    def test_delta_plus_one_colors(self):
+        g = generators.random_regular(70, 6, seed=2)
+        res = baselines.greedy_sequential(g)
+        assert_proper_coloring(g, res.colors, max_colors=g.max_degree + 1)
+        assert res.rounds == g.n
+
+    def test_custom_order(self):
+        g = generators.ring(8)
+        res = baselines.greedy_sequential(g, order=np.arange(7, -1, -1))
+        assert_proper_coloring(g, res.colors)
+
+
+class TestLubyRandomized:
+    def test_proper_and_within_palette(self):
+        g = generators.random_regular(80, 6, seed=3)
+        res = baselines.luby_randomized_coloring(g, seed=3)
+        assert_proper_coloring(g, res.colors, max_colors=g.max_degree + 1)
+
+    def test_reproducible(self):
+        g = generators.gnp(50, 0.1, seed=1)
+        a = baselines.luby_randomized_coloring(g, seed=4)
+        b = baselines.luby_randomized_coloring(g, seed=4)
+        assert np.array_equal(a.colors, b.colors)
+        assert a.rounds == b.rounds
+
+    def test_round_count_logarithmic_in_practice(self):
+        g = generators.random_regular(200, 8, seed=5)
+        res = baselines.luby_randomized_coloring(g, seed=5)
+        assert res.rounds <= 30
+
+    def test_larger_palette(self):
+        g = generators.complete_graph(6)
+        res = baselines.luby_randomized_coloring(g, palette_size=12, seed=1)
+        assert_proper_coloring(g, res.colors, max_colors=12)
+
+    def test_palette_too_small(self):
+        g = generators.complete_graph(5)
+        with pytest.raises(ValueError):
+            baselines.luby_randomized_coloring(g, palette_size=3)
+
+    def test_empty_graph(self):
+        g = generators.empty_graph(0)
+        res = baselines.luby_randomized_coloring(g)
+        assert res.colors.size == 0
+
+
+class TestLocallyIterativeBEG18:
+    def test_full_reduction_to_delta_plus_one(self):
+        g = generators.random_regular(80, 8, seed=7)
+        colors, m = make_input_coloring(g, seed=7)
+        res = baselines.locally_iterative_beg18(g, colors, m)
+        assert_proper_coloring(g, res.colors, max_colors=g.max_degree + 1)
+        # O(Delta) + O(Delta) rounds overall for the two stages
+        assert res.rounds <= 40 * g.max_degree
+
+    def test_stage1_only(self):
+        g = generators.random_regular(60, 6, seed=8)
+        colors, m = make_input_coloring(g, seed=8)
+        res = baselines.locally_iterative_beg18(g, colors, m, reduce_to_delta_plus_one=False)
+        assert_proper_coloring(g, res.colors)
+        assert res.color_space_size <= 16 * g.max_degree
+
+    def test_metadata_breakdown(self):
+        g = generators.random_regular(40, 4, seed=9)
+        colors, m = make_input_coloring(g, seed=9)
+        res = baselines.locally_iterative_beg18(g, colors, m)
+        md = res.metadata
+        assert md["stage1_rounds"] + md["stage2_rounds"] == res.rounds

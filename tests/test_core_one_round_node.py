@@ -1,0 +1,62 @@
+"""The distributed Lemma 4.1 implementation must match the array implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congest import generators
+from repro.congest.ids import random_proper_coloring
+from repro.core.one_round import one_round_color_reduction, required_input_colors
+from repro.core.one_round_node import run_one_round_reduction_distributed
+from repro.verify.coloring import assert_proper_coloring
+
+
+def workload(delta: int, k: int, n: int = 60, seed: int = 0):
+    m = required_input_colors(delta, k)
+    graph = generators.random_regular(n + ((n * delta) % 2), delta, seed=seed)
+    colors, m = random_proper_coloring(graph, num_colors=m, seed=seed)
+    return graph, colors, m
+
+
+class TestDistributedLemma41:
+    @pytest.mark.parametrize("delta,k", [(4, 1), (4, 3), (6, 4), (8, 5)])
+    def test_matches_array_implementation(self, delta, k):
+        graph, colors, m = workload(delta, k, seed=delta + k)
+        dist = run_one_round_reduction_distributed(graph, colors, m, k=k, delta=delta)
+        array = one_round_color_reduction(graph, colors, m, k=k, delta=delta)
+        assert np.array_equal(dist.colors, array.colors)
+        assert dist.rounds == 1
+
+    def test_proper_and_within_budget(self):
+        graph, colors, m = workload(8, 5, seed=9)
+        res = run_one_round_reduction_distributed(graph, colors, m, k=5, delta=8)
+        assert_proper_coloring(graph, res.colors, max_colors=m - 5)
+
+    def test_single_congest_message_per_node(self):
+        graph, colors, m = workload(6, 4, seed=3)
+        res = run_one_round_reduction_distributed(graph, colors, m, k=4, delta=6)
+        # one broadcast of the O(log m)-bit input color per node, nothing else
+        assert res.metadata["total_messages"] == 2 * graph.num_edges
+        assert res.metadata["max_message_bits"] <= 2 * int(np.log2(m)) + 8
+
+    def test_parameter_validation(self):
+        graph, colors, m = workload(6, 2, seed=1)
+        with pytest.raises(ValueError):
+            run_one_round_reduction_distributed(graph, colors, m, k=5, delta=6)
+        with pytest.raises(ValueError):
+            run_one_round_reduction_distributed(graph, colors, m=6, k=2, delta=6,
+                                                validate_input=False)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        delta=st.integers(min_value=3, max_value=9),
+        k_frac=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    def test_property_equivalence(self, delta, k_frac, seed):
+        upper = min(delta - 1, (delta + 3) // 2)
+        k = max(1, int(round(1 + k_frac * (upper - 1))))
+        graph, colors, m = workload(delta, k, n=30, seed=seed)
+        dist = run_one_round_reduction_distributed(graph, colors, m, k=k, delta=delta)
+        array = one_round_color_reduction(graph, colors, m, k=k, delta=delta)
+        assert np.array_equal(dist.colors, array.colors)

@@ -1,0 +1,106 @@
+"""Tests for the parameter calculus of Theorem 1.1."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import MotherParameters, ParameterError
+from repro.fields.primes import is_prime
+
+
+class TestDerivation:
+    def test_linial_setting_constants(self):
+        # m = Delta^4, d = 0: f = 4, X = 16 Delta, q < 16 Delta, so k = q gives
+        # at most q^2 < 256 Delta^2 colors — the constants of Corollary 1.2.
+        delta = 16
+        params = MotherParameters.derive(m=delta ** 4, delta=delta, d=0, k=1)
+        assert params.f == 4
+        assert params.X == 16 * delta
+        assert 2 * params.f * delta < params.q < 16 * delta
+        assert params.color_space_size <= 256 * delta * delta or params.k == 1
+
+    def test_q_is_prime_and_in_interval(self):
+        for delta in (4, 8, 16, 32, 64):
+            params = MotherParameters.derive(m=delta ** 4, delta=delta, d=0, k=1)
+            assert is_prime(params.q)
+            assert params.q > params.max_blocked_tuples
+
+    def test_defective_setting(self):
+        delta, d = 16, 4
+        params = MotherParameters.derive(m=delta ** 4, delta=delta, d=d, k=1)
+        assert params.Z == delta / (d + 1)
+        assert params.q > 2 * params.f * params.Z
+
+    def test_enough_polynomials(self):
+        params = MotherParameters.derive(m=10 ** 6, delta=4, d=0, k=1)
+        assert params.q ** (params.f + 1) >= 10 ** 6
+
+    def test_degenerate_z_equal_one(self):
+        # d = Delta - 1 gives Z = 1; the implementation clamps the log base.
+        params = MotherParameters.derive(m=100, delta=4, d=3, k=1)
+        assert params.q ** (params.f + 1) >= 100
+
+    def test_round_bound_and_batches(self):
+        params = MotherParameters.derive(m=256, delta=8, d=0, k=4)
+        assert params.num_batches == math.ceil(params.q / 4)
+        assert params.num_batches <= params.round_bound
+
+    def test_describe_contains_all_keys(self):
+        params = MotherParameters.derive(m=4096, delta=8, d=0, k=2)
+        desc = params.describe()
+        for key in ("m", "delta", "d", "k", "Z", "f", "q", "X", "round_bound", "color_space"):
+            assert key in desc
+
+
+class TestValidation:
+    def test_invalid_m(self):
+        with pytest.raises(ParameterError):
+            MotherParameters.derive(m=0, delta=4)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ParameterError):
+            MotherParameters.derive(m=16, delta=0)
+
+    def test_invalid_defect(self):
+        with pytest.raises(ParameterError):
+            MotherParameters.derive(m=16, delta=4, d=4)
+        with pytest.raises(ParameterError):
+            MotherParameters.derive(m=16, delta=4, d=-1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            MotherParameters.derive(m=16, delta=4, k=0)
+
+    def test_constructor_rechecks_invariants(self):
+        good = MotherParameters.derive(m=256, delta=8)
+        with pytest.raises(ParameterError):
+            MotherParameters(m=good.m, delta=good.delta, d=good.d, k=good.k, f=good.f, q=4)
+        with pytest.raises(ParameterError):
+            MotherParameters(m=good.m, delta=good.delta, d=good.d, k=good.k, f=0, q=good.q)
+
+
+class TestColorEncoding:
+    def test_round_trip(self):
+        params = MotherParameters.derive(m=4096, delta=8, d=0, k=3)
+        for x in range(params.q):
+            for value in (0, 1, params.q - 1):
+                encoded = params.encode_color(x, value)
+                assert params.decode_color(encoded) == (x % params.k, value)
+                assert 0 <= encoded < params.color_space_size or params.k > params.q
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        delta=st.integers(min_value=2, max_value=40),
+        d_frac=st.floats(min_value=0.0, max_value=0.9),
+        k=st.integers(min_value=1, max_value=64),
+    )
+    def test_property_derived_invariants(self, delta, d_frac, k):
+        d = int(d_frac * (delta - 1))
+        m = delta ** 4
+        params = MotherParameters.derive(m=m, delta=delta, d=d, k=k)
+        assert is_prime(params.q)
+        assert params.q > 2 * params.f * params.Z
+        assert params.q ** (params.f + 1) >= m
+        assert params.num_batches >= 1
+        assert params.color_space_size >= params.q

@@ -1,0 +1,115 @@
+"""Tests for the end-to-end pipelines (Delta+1, Theorem 1.3, Corollary 1.4)."""
+
+import numpy as np
+import pytest
+
+from conftest import make_input_coloring
+from repro.congest import generators
+from repro.core import pipelines
+from repro.verify.coloring import assert_proper_coloring
+
+
+class TestDeltaPlusOnePipeline:
+    @pytest.mark.parametrize("family,kwargs", [
+        ("random_regular", dict(n=100, degree=8, seed=1)),
+        ("gnp", dict(n=120, p=0.06, seed=2)),
+    ])
+    def test_delta_plus_one(self, family, kwargs):
+        graph = getattr(generators, family)(**kwargs)
+        res = pipelines.delta_plus_one_coloring(graph, seed=1)
+        assert_proper_coloring(graph, res.colors, max_colors=graph.max_degree + 1)
+        assert res.colors.max() <= graph.max_degree
+
+    def test_round_breakdown_sums(self):
+        graph = generators.random_regular(80, 6, seed=4)
+        res = pipelines.delta_plus_one_coloring(graph, seed=4)
+        md = res.metadata
+        assert md["linial_rounds"] + md["mother_rounds"] + md["reduction_rounds"] == res.rounds
+
+    def test_rounds_scale_with_delta_not_n(self):
+        small = generators.random_regular(64, 6, seed=5)
+        large = generators.random_regular(512, 6, seed=5)
+        r_small = pipelines.delta_plus_one_coloring(small, seed=5, vectorized=True).rounds
+        r_large = pipelines.delta_plus_one_coloring(large, seed=5, vectorized=True).rounds
+        # an 8x larger graph with the same Delta should cost at most ~2x the
+        # rounds (the dependence on n is only through log* and through how many
+        # of the O(Delta) color values actually occur)
+        assert r_large <= 2 * r_small + 10
+
+    def test_tree_and_ring(self):
+        for graph in (generators.random_tree(60, seed=6), generators.ring(30)):
+            res = pipelines.delta_plus_one_coloring(graph, seed=6)
+            assert_proper_coloring(graph, res.colors, max_colors=graph.max_degree + 1)
+
+
+class TestODeltaColoring:
+    def test_color_bound(self):
+        graph = generators.random_regular(70, 8, seed=3)
+        colors, m = make_input_coloring(graph, seed=3)
+        res = pipelines.o_delta_coloring(graph, colors, m)
+        assert_proper_coloring(graph, res.colors)
+        assert res.color_space_size <= 16 * graph.max_degree
+        assert "substitution" in res.metadata
+
+
+class TestTheorem13:
+    @pytest.mark.parametrize("epsilon", [0.25, 0.5, 0.75])
+    def test_proper_and_color_bound(self, epsilon):
+        graph = generators.random_regular(90, 16, seed=8)
+        colors, m = make_input_coloring(graph, seed=8)
+        res = pipelines.theorem13_coloring(graph, colors, m, epsilon=epsilon, vectorized=True)
+        assert_proper_coloring(graph, res.colors)
+        delta = graph.max_degree
+        # the O(.) constant: (4f)^2-ish for the defective step times O(d); we
+        # only check the asymptotic shape with a generous constant
+        assert res.num_colors <= 600 * delta ** (1 + epsilon)
+
+    def test_metadata_records_substitution_and_defect(self):
+        graph = generators.random_regular(60, 9, seed=9)
+        colors, m = make_input_coloring(graph, seed=9)
+        res = pipelines.theorem13_coloring(graph, colors, m, epsilon=0.5)
+        assert res.metadata["defect_d"] >= 1
+        assert res.metadata["defective_rounds"] >= 1
+
+    def test_degenerate_small_delta(self):
+        graph = generators.ring(12)
+        colors, m = make_input_coloring(graph, seed=1)
+        res = pipelines.theorem13_coloring(graph, colors, m, epsilon=0.5)
+        assert_proper_coloring(graph, res.colors)
+
+    def test_invalid_epsilon(self):
+        graph = generators.ring(6)
+        colors, m = make_input_coloring(graph, seed=1)
+        with pytest.raises(ValueError):
+            pipelines.theorem13_coloring(graph, colors, m, epsilon=0.0)
+        with pytest.raises(ValueError):
+            pipelines.theorem13_coloring(graph, colors, m, epsilon=1.5)
+
+    def test_custom_low_degree_coloring_hook(self):
+        calls = []
+
+        def custom(sub, sub_colors, sub_m):
+            calls.append(sub.n)
+            return pipelines.o_delta_coloring(sub, sub_colors, sub_m)
+
+        graph = generators.random_regular(50, 8, seed=10)
+        colors, m = make_input_coloring(graph, seed=10)
+        res = pipelines.theorem13_coloring(graph, colors, m, epsilon=0.5,
+                                           low_degree_coloring=custom)
+        assert_proper_coloring(graph, res.colors)
+        assert sum(calls) == graph.n  # every vertex colored in exactly one class
+
+
+class TestCorollary14:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_proper(self, k):
+        graph = generators.random_regular(60, 9, seed=11)
+        colors, m = make_input_coloring(graph, seed=11)
+        res = pipelines.corollary14_coloring(graph, colors, m, k=k)
+        assert_proper_coloring(graph, res.colors)
+
+    def test_invalid_k(self):
+        graph = generators.ring(6)
+        colors, m = make_input_coloring(graph, seed=1)
+        with pytest.raises(ValueError):
+            pipelines.corollary14_coloring(graph, colors, m, k=0)

@@ -1,0 +1,92 @@
+"""Tests for the reductions to Delta + 1 colors."""
+
+import numpy as np
+import pytest
+
+from conftest import make_input_coloring
+from repro.congest import generators
+from repro.core.corollaries import kdelta_coloring
+from repro.core.reduce import kuhn_wattenhofer_reduction, remove_color_class_reduction
+from repro.verify.coloring import assert_proper_coloring
+
+
+@pytest.fixture(scope="module")
+def colored_graph():
+    graph = generators.random_regular(90, 6, seed=21)
+    colors, m = make_input_coloring(graph, seed=21)
+    start = kdelta_coloring(graph, colors, m, k=1, vectorized=True)
+    return graph, start
+
+
+class TestRemoveColorClass:
+    def test_reduces_to_delta_plus_one(self, colored_graph):
+        graph, start = colored_graph
+        res = remove_color_class_reduction(graph, start.colors)
+        assert_proper_coloring(graph, res.colors, max_colors=graph.max_degree + 1)
+        assert res.colors.max() <= graph.max_degree
+
+    def test_round_count_matches_removed_classes(self, colored_graph):
+        graph, start = colored_graph
+        above = np.unique(start.colors[start.colors >= graph.max_degree + 1]).size
+        res = remove_color_class_reduction(graph, start.colors)
+        # one round per color value >= Delta+1 present at the start, possibly a
+        # few more if recoloring re-populates a previously cleared value
+        assert res.rounds >= above
+
+    def test_custom_target(self, colored_graph):
+        graph, start = colored_graph
+        target = graph.max_degree + 5
+        res = remove_color_class_reduction(graph, start.colors, target_colors=target)
+        assert res.colors.max() < target
+        assert_proper_coloring(graph, res.colors)
+
+    def test_target_below_delta_plus_one_rejected(self, colored_graph):
+        graph, start = colored_graph
+        with pytest.raises(ValueError):
+            remove_color_class_reduction(graph, start.colors, target_colors=graph.max_degree)
+
+    def test_noop_when_already_small(self):
+        g = generators.ring(8)
+        colors = np.array([0, 1, 2] * 2 + [0, 1])
+        res = remove_color_class_reduction(g, colors)
+        assert res.rounds == 0
+        assert np.array_equal(res.colors, colors)
+
+
+class TestKuhnWattenhofer:
+    def test_reduces_to_delta_plus_one(self, colored_graph):
+        graph, start = colored_graph
+        res = kuhn_wattenhofer_reduction(graph, start.colors, start.color_space_size)
+        assert_proper_coloring(graph, res.colors, max_colors=graph.max_degree + 1)
+        assert res.colors.max() <= graph.max_degree
+
+    def test_round_bound_delta_log(self, colored_graph):
+        graph, start = colored_graph
+        delta = graph.max_degree
+        res = kuhn_wattenhofer_reduction(graph, start.colors, start.color_space_size)
+        phases = res.metadata["phases"]
+        assert res.rounds <= phases * (delta + 1)
+        assert phases <= int(np.ceil(np.log2(max(2, start.color_space_size / (delta + 1))))) + 1
+
+    def test_from_large_color_space(self):
+        graph = generators.random_regular(60, 4, seed=5)
+        colors = np.random.default_rng(5).permutation(60).astype(np.int64) * 3
+        res = kuhn_wattenhofer_reduction(graph, colors, m=200)
+        assert_proper_coloring(graph, res.colors, max_colors=graph.max_degree + 1)
+
+    def test_rejects_colors_outside_space(self):
+        g = generators.ring(6)
+        with pytest.raises(ValueError):
+            kuhn_wattenhofer_reduction(g, np.array([0, 1, 2, 3, 4, 10]), m=6)
+
+    def test_rejects_small_target(self):
+        g = generators.complete_graph(4)
+        with pytest.raises(ValueError):
+            kuhn_wattenhofer_reduction(g, np.arange(4), m=4, target_colors=2)
+
+    def test_noop_when_space_already_small(self):
+        g = generators.ring(9)
+        colors = np.arange(9) % 3
+        res = kuhn_wattenhofer_reduction(g, colors, m=3)
+        assert res.rounds == 0
+        assert np.array_equal(res.colors, colors)

@@ -1,0 +1,112 @@
+"""Tests for ruling sets (Lemma 3.2, Theorem 1.5, SEW13 baseline, MIS)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_input_coloring
+from repro.congest import generators
+from repro.congest.ids import greedy_coloring
+from repro.core import ruling_sets
+from repro.verify.ruling import assert_ruling_set, domination_radius, is_independent_set
+
+
+class TestRulingSetFromColoring:
+    def test_basic_properties(self):
+        g = generators.random_regular(80, 6, seed=1)
+        colors = greedy_coloring(g)
+        num_colors = int(colors.max()) + 1
+        res = ruling_sets.ruling_set_from_coloring(g, colors, num_colors, base=2)
+        assert_ruling_set(g, res.vertices, r=res.r)
+        assert res.size >= 1
+
+    def test_round_count_is_base_times_phases(self):
+        g = generators.random_regular(60, 4, seed=2)
+        colors = greedy_coloring(g)
+        num_colors = int(colors.max()) + 1
+        for base in (2, 3, 5):
+            res = ruling_sets.ruling_set_from_coloring(g, colors, num_colors, base=base)
+            assert res.rounds == base * res.metadata["phases"]
+
+    def test_larger_base_fewer_phases(self):
+        g = generators.random_regular(100, 8, seed=3)
+        colors, m = make_input_coloring(g, m=g.n, seed=3)
+        small = ruling_sets.ruling_set_from_coloring(g, colors, m, base=2)
+        large = ruling_sets.ruling_set_from_coloring(g, colors, m, base=16)
+        assert large.r < small.r
+        assert_ruling_set(g, small.vertices, r=small.r)
+        assert_ruling_set(g, large.vertices, r=large.r)
+
+    def test_invalid_base(self):
+        g = generators.ring(6)
+        with pytest.raises(ValueError):
+            ruling_sets.ruling_set_from_coloring(g, np.zeros(6, dtype=int), 1, base=1)
+
+    def test_colors_out_of_range(self):
+        g = generators.ring(6)
+        with pytest.raises(ValueError):
+            ruling_sets.ruling_set_from_coloring(g, np.arange(6), 3, base=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=5, max_value=60),
+        p=st.floats(min_value=0.05, max_value=0.4),
+        seed=st.integers(min_value=0, max_value=1000),
+        base=st.integers(min_value=2, max_value=6),
+    )
+    def test_property_ruling_set(self, n, p, seed, base):
+        g = generators.gnp(n, p, seed=seed)
+        colors = greedy_coloring(g)
+        num_colors = int(colors.max()) + 1 if g.n else 1
+        res = ruling_sets.ruling_set_from_coloring(g, colors, num_colors, base=base)
+        assert is_independent_set(g, res.vertices)
+        if g.n:
+            radius = domination_radius(g, res.vertices)
+            assert 0 <= radius <= res.r
+
+
+class TestMisFromColoring:
+    def test_maximal_independent_set(self):
+        g = generators.random_regular(70, 6, seed=4)
+        colors = greedy_coloring(g)
+        res = ruling_sets.mis_from_coloring(g, colors, int(colors.max()) + 1)
+        assert is_independent_set(g, res.vertices)
+        assert domination_radius(g, res.vertices) <= 1
+        assert res.r == 1
+
+    def test_complete_graph_single_vertex(self):
+        g = generators.complete_graph(7)
+        colors = greedy_coloring(g)
+        res = ruling_sets.mis_from_coloring(g, colors, 7)
+        assert res.size == 1
+
+
+class TestTheorem15AndBaseline:
+    @pytest.mark.parametrize("r", [2, 3])
+    def test_theorem15_valid(self, r):
+        g = generators.random_regular(80, 8, seed=5)
+        colors, m = make_input_coloring(g, seed=5)
+        res = ruling_sets.ruling_set_theorem15(g, colors, m, r=r)
+        assert_ruling_set(g, res.vertices, r=max(r, res.r))
+
+    def test_theorem15_requires_r_at_least_two(self):
+        g = generators.ring(8)
+        colors, m = make_input_coloring(g, seed=1)
+        with pytest.raises(ValueError):
+            ruling_sets.ruling_set_theorem15(g, colors, m, r=1)
+
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_sew13_baseline_valid(self, r):
+        g = generators.random_regular(80, 8, seed=6)
+        colors, m = make_input_coloring(g, seed=6)
+        res = ruling_sets.ruling_set_sew13_baseline(g, colors, m, r=r)
+        assert_ruling_set(g, res.vertices, r=max(r, res.r))
+
+    def test_theorem15_beats_baseline_ruling_phase(self):
+        # The point of Theorem 1.5: fewer colors entering Lemma 3.2 means a
+        # smaller base B and hence fewer ruling-phase rounds for the same r.
+        g = generators.random_regular(120, 16, seed=7)
+        colors, m = make_input_coloring(g, seed=7)
+        ours = ruling_sets.ruling_set_theorem15(g, colors, m, r=2, vectorized=True)
+        base = ruling_sets.ruling_set_sew13_baseline(g, colors, m, r=2, vectorized=True)
+        assert ours.metadata["ruling_rounds"] < base.metadata["ruling_rounds"]

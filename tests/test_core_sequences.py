@@ -1,0 +1,102 @@
+"""Tests for the color sequences of Algorithm 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import MotherParameters
+from repro.core.sequences import batch_positions, build_sequence
+
+
+@pytest.fixture
+def params():
+    return MotherParameters.derive(m=8 ** 4, delta=8, d=0, k=3)
+
+
+class TestBatches:
+    def test_batches_cover_field_without_overlap(self, params):
+        seen = []
+        for j in range(params.num_batches):
+            seen.extend(batch_positions(params, j).tolist())
+        assert seen == list(range(params.q))
+
+    def test_batch_sizes(self, params):
+        sizes = [batch_positions(params, j).size for j in range(params.num_batches)]
+        assert all(s == params.k for s in sizes[:-1])
+        assert 1 <= sizes[-1] <= params.k
+
+    def test_batch_beyond_end_is_empty(self, params):
+        assert batch_positions(params, params.num_batches).size == 0
+
+    def test_first_coordinates_distinct_within_batch(self, params):
+        # Within one batch all first coordinates are distinct — the key fact
+        # that lets two neighbors conflict only at the same position.
+        for j in range(params.num_batches):
+            xs = batch_positions(params, j)
+            firsts = (xs % params.k).tolist()
+            assert len(set(firsts)) == len(firsts)
+
+
+class TestSequence:
+    def test_values_match_polynomial(self, params):
+        seq = build_sequence(17, params)
+        poly = seq.polynomial
+        assert all(seq.values[x] == poly(x) for x in range(params.q))
+
+    def test_tuple_and_encoding_consistent(self, params):
+        seq = build_sequence(5, params)
+        for x in (0, 1, params.q - 1):
+            first, value = seq.tuple_at(x)
+            assert first == x % params.k
+            assert seq.encoded_at(x) == params.encode_color(x, value)
+
+    def test_encoded_sequence_vectorized(self, params):
+        seq = build_sequence(123, params)
+        encoded = seq.encoded_sequence()
+        assert encoded.shape == (params.q,)
+        assert all(encoded[x] == seq.encoded_at(x) for x in range(0, params.q, 7))
+
+    def test_same_color_same_sequence(self, params):
+        assert np.array_equal(build_sequence(9, params).values, build_sequence(9, params).values)
+
+    def test_out_of_range_color_rejected(self, params):
+        with pytest.raises(ValueError):
+            build_sequence(params.m, params)
+        with pytest.raises(ValueError):
+            build_sequence(-1, params)
+
+    def test_batch_listing(self, params):
+        seq = build_sequence(2, params)
+        batch = seq.batch(0)
+        assert len(batch) == params.k
+        for x, first, value in batch:
+            assert first == x % params.k
+            assert value == seq.values[x]
+
+
+class TestConflictStructure:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        i=st.integers(min_value=0, max_value=4095),
+        j=st.integers(min_value=0, max_value=4095),
+    )
+    def test_two_sequences_share_few_positions(self, i, j):
+        # Distinct sequences collide (same tuple at the same position) at most f
+        # times over the whole sequence — the essence of the conflict analysis.
+        params = MotherParameters.derive(m=8 ** 4, delta=8, d=0, k=4)
+        si = build_sequence(i, params)
+        sj = build_sequence(j, params)
+        collisions = int(np.count_nonzero(si.values == sj.values))
+        if i == j:
+            assert collisions == params.q
+        else:
+            assert collisions <= params.f
+
+    def test_fixed_color_blocked_at_most_f_times(self):
+        # A fixed adopted color (x0, y0) can collide with another node's later
+        # trials at most f times (p(x) = y0 has at most f solutions).
+        params = MotherParameters.derive(m=8 ** 4, delta=8, d=0, k=4)
+        seq = build_sequence(4095, params)
+        for y0 in (0, 1, 5):
+            hits = int(np.count_nonzero(seq.values == y0))
+            assert hits <= max(params.f, 1) or seq.polynomial.degree == 0

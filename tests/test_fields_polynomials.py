@@ -1,0 +1,119 @@
+"""Tests for polynomials over F_q, including a property-based check of Lemma 2.1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields.polynomials import (
+    PolynomialFq,
+    coefficients_from_index,
+    enumerate_polynomials,
+    intersection_count,
+    polynomial_from_index,
+)
+from repro.fields.primes import primes_up_to
+
+SMALL_PRIMES = primes_up_to(60)[2:]  # skip 2, 3 to keep fields interesting
+
+
+class TestConstruction:
+    def test_coefficients_from_index_base_q_digits(self):
+        assert coefficients_from_index(0, 2, 5) == (0, 0, 0)
+        assert coefficients_from_index(7, 2, 5) == (2, 1, 0)
+        assert coefficients_from_index(124, 2, 5) == (4, 4, 4)
+
+    def test_coefficients_from_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            coefficients_from_index(125, 2, 5)
+        with pytest.raises(ValueError):
+            coefficients_from_index(-1, 2, 5)
+
+    def test_distinct_indices_distinct_polynomials(self):
+        polys = enumerate_polynomials(125, 2, 5)
+        assert len({p.coefficients for p in polys}) == 125
+
+    def test_enumerate_too_many(self):
+        with pytest.raises(ValueError):
+            enumerate_polynomials(126, 2, 5)
+
+    def test_non_prime_field_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialFq((1, 2), 6)
+
+    def test_coefficient_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialFq((1, 7), 5)
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialFq((), 5)
+
+    def test_degree_vs_degree_bound(self):
+        p = PolynomialFq((3, 0, 0), 5)
+        assert p.degree_bound == 2
+        assert p.degree == 0
+        q = PolynomialFq((0, 0, 2), 5)
+        assert q.degree == 2
+
+
+class TestEvaluation:
+    def test_pointwise_matches_naive(self):
+        p = PolynomialFq((1, 2, 3), 7)
+        for x in range(7):
+            assert p(x) == (1 + 2 * x + 3 * x * x) % 7
+
+    def test_evaluate_all_matches_pointwise(self):
+        p = polynomial_from_index(123, 3, 11)
+        values = p.evaluate_all()
+        assert values.shape == (11,)
+        assert all(values[x] == p(x) for x in range(11))
+
+    def test_evaluate_many(self):
+        p = PolynomialFq((2, 1), 13)
+        xs = np.array([0, 5, 25])
+        assert p.evaluate_many(xs).tolist() == [p(0), p(5), p(25 % 13)]
+
+
+class TestLemma21:
+    """Lemma 2.1: distinct polynomials of degree <= f agree on at most f points."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        q=st.sampled_from(SMALL_PRIMES),
+        f=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    def test_intersection_bound(self, q, f, data):
+        limit = min(q ** (f + 1), 10_000)
+        i = data.draw(st.integers(min_value=0, max_value=limit - 1))
+        j = data.draw(st.integers(min_value=0, max_value=limit - 1))
+        p1 = polynomial_from_index(i, f, q)
+        p2 = polynomial_from_index(j, f, q)
+        inter = intersection_count(p1, p2)
+        if i == j:
+            assert inter == q
+        else:
+            assert inter <= max(p1.degree, p2.degree, 0)
+            assert inter <= f
+
+    def test_constant_polynomials_never_meet(self):
+        p1 = PolynomialFq((3,), 11)
+        p2 = PolynomialFq((5,), 11)
+        assert intersection_count(p1, p2) == 0
+
+    def test_fixed_value_hit_at_most_f_times(self):
+        # A degree-f polynomial takes any fixed value at most f times (used to
+        # bound conflicts with already-colored neighbors).
+        q = 13
+        for idx in range(40):
+            p = polynomial_from_index(idx + q, 2, q)  # degree >= 1 region of the enumeration
+            values = p.evaluate_all()
+            if p.degree == 0:
+                continue
+            counts = np.bincount(values, minlength=q)
+            assert counts.max() <= p.degree + (0 if p.degree else q)
+            assert counts.max() <= 2
+
+    def test_mismatched_fields_rejected(self):
+        with pytest.raises(ValueError):
+            intersection_count(PolynomialFq((1,), 5), PolynomialFq((1,), 7))

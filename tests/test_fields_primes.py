@@ -1,0 +1,59 @@
+"""Tests for primality testing and prime selection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fields.primes import bertrand_prime, is_prime, next_prime, prime_in_range, primes_up_to
+
+
+KNOWN_PRIMES = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71}
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        for n in range(-3, 72):
+            assert is_prime(n) == (n in KNOWN_PRIMES)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(n)
+
+    def test_large_prime_and_composite(self):
+        assert is_prime(1_000_003)
+        assert not is_prime(1_000_003 * 7)
+        assert is_prime(2_147_483_647)  # Mersenne prime 2^31 - 1
+
+    @given(st.integers(min_value=2, max_value=2000))
+    def test_matches_trial_division(self, n):
+        trial = all(n % d for d in range(2, int(n ** 0.5) + 1))
+        assert is_prime(n) == trial
+
+
+class TestPrimeSelection:
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(13) == 17
+        assert next_prime(-5) == 2
+
+    def test_prime_in_range(self):
+        assert prime_in_range(10, 20) == 11
+
+    def test_prime_in_range_empty(self):
+        with pytest.raises(ValueError):
+            prime_in_range(24, 28)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_bertrand_prime_in_interval(self, x):
+        p = bertrand_prime(x)
+        assert is_prime(p)
+        assert x < p < 2 * x or (x == 1 and p == 2)
+
+    def test_bertrand_invalid(self):
+        with pytest.raises(ValueError):
+            bertrand_prime(0)
+
+    def test_primes_up_to(self):
+        assert primes_up_to(1) == []
+        assert primes_up_to(30) == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+        assert len(primes_up_to(1000)) == 168

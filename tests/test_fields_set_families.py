@@ -1,0 +1,76 @@
+"""Tests for low-intersecting set families (Linial's combinatorial core)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields.set_families import (
+    greedy_low_intersecting_family,
+    max_pairwise_intersection,
+    polynomial_set_family,
+)
+
+
+class TestPolynomialFamily:
+    def test_sets_have_size_q(self):
+        family = polynomial_set_family(m=20, degree_bound=2, q=7)
+        assert len(family) == 20
+        assert all(len(s) == 7 for s in family)
+
+    def test_pairwise_intersection_at_most_f(self):
+        family = polynomial_set_family(m=30, degree_bound=3, q=11)
+        assert max_pairwise_intersection(family) <= 3
+
+    def test_ground_set_is_grid(self):
+        family = polynomial_set_family(m=5, degree_bound=1, q=5)
+        for s in family:
+            for x, y in s:
+                assert 0 <= x < 5 and 0 <= y < 5
+
+    def test_linial_style_size(self):
+        # For m <= q^(f+1) the family always exists; this is the low-intersecting
+        # family behind Corollary 1.2(1).
+        q, f = 13, 2
+        family = polynomial_set_family(m=q ** (f + 1), degree_bound=f, q=q)
+        assert len(family) == q ** 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(f=st.integers(min_value=1, max_value=3), m=st.integers(min_value=2, max_value=60))
+    def test_property_intersection_bound(self, f, m):
+        q = 11
+        if m > q ** (f + 1):
+            m = q ** (f + 1)
+        family = polynomial_set_family(m=m, degree_bound=f, q=q)
+        assert max_pairwise_intersection(family) <= f
+
+
+class TestGreedyFamily:
+    def test_respects_intersection_bound(self):
+        family = greedy_low_intersecting_family(
+            m=12, set_size=5, ground_size=60, max_intersection=2, seed=1
+        )
+        assert len(family) == 12
+        assert max_pairwise_intersection(family) <= 2
+
+    def test_reproducible(self):
+        a = greedy_low_intersecting_family(8, 4, 40, 2, seed=3)
+        b = greedy_low_intersecting_family(8, 4, 40, 2, seed=3)
+        assert a == b
+
+    def test_infeasible_parameters_raise(self):
+        with pytest.raises(RuntimeError):
+            greedy_low_intersecting_family(
+                m=50, set_size=9, ground_size=10, max_intersection=0, seed=0, max_attempts=50
+            )
+
+    def test_set_size_larger_than_ground_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_low_intersecting_family(3, 11, 10, 2)
+
+
+class TestMaxPairwiseIntersection:
+    def test_trivial_cases(self):
+        assert max_pairwise_intersection([]) == 0
+        assert max_pairwise_intersection([{1, 2}]) == 0
+
+    def test_simple(self):
+        assert max_pairwise_intersection([{1, 2, 3}, {2, 3, 4}, {5}]) == 2

@@ -1,0 +1,100 @@
+"""Tests for the coloring verification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.congest import generators
+from repro.verify.coloring import (
+    VerificationError,
+    assert_defective_coloring,
+    assert_proper_coloring,
+    color_classes,
+    count_colors,
+    defect_vector,
+    is_proper_coloring,
+    max_defect,
+)
+
+
+class TestProperColoring:
+    def test_proper_on_ring(self):
+        g = generators.ring(6)
+        assert is_proper_coloring(g, np.array([0, 1, 0, 1, 0, 1]))
+
+    def test_improper_detected(self):
+        g = generators.ring(5)
+        assert not is_proper_coloring(g, np.array([0, 1, 0, 1, 0]))
+
+    def test_assert_proper_raises_with_edge_info(self):
+        g = generators.path(3)
+        with pytest.raises(VerificationError, match="monochromatic"):
+            assert_proper_coloring(g, np.array([7, 7, 1]))
+
+    def test_assert_proper_max_colors(self):
+        g = generators.path(4)
+        with pytest.raises(VerificationError, match="colors"):
+            assert_proper_coloring(g, np.array([0, 1, 2, 3]), max_colors=2)
+
+    def test_wrong_shape(self):
+        g = generators.path(3)
+        with pytest.raises(VerificationError):
+            is_proper_coloring(g, np.array([0, 1]))
+
+    def test_empty_graph(self):
+        g = generators.empty_graph(4)
+        assert is_proper_coloring(g, np.zeros(4))
+
+
+class TestCountingAndClasses:
+    def test_count_colors(self):
+        g = generators.path(5)
+        assert count_colors(g, np.array([3, 5, 3, 5, 9])) == 3
+
+    def test_count_colors_object_dtype(self):
+        g = generators.path(3)
+        colors = np.empty(3, dtype=object)
+        colors[:] = [(0, 1), (1, 0), (0, 1)]
+        assert count_colors(g, colors) == 2
+
+    def test_color_classes_partition(self):
+        g = generators.ring(6)
+        colors = np.array([0, 1, 0, 1, 0, 1])
+        classes = color_classes(g, colors)
+        assert sorted(classes) == [0, 1]
+        assert classes[0].tolist() == [0, 2, 4]
+
+    def test_count_colors_empty(self):
+        g = generators.empty_graph(0)
+        assert count_colors(g, np.array([])) == 0
+
+
+class TestDefects:
+    def test_defect_vector_proper(self):
+        g = generators.ring(6)
+        assert defect_vector(g, np.array([0, 1, 0, 1, 0, 1])).max() == 0
+
+    def test_defect_vector_counts_monochromatic_neighbors(self):
+        g = generators.star(5)
+        colors = np.array([0, 0, 0, 1, 1])
+        vec = defect_vector(g, colors)
+        assert vec[0] == 2
+        assert vec[1] == 1 and vec[2] == 1
+        assert vec[3] == 0
+
+    def test_max_defect(self):
+        g = generators.complete_graph(4)
+        assert max_defect(g, np.zeros(4)) == 3
+
+    def test_assert_defective_passes(self):
+        g = generators.complete_graph(4)
+        assert_defective_coloring(g, np.zeros(4), d=3)
+
+    def test_assert_defective_fails(self):
+        g = generators.complete_graph(4)
+        with pytest.raises(VerificationError, match="defect"):
+            assert_defective_coloring(g, np.zeros(4), d=2)
+
+    def test_assert_defective_color_budget(self):
+        g = generators.path(4)
+        with pytest.raises(VerificationError):
+            assert_defective_coloring(g, np.array([0, 1, 2, 3]), d=1, max_colors=3)

@@ -1,0 +1,105 @@
+"""Tests for orientation and partition verification (Theorem 1.1 points (1) and (2))."""
+
+import numpy as np
+import pytest
+
+from repro.congest import generators
+from repro.congest.graph import Graph
+from repro.verify.coloring import VerificationError
+from repro.verify.orientation import (
+    assert_outdegree_orientation,
+    monochromatic_edges,
+    orientation_outdegrees,
+)
+from repro.verify.partition import assert_partition_degree_bound, partition_classes
+
+
+class TestMonochromaticEdges:
+    def test_none_for_proper_coloring(self):
+        g = generators.ring(6)
+        assert monochromatic_edges(g, np.array([0, 1, 0, 1, 0, 1])).size == 0
+
+    def test_detects_monochromatic(self):
+        g = generators.path(3)
+        edges = monochromatic_edges(g, np.array([5, 5, 1]))
+        assert edges.tolist() == [[0, 1]]
+
+
+class TestOrientation:
+    def test_outdegrees(self):
+        g = generators.path(3)
+        out = orientation_outdegrees(g, {(0, 1), (2, 1)})
+        assert out.tolist() == [1, 0, 1]
+
+    def test_non_edge_rejected(self):
+        g = generators.path(3)
+        with pytest.raises(VerificationError, match="non-edge"):
+            orientation_outdegrees(g, {(0, 2)})
+
+    def test_valid_orientation_accepted(self):
+        g = generators.path(3)
+        colors = np.array([4, 4, 4])
+        assert_outdegree_orientation(g, colors, {(0, 1), (1, 2)}, beta=1)
+
+    def test_outdegree_bound_violation(self):
+        g = generators.path(3)
+        colors = np.array([4, 4, 4])
+        with pytest.raises(VerificationError, match="outdegree"):
+            assert_outdegree_orientation(g, colors, {(1, 0), (1, 2)}, beta=1)
+
+    def test_missing_monochromatic_edge(self):
+        g = generators.path(3)
+        colors = np.array([4, 4, 4])
+        with pytest.raises(VerificationError, match="not oriented"):
+            assert_outdegree_orientation(g, colors, {(0, 1)}, beta=2)
+
+    def test_doubly_oriented_edge(self):
+        g = generators.path(2)
+        colors = np.array([1, 1])
+        with pytest.raises(VerificationError, match="twice"):
+            assert_outdegree_orientation(g, colors, {(0, 1), (1, 0)}, beta=2)
+
+    def test_non_monochromatic_edge_in_orientation(self):
+        g = generators.path(2)
+        colors = np.array([1, 2])
+        with pytest.raises(VerificationError, match="different colors"):
+            assert_outdegree_orientation(g, colors, {(0, 1)}, beta=2)
+
+
+class TestPartition:
+    def test_partition_classes(self):
+        parts = np.array([1, 1, 2, 3])
+        classes = partition_classes(parts)
+        assert classes[1].tolist() == [0, 1]
+        assert classes[3].tolist() == [3]
+
+    def test_partition_degree_bound_ok(self):
+        g = generators.complete_graph(4)
+        colors = np.zeros(4)
+        parts = np.array([1, 2, 3, 4])
+        assert_partition_degree_bound(g, colors, parts, d=0)
+
+    def test_partition_degree_bound_violated(self):
+        g = generators.complete_graph(4)
+        colors = np.zeros(4)
+        parts = np.ones(4)
+        with pytest.raises(VerificationError, match="same-color same-part"):
+            assert_partition_degree_bound(g, colors, parts, d=2)
+
+    def test_partition_max_parts(self):
+        g = generators.path(4)
+        colors = np.arange(4)
+        parts = np.array([1, 2, 3, 4])
+        with pytest.raises(VerificationError, match="parts"):
+            assert_partition_degree_bound(g, colors, parts, d=0, max_parts=3)
+
+    def test_partition_wrong_shape(self):
+        g = generators.path(4)
+        with pytest.raises(VerificationError):
+            assert_partition_degree_bound(g, np.arange(4), np.array([1, 2]), d=0)
+
+    def test_different_color_same_part_is_fine(self):
+        g = generators.complete_graph(5)
+        colors = np.arange(5)
+        parts = np.ones(5)
+        assert_partition_degree_bound(g, colors, parts, d=0)

@@ -1,0 +1,76 @@
+"""Tests for ruling-set verification."""
+
+import numpy as np
+import pytest
+
+from repro.congest import generators
+from repro.congest.graph import Graph
+from repro.verify.coloring import VerificationError
+from repro.verify.ruling import assert_ruling_set, domination_radius, is_independent_set
+
+
+class TestIndependence:
+    def test_independent(self):
+        g = generators.ring(6)
+        assert is_independent_set(g, [0, 2, 4])
+
+    def test_not_independent(self):
+        g = generators.ring(6)
+        assert not is_independent_set(g, [0, 1])
+
+    def test_empty_set_independent(self):
+        assert is_independent_set(generators.ring(5), [])
+
+
+class TestDomination:
+    def test_radius_zero(self):
+        g = generators.ring(4)
+        assert domination_radius(g, range(4)) == 0
+
+    def test_radius_of_single_center(self):
+        g = generators.star(6)
+        assert domination_radius(g, [0]) == 1
+        assert domination_radius(g, [1]) == 2
+
+    def test_path_endpoints(self):
+        g = generators.path(7)
+        assert domination_radius(g, [0]) == 6
+        assert domination_radius(g, [3]) == 3
+
+    def test_empty_set(self):
+        assert domination_radius(generators.ring(5), []) == -1
+
+    def test_disconnected_unreachable(self):
+        g = Graph(4, [(0, 1)])
+        assert domination_radius(g, [0]) == -1
+
+    def test_empty_graph(self):
+        assert domination_radius(generators.empty_graph(0), []) == 0
+
+
+class TestAssertRulingSet:
+    def test_valid_two_one_ruling_set(self):
+        g = generators.ring(6)
+        assert_ruling_set(g, [0, 3], r=2)
+
+    def test_not_independent_rejected(self):
+        g = generators.ring(6)
+        with pytest.raises(VerificationError, match="independent"):
+            assert_ruling_set(g, [0, 1], r=2)
+
+    def test_domination_violated(self):
+        g = generators.path(8)
+        with pytest.raises(VerificationError, match="dominate"):
+            assert_ruling_set(g, [0], r=3)
+
+    def test_alpha_three_requires_distance_two(self):
+        g = generators.path(5)
+        # vertices 0 and 2 are at distance 2: independent in G but not in G^2.
+        with pytest.raises(VerificationError, match="independent"):
+            assert_ruling_set(g, [0, 2], r=4, alpha=3)
+        assert_ruling_set(g, [0, 3], r=4, alpha=3)
+
+    def test_out_of_range_vertex(self):
+        g = generators.ring(4)
+        with pytest.raises(VerificationError, match="out of range"):
+            assert_ruling_set(g, [7], r=1)
