@@ -1,9 +1,16 @@
-"""Shared helpers for the benchmark harness.
+"""Fixtures for the benchmark harness.
 
-Each benchmark file regenerates one experiment table (E1-E10, see DESIGN.md)
-and times its core computation with pytest-benchmark.  The rendered tables are
-written to ``benchmarks/results/`` so EXPERIMENTS.md can quote exactly what the
-harness produced.
+Each benchmark file regenerates one experiment table (E1-E10, see DESIGN.MD;
+B1 for the engine-layer backend comparison) and times its core computation
+with pytest-benchmark.  The rendered tables are written to
+``benchmarks/results/`` so EXPERIMENTS.md can quote exactly what the harness
+produced.
+
+Only pytest *fixtures* belong here.  Importable helpers must live in a
+regular module instead (the tests use ``tests/helpers.py``): pytest loads
+every ``conftest.py`` under the single module name ``conftest``, so ``from
+conftest import ...`` silently resolves to whichever directory's conftest was
+imported first.
 """
 
 from __future__ import annotations

@@ -1,0 +1,58 @@
+"""B1 — the engine-layer sweep: array backend vs the reference scheduler.
+
+The acceptance bar of the engine layer: a BatchRunner sweep over >= 20
+(graph, seed) cells on the ``array`` backend must be at least 3x faster in
+wall-clock than the identical sweep on the ``reference`` backend, while both
+backends report identical measurements (rounds, colors) per cell.
+"""
+
+import time
+
+from repro.analysis.tables import Table
+from repro.engine import BatchRunner
+
+CELLS = BatchRunner.grid(("random_regular", "gnp"), 200, 8, seeds=range(10))  # 20 cells
+TASK = "kdelta"
+PARAMS = [{"k": 1}]
+
+
+def _timed_sweep(backend: str) -> tuple[float, "BatchResult"]:
+    runner = BatchRunner(backend=backend)
+    for spec in CELLS:  # pre-build graphs + colorings: time the sweep, not the generators
+        runner.workload(spec)
+    start = time.perf_counter()
+    result = runner.run(TASK, CELLS, params_grid=PARAMS)
+    return time.perf_counter() - start, result
+
+
+def test_b1_array_backend_speedup(record_table):
+    array_seconds, array_result = _timed_sweep("array")
+    reference_seconds, reference_result = _timed_sweep("reference")
+
+    # Both backends must agree on every measurement of every cell.
+    for key in ("rounds", "colors used", "color space"):
+        assert array_result.column(key) == reference_result.column(key), key
+
+    speedup = reference_seconds / max(array_seconds, 1e-9)
+    table = Table(
+        "B1 — BatchRunner sweep: array vs reference backend (20 cells, k=1 mother algorithm)",
+        ["backend", "cells", "wall-clock seconds", "speedup vs reference"],
+    )
+    table.add_row("reference", len(reference_result), round(reference_seconds, 3), 1.0)
+    table.add_row("array", len(array_result), round(array_seconds, 3), round(speedup, 1))
+    table.add_note("Identical rounds / colors per cell on both backends (asserted).")
+    record_table("B1_batch_backends", table)
+
+    assert len(array_result) >= 20
+    assert speedup >= 3.0, (
+        f"array backend only {speedup:.1f}x faster than reference "
+        f"({array_seconds:.3f}s vs {reference_seconds:.3f}s)"
+    )
+
+
+def test_b1_kernel_array_sweep(benchmark):
+    runner = BatchRunner(backend="array")
+    for spec in CELLS:
+        runner.workload(spec)
+    result = benchmark(lambda: runner.run(TASK, CELLS, params_grid=PARAMS))
+    assert len(result) == len(CELLS)

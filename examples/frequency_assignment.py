@@ -55,7 +55,7 @@ def main() -> None:
     print(f"{'k':>5} {'frequencies used':>18} {'frequency budget':>18} {'config rounds':>14}")
     k = 1
     while k <= 16 * max(delta, 1):
-        plan = kdelta_coloring(graph, serials, m, k=k, vectorized=True)
+        plan = kdelta_coloring(graph, serials, m, k=k, backend="array")
         assert_proper_coloring(graph, plan.colors)
         print(f"{k:>5} {plan.num_colors:>18} {plan.color_space_size:>18} {plan.rounds:>14}")
         if plan.rounds <= 1:

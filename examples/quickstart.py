@@ -25,7 +25,7 @@ def main() -> None:
     graph = generators.random_regular(n=500, degree=8, seed=42)
     print(f"network: {graph.n} nodes, {graph.num_edges} links, max degree {graph.max_degree}")
 
-    result = pipelines.delta_plus_one_coloring(graph, seed=42, vectorized=True)
+    result = pipelines.delta_plus_one_coloring(graph, seed=42, backend="array")
     assert_proper_coloring(graph, result.colors, max_colors=graph.max_degree + 1)
 
     meta = result.metadata

@@ -42,9 +42,9 @@ def main() -> None:
     ids = distinct_input_coloring(network, m, seed=3)
 
     for r in (2, 3):
-        ours = ruling_set_theorem15(network, ids, m, r=r, vectorized=True)
+        ours = ruling_set_theorem15(network, ids, m, r=r, backend="array")
         assert_ruling_set(network, ours.vertices, r=max(r, ours.r))
-        base = ruling_set_sew13_baseline(network, ids, m, r=r, vectorized=True)
+        base = ruling_set_sew13_baseline(network, ids, m, r=r, backend="array")
         assert_ruling_set(network, base.vertices, r=max(r, base.r))
 
         print(f"\n--- latency bound r = {r} ---")

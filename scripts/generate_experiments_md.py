@@ -116,6 +116,14 @@ COMMENTARY = {
         "for Delta = 2, 3, 4 by the conflict-graph checker in the test suite\n"
         "(tests/test_core_one_round.py::TestLemma43Impossibility).",
     ),
+    "B1_batch_backends": (
+        "B1 — engine layer: array backend vs the reference scheduler",
+        "Not a paper claim but an implementation guarantee: the vectorized array backend of the\n"
+        "execution-engine layer (see ARCHITECTURE.md) produces identical rounds and colors per cell\n"
+        "while running the 20-cell BatchRunner sweep several times faster than the per-node\n"
+        "reference simulator.  The parity is asserted inside the benchmark and property-tested in\n"
+        "tests/test_engine_parity.py.",
+    ),
     "E10_baselines": (
         "E10 — baselines",
         "The mother algorithm at k = 1 matches the locally-iterative (BEG18) regime; adding\n"
@@ -130,7 +138,7 @@ COMMENTARY = {
 ORDER = [
     "E1_linial_one_round", "E2_rounds_vs_k", "E3_delta_squared", "E4_outdegree",
     "E5_defective", "E6_delta_plus_one", "E7_theorem13", "E8_ruling_sets",
-    "E9_one_round", "E10_baselines",
+    "E9_one_round", "E10_baselines", "B1_batch_backends",
 ]
 
 

@@ -18,6 +18,14 @@ The package is organised around four layers:
     pipelines, Theorem 1.3, ruling sets (Theorem 1.5), one-round color
     reduction (Theorem 1.6), and the baselines the paper compares against.
 
+``repro.engine``
+    The pluggable execution-engine layer: the ``Engine`` backend contract, the
+    model-faithful ``ReferenceEngine`` (per-node scheduler), the vectorized
+    ``ArrayEngine`` (CSR NumPy twin, identical outputs), and the
+    ``BatchRunner`` that sweeps (graph x seed x params) grids with shared
+    precomputed structures and built-in reference-parity checking.  Every
+    algorithm accepts ``backend="reference" | "array"``.
+
 ``repro.verify`` / ``repro.analysis``
     Validation of colorings / orientations / partitions / ruling sets, and the
     experiment harness that regenerates the tables in ``EXPERIMENTS.md``.
@@ -28,7 +36,7 @@ Quickstart
 >>> from repro.congest import generators
 >>> from repro.core import pipelines
 >>> g = generators.random_regular(n=200, degree=8, seed=1)
->>> result = pipelines.delta_plus_one_coloring(g, seed=1)
+>>> result = pipelines.delta_plus_one_coloring(g, seed=1, backend="array")
 >>> result.num_colors <= g.max_degree + 1
 True
 """
@@ -36,12 +44,26 @@ True
 from repro.congest.graph import Graph
 from repro.congest.runner import run_algorithm
 from repro.core.results import ColoringResult
+from repro.engine import (
+    ArrayEngine,
+    BatchRunner,
+    Engine,
+    GraphSpec,
+    ReferenceEngine,
+    get_engine,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
     "run_algorithm",
     "ColoringResult",
+    "Engine",
+    "ReferenceEngine",
+    "ArrayEngine",
+    "get_engine",
+    "BatchRunner",
+    "GraphSpec",
     "__version__",
 ]

@@ -2,9 +2,18 @@
 
 The paper has no empirical evaluation section; the reproduction's experiments
 verify every stated bound empirically and compare against the baselines the
-paper discusses.  Each ``run_eN`` function builds its workload, runs the
-algorithms, and returns a :class:`repro.analysis.tables.Table` with one row per
-configuration, including the paper's bound next to the measured quantity.
+paper discusses.  Each ``run_eN`` function expresses its workload as a grid of
+:class:`repro.engine.batch.GraphSpec` cells, drives them through a
+:class:`repro.engine.batch.BatchRunner`, and returns a
+:class:`repro.analysis.tables.Table` with one row per configuration, including
+the paper's bound next to the measured quantity.
+
+All experiments run on the ``"array"`` backend by default (the vectorized CSR
+twin — identical outputs to the per-node reference simulator, property-tested
+in ``tests/test_engine_parity.py``).  Pass ``backend="reference"`` to re-run
+any experiment on the model-faithful scheduler, or ``parity_check=True`` to
+have the runner re-execute every cell on the reference backend and insist on
+identical results.
 
 Sizes default to values that finish in seconds; the benchmark harness and the
 ``EXPERIMENTS.md`` generator call them with the same defaults so the recorded
@@ -13,8 +22,7 @@ tables are exactly reproducible.
 
 from __future__ import annotations
 
-import math
-from typing import Callable
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
@@ -22,20 +30,28 @@ from repro.analysis import bounds
 from repro.analysis.tables import Table
 from repro.congest import generators
 from repro.congest.graph import Graph
-from repro.congest.ids import distinct_input_coloring, random_proper_coloring
-from repro.core import baselines, corollaries, one_round, pipelines, ruling_sets
-from repro.core.linial import linial_coloring
+from repro.congest.ids import delta4_input_coloring, random_proper_coloring
+from repro.core import baselines, one_round
 from repro.core.reduce import kuhn_wattenhofer_reduction
-from repro.verify.coloring import assert_proper_coloring, count_colors, max_defect
-from repro.verify.orientation import assert_outdegree_orientation
-from repro.verify.ruling import assert_ruling_set
+from repro.engine.base import Engine
+from repro.engine.batch import BatchRunner, GraphSpec, Workload
+from repro.verify.coloring import assert_proper_coloring
 
-__all__ = ["EXPERIMENTS", "run_experiment"] + [f"run_e{i}" for i in range(1, 11)]
+__all__ = ["EXPERIMENTS", "run_experiment", "delta4_colored_graph", "make_runner"] + [
+    f"run_e{i}" for i in range(1, 11)
+]
 
 
 # --------------------------------------------------------------------------- #
 # Workloads
 # --------------------------------------------------------------------------- #
+
+
+def make_runner(
+    backend: str | Engine = "array", parity_check: bool = False
+) -> BatchRunner:
+    """The BatchRunner every experiment drives its grid through."""
+    return BatchRunner(backend=backend, parity_check=parity_check)
 
 
 def delta4_colored_graph(
@@ -49,14 +65,14 @@ def delta4_colored_graph(
     are independent of the Linial experiment.  When the ``Delta^4`` space is
     large enough every vertex receives a *distinct* color (as with unique IDs);
     otherwise a greedy coloring is spread into the color space.
+
+    (Kept as a public helper for the benchmark drivers; the experiments below
+    obtain the same workload through :meth:`BatchRunner.workload`.  Both paths
+    build the coloring with :func:`repro.congest.ids.delta4_input_coloring`,
+    so the recorded tables are reproducible either way.)
     """
     graph = generators.by_name(family, n, delta, seed=seed)
-    eff_delta = max(1, graph.max_degree)
-    m = max(eff_delta + 1, eff_delta ** 4)
-    if m >= graph.n:
-        colors = distinct_input_coloring(graph, m, seed=seed)
-    else:
-        colors, m = random_proper_coloring(graph, num_colors=m, seed=seed)
+    colors, m = delta4_input_coloring(graph, seed=seed)
     return graph, colors, m
 
 
@@ -65,21 +81,28 @@ def delta4_colored_graph(
 # --------------------------------------------------------------------------- #
 
 
-def run_e1(n: int = 300, deltas: tuple[int, ...] = (4, 8, 16), seed: int = 1) -> Table:
+def run_e1(
+    n: int = 300,
+    deltas: tuple[int, ...] = (4, 8, 16),
+    seed: int = 1,
+    backend: str | Engine = "array",
+    parity_check: bool = False,
+) -> Table:
+    runner = make_runner(backend, parity_check)
     table = Table(
         "E1 — Corollary 1.2(1): one-round reduction of a Delta^4-coloring",
         ["family", "Delta", "n", "rounds", "colors used", "color space", "paper bound 256*Delta^2"],
     )
-    for family in ("random_regular", "gnp"):
-        for delta in deltas:
-            graph, colors, m = delta4_colored_graph(family, n, delta, seed=seed)
-            eff = max(1, graph.max_degree)
-            res = corollaries.linial_color_reduction(graph, colors, m, vectorized=True)
-            assert_proper_coloring(graph, res.colors)
-            table.add_row(
-                family, eff, graph.n, res.rounds, res.num_colors, res.color_space_size,
-                bounds.corollary12_1_colors(eff),
-            )
+    cells = [
+        GraphSpec(family, n, delta, seed)
+        for family in ("random_regular", "gnp")
+        for delta in deltas
+    ]
+    for rec in runner.run("linial_reduction", cells):
+        table.add_row(
+            rec["family"], rec["Delta"], rec["n"], rec["rounds"], rec["colors used"],
+            rec["color space"], bounds.corollary12_1_colors(rec["Delta"]),
+        )
     table.add_note("Every row must have rounds = 1 and color space <= 256*Delta^2.")
     return table
 
@@ -89,22 +112,32 @@ def run_e1(n: int = 300, deltas: tuple[int, ...] = (4, 8, 16), seed: int = 1) ->
 # --------------------------------------------------------------------------- #
 
 
-def run_e2(n: int = 400, delta: int = 16, family: str = "random_regular", seed: int = 2) -> Table:
-    graph, colors, m = delta4_colored_graph(family, n, delta, seed=seed)
-    eff = max(1, graph.max_degree)
+def run_e2(
+    n: int = 400,
+    delta: int = 16,
+    family: str = "random_regular",
+    seed: int = 2,
+    backend: str | Engine = "array",
+    parity_check: bool = False,
+) -> Table:
+    runner = make_runner(backend, parity_check)
+    spec = GraphSpec(family, n, delta, seed)
+    eff = runner.workload(spec).eff_delta
     table = Table(
         f"E2 — Corollary 1.2(2): O(k*Delta) colors in O(Delta/k) rounds (Delta={eff})",
         ["k", "rounds", "round bound 16*Delta/k", "colors used", "color bound 16*Delta*k"],
     )
+    # The k axis is data-dependent (doubled until the round count collapses to
+    # 1), so the sweep goes cell by cell through the runner, which still shares
+    # the one cached graph/coloring across every k.
     k = 1
     while True:
-        res = corollaries.kdelta_coloring(graph, colors, m, k=k, vectorized=True)
-        assert_proper_coloring(graph, res.colors)
+        rec = runner.run_cell("kdelta", spec, params={"k": k})
         table.add_row(
-            k, res.rounds, bounds.corollary12_2_rounds(eff, k), res.num_colors,
+            k, rec["rounds"], bounds.corollary12_2_rounds(eff, k), rec["colors used"],
             bounds.corollary12_2_colors(eff, k),
         )
-        if res.rounds <= 1:
+        if rec["rounds"] <= 1:
             break
         k *= 2
         if k > 16 * eff:
@@ -118,17 +151,24 @@ def run_e2(n: int = 400, delta: int = 16, family: str = "random_regular", seed: 
 # --------------------------------------------------------------------------- #
 
 
-def run_e3(n: int = 400, deltas: tuple[int, ...] = (8, 16, 32), seed: int = 3) -> Table:
+def run_e3(
+    n: int = 400,
+    deltas: tuple[int, ...] = (8, 16, 32),
+    seed: int = 3,
+    backend: str | Engine = "array",
+    parity_check: bool = False,
+) -> Table:
+    runner = make_runner(backend, parity_check)
     table = Table(
         "E3 — Corollary 1.2(3): Delta^2 colors in O(1) rounds (k = ceil(Delta/16))",
         ["Delta", "rounds", "colors used", "color bound Delta^2"],
     )
-    for delta in deltas:
-        graph, colors, m = delta4_colored_graph("random_regular", n, delta, seed=seed)
-        eff = max(1, graph.max_degree)
-        res = corollaries.delta_squared_coloring(graph, colors, m, vectorized=True)
-        assert_proper_coloring(graph, res.colors)
-        table.add_row(eff, res.rounds, res.num_colors, bounds.corollary12_3_colors(eff))
+    cells = [GraphSpec("random_regular", n, delta, seed) for delta in deltas]
+    for rec in runner.run("delta_squared", cells):
+        table.add_row(
+            rec["Delta"], rec["rounds"], rec["colors used"],
+            bounds.corollary12_3_colors(rec["Delta"]),
+        )
     table.add_note("Rounds stay O(1) (at most 256 by the proof, tiny in practice) as Delta grows.")
     return table
 
@@ -139,23 +179,27 @@ def run_e3(n: int = 400, deltas: tuple[int, ...] = (8, 16, 32), seed: int = 3) -
 
 
 def run_e4(
-    n: int = 300, delta: int = 16, epsilons: tuple[float, ...] = (0.25, 0.5, 0.75), seed: int = 4
+    n: int = 300,
+    delta: int = 16,
+    epsilons: tuple[float, ...] = (0.25, 0.5, 0.75),
+    seed: int = 4,
+    backend: str | Engine = "array",
+    parity_check: bool = False,
 ) -> Table:
-    graph, colors, m = delta4_colored_graph("random_regular", n, delta, seed=seed)
-    eff = max(1, graph.max_degree)
+    runner = make_runner(backend, parity_check)
+    spec = GraphSpec("random_regular", n, delta, seed)
+    eff = runner.workload(spec).eff_delta
     table = Table(
         f"E4 — Corollary 1.2(4): beta-outdegree O(Delta/beta)-colorings (Delta={eff})",
         ["beta", "rounds", "round bound O(Delta/beta)", "colors used", "color bound O(Delta/beta)",
          "max outdegree"],
     )
-    for eps in epsilons:
-        beta = max(1, min(eff - 1, int(round(eff ** eps))))
-        res = corollaries.outdegree_coloring(graph, colors, m, beta=beta)
-        assert_outdegree_orientation(graph, res.colors, res.orientation, beta)
-        out = max((sum(1 for e in res.orientation if e[0] == v) for v in range(graph.n)), default=0)
+    betas = [max(1, min(eff - 1, int(round(eff ** eps)))) for eps in epsilons]
+    for rec in runner.run("outdegree", [spec], params_grid=[{"beta": b} for b in betas]):
         table.add_row(
-            beta, res.rounds, bounds.corollary12_4_rounds(eff, beta), res.num_colors,
-            bounds.corollary12_4_colors(eff, beta), out,
+            rec["beta"], rec["rounds"], bounds.corollary12_4_rounds(eff, rec["beta"]),
+            rec["colors used"], bounds.corollary12_4_colors(eff, rec["beta"]),
+            rec["max outdegree"],
         )
     table.add_note("The orientation of monochromatic edges always has outdegree <= beta (hard invariant).")
     return table
@@ -167,25 +211,31 @@ def run_e4(
 
 
 def run_e5(
-    n: int = 300, delta: int = 16, epsilons: tuple[float, ...] = (0.25, 0.5, 0.75), seed: int = 5
+    n: int = 300,
+    delta: int = 16,
+    epsilons: tuple[float, ...] = (0.25, 0.5, 0.75),
+    seed: int = 5,
+    backend: str | Engine = "array",
+    parity_check: bool = False,
 ) -> Table:
-    graph, colors, m = delta4_colored_graph("random_regular", n, delta, seed=seed)
-    eff = max(1, graph.max_degree)
+    runner = make_runner(backend, parity_check)
+    spec = GraphSpec("random_regular", n, delta, seed)
+    eff = runner.workload(spec).eff_delta
     table = Table(
         f"E5 — Corollary 1.2(5)/(6): d-defective O((Delta/d)^2)-colorings (Delta={eff})",
         ["variant", "d", "rounds", "colors used", "color bound O((Delta/d)^2)", "max defect"],
     )
     for eps in epsilons:
         d = max(1, min(eff - 1, int(round(eff ** eps))))
-        one = corollaries.defective_coloring_one_round(graph, colors, m, d=d, vectorized=True)
+        one = runner.run_cell("defective_one_round", spec, params={"d": d})
         table.add_row(
-            "one round (5)", d, one.rounds, one.num_colors,
-            bounds.corollary12_5_colors(eff, d), max_defect(graph, one.colors),
+            "one round (5)", d, one["rounds"], one["colors used"],
+            bounds.corollary12_5_colors(eff, d), one["max defect"],
         )
-        multi = corollaries.defective_coloring(graph, colors, m, d=d, vectorized=True)
+        multi = runner.run_cell("defective", spec, params={"d": d})
         table.add_row(
-            "multi round (6)", d, multi.rounds, multi.num_colors,
-            bounds.corollary12_5_colors(eff, d), max_defect(graph, multi.colors),
+            "multi round (6)", d, multi["rounds"], multi["colors used"],
+            bounds.corollary12_5_colors(eff, d), multi["max defect"],
         )
     table.add_note("max defect <= d in every row (hard invariant).")
     return table
@@ -196,21 +246,24 @@ def run_e5(
 # --------------------------------------------------------------------------- #
 
 
-def run_e6(sizes: tuple[int, ...] = (100, 400, 1000), delta: int = 12, seed: int = 6) -> Table:
+def run_e6(
+    sizes: tuple[int, ...] = (100, 400, 1000),
+    delta: int = 12,
+    seed: int = 6,
+    backend: str | Engine = "array",
+    parity_check: bool = False,
+) -> Table:
+    runner = make_runner(backend, parity_check)
     table = Table(
         "E6 — (Delta+1)-coloring pipeline: IDs -> Linial -> k=1 mother -> class removal",
         ["n", "Delta", "linial rounds", "mother rounds", "reduce rounds", "total rounds",
          "colors used", "Delta+1"],
     )
-    for n in sizes:
-        graph = generators.random_regular(n + ((n * delta) % 2), delta, seed=seed)
-        eff = max(1, graph.max_degree)
-        res = pipelines.delta_plus_one_coloring(graph, seed=seed, vectorized=True)
-        assert_proper_coloring(graph, res.colors, max_colors=eff + 1)
-        meta = res.metadata
+    cells = [GraphSpec("random_regular", n, delta, seed) for n in sizes]
+    for rec in runner.run("delta_plus_one", cells):
         table.add_row(
-            graph.n, eff, meta["linial_rounds"], meta["mother_rounds"],
-            meta["reduction_rounds"], res.rounds, res.num_colors, eff + 1,
+            rec["n"], rec["Delta"], rec["linial rounds"], rec["mother rounds"],
+            rec["reduce rounds"], rec["rounds"], rec["colors used"], rec["Delta"] + 1,
         )
     table.add_note("Total rounds grow linearly in Delta and only additively (log* n) in n.")
     return table
@@ -222,22 +275,26 @@ def run_e6(sizes: tuple[int, ...] = (100, 400, 1000), delta: int = 12, seed: int
 
 
 def run_e7(
-    n: int = 300, deltas: tuple[int, ...] = (8, 16, 32), epsilon: float = 0.5, seed: int = 7
+    n: int = 300,
+    deltas: tuple[int, ...] = (8, 16, 32),
+    epsilon: float = 0.5,
+    seed: int = 7,
+    backend: str | Engine = "array",
+    parity_check: bool = False,
 ) -> Table:
+    runner = make_runner(backend, parity_check)
     table = Table(
         f"E7 — Theorem 1.3: O(Delta^(1+eps))-coloring (eps={epsilon})",
         ["Delta", "rounds (measured)", "paper rounds O(Delta^(1/2-eps/2))",
          "substituted bound O(Delta^eps + Delta^(1-eps))", "colors used", "color bound Delta^(1+eps)"],
     )
-    for delta in deltas:
-        graph, colors, m = delta4_colored_graph("random_regular", n, delta, seed=seed)
-        eff = max(1, graph.max_degree)
-        res = pipelines.theorem13_coloring(graph, colors, m, epsilon=epsilon, vectorized=True)
-        assert_proper_coloring(graph, res.colors)
+    cells = [GraphSpec("random_regular", n, delta, seed) for delta in deltas]
+    for rec in runner.run("theorem13", cells, params_grid=[{"epsilon": epsilon}]):
+        eff = rec["Delta"]
         substituted = eff ** epsilon + eff ** (1 - epsilon)
         table.add_row(
-            eff, res.rounds, bounds.theorem13_rounds(eff, epsilon), substituted,
-            res.num_colors, bounds.theorem13_colors(eff, epsilon),
+            eff, rec["rounds"], bounds.theorem13_rounds(eff, epsilon), substituted,
+            rec["colors used"], bounds.theorem13_colors(eff, epsilon),
         )
     table.add_note(
         "The Theorem 3.1 black box ([Bar16, BEG18]) is substituted by the k=1 mother algorithm; "
@@ -252,26 +309,30 @@ def run_e7(
 
 
 def run_e8(
-    n: int = 300, delta: int = 16, rs: tuple[int, ...] = (2, 3), seed: int = 8
+    n: int = 300,
+    delta: int = 16,
+    rs: tuple[int, ...] = (2, 3),
+    seed: int = 8,
+    backend: str | Engine = "array",
+    parity_check: bool = False,
 ) -> Table:
-    graph, colors, m = delta4_colored_graph("random_regular", n, delta, seed=seed)
-    eff = max(1, graph.max_degree)
+    runner = make_runner(backend, parity_check)
+    spec = GraphSpec("random_regular", n, delta, seed)
+    eff = runner.workload(spec).eff_delta
     table = Table(
         f"E8 — Theorem 1.5: (2,r)-ruling sets (Delta={eff})",
         ["r", "method", "rounds", "ruling rounds only", "paper bound", "set size"],
     )
     for r in rs:
-        ours = ruling_sets.ruling_set_theorem15(graph, colors, m, r=r, vectorized=True)
-        assert_ruling_set(graph, ours.vertices, r=max(r, ours.r))
-        base = ruling_sets.ruling_set_sew13_baseline(graph, colors, m, r=r, vectorized=True)
-        assert_ruling_set(graph, base.vertices, r=max(r, base.r))
+        ours = runner.run_cell("ruling_set", spec, params={"r": r})
         table.add_row(
-            r, "Theorem 1.5", ours.rounds, ours.metadata["ruling_rounds"],
-            bounds.theorem15_rounds(eff, r), ours.size,
+            r, "Theorem 1.5", ours["rounds"], ours["ruling rounds only"],
+            bounds.theorem15_rounds(eff, r), ours["set size"],
         )
+        base = runner.run_cell("ruling_set", spec, params={"r": r, "baseline": True})
         table.add_row(
-            r, "SEW13 baseline", base.rounds, base.metadata["ruling_rounds"],
-            bounds.sew13_ruling_rounds(eff, r), base.size,
+            r, "SEW13 baseline", base["rounds"], base["ruling rounds only"],
+            bounds.sew13_ruling_rounds(eff, r), base["set size"],
         )
     table.add_note(
         "The ruling-phase rounds follow Lemma 3.2 exactly; the end-to-end advantage of Theorem 1.5 "
@@ -285,26 +346,50 @@ def run_e8(
 # --------------------------------------------------------------------------- #
 
 
-def run_e9(n: int = 200, deltas: tuple[int, ...] = (4, 6, 8), seed: int = 9) -> Table:
+def _task_one_round_tightness(w: Workload, engine: Engine, k: int, m: int) -> Mapping[str, Any]:
+    """Bespoke E9 task: Theorem 1.6 needs its own tight input coloring, not Delta^4."""
+    delta = w.spec.delta
+    colors, m = random_proper_coloring(w.graph, num_colors=m, seed=w.spec.seed)
+    res = one_round.one_round_color_reduction(w.graph, colors, m, k=k, delta=delta)
+    proper = True
+    try:
+        assert_proper_coloring(w.graph, res.colors, max_colors=m - k)
+    except AssertionError:
+        proper = False
+    return {
+        "rounds": int(res.rounds),
+        "m": int(m),
+        "k": int(k),
+        "output colors space": int(res.color_space_size),
+        "m - k": int(m - k),
+        "proper": proper,
+        "_colors": res.colors,
+    }
+
+
+def run_e9(
+    n: int = 200,
+    deltas: tuple[int, ...] = (4, 6, 8),
+    seed: int = 9,
+    backend: str | Engine = "array",
+    parity_check: bool = False,
+) -> Table:
+    runner = make_runner(backend, parity_check)
     table = Table(
         "E9 — Theorem 1.6: one-round reduction of exactly k colors",
         ["Delta", "m = k(Delta-k+3)", "k (paper)", "rounds", "output colors space", "m - k",
          "proper"],
     )
     for delta in deltas:
-        k = bounds.theorem16_max_reduction(delta * (delta + 3), delta)
         # Use the tight m for the largest k allowed by the theorem.
         k = min(delta - 1, (delta + 3) // 2)
         m = one_round.required_input_colors(delta, k)
-        graph = generators.random_regular(n + ((n * delta) % 2), delta, seed=seed)
-        colors, m = random_proper_coloring(graph, num_colors=m, seed=seed)
-        res = one_round.one_round_color_reduction(graph, colors, m, k=k, delta=delta)
-        proper = True
-        try:
-            assert_proper_coloring(graph, res.colors, max_colors=m - k)
-        except AssertionError:
-            proper = False
-        table.add_row(delta, m, k, res.rounds, res.color_space_size, m - k, proper)
+        spec = GraphSpec("random_regular", n, delta, seed)
+        rec = runner.run_cell(_task_one_round_tightness, spec, params={"k": k, "m": m})
+        table.add_row(
+            delta, rec["m"], rec["k"], rec["rounds"], rec["output colors space"],
+            rec["m - k"], rec["proper"],
+        )
     table.add_note(
         "Lemma 4.3's matching impossibility (no one-round algorithm reaches m-k-1 colors when "
         "m = k(Delta-k+3)-1) is verified exhaustively for small Delta in the test suite."
@@ -317,37 +402,65 @@ def run_e9(n: int = 200, deltas: tuple[int, ...] = (4, 6, 8), seed: int = 9) -> 
 # --------------------------------------------------------------------------- #
 
 
-def run_e10(n: int = 300, delta: int = 16, seed: int = 10) -> Table:
-    graph, colors, m = delta4_colored_graph("random_regular", n, delta, seed=seed)
-    eff = max(1, graph.max_degree)
+def _task_e10_baselines(w: Workload, engine: Engine, algorithm: str, **params) -> Mapping[str, Any]:
+    """One row of the E10 comparison; ``algorithm`` picks the contender."""
+    from repro.core import corollaries
+    from repro.core.linial import linial_coloring
+
+    if algorithm == "mother":
+        res = corollaries.kdelta_coloring(w.graph, w.input_colors, w.m, k=params["k"], backend=engine)
+    elif algorithm == "linial":
+        res = linial_coloring(w.graph, seed=w.spec.seed, backend=engine)
+    elif algorithm == "beg18":
+        res = baselines.locally_iterative_beg18(w.graph, w.input_colors, w.m, backend=engine)
+    elif algorithm == "kw_halving":
+        start = corollaries.delta_squared_coloring(w.graph, w.input_colors, w.m, backend=engine)
+        kw = kuhn_wattenhofer_reduction(w.graph, start.colors, start.color_space_size)
+        return {
+            "rounds": int(start.rounds + kw.rounds),
+            "colors used": int(kw.num_colors),
+            "color space": int(kw.color_space_size),
+            "_colors": kw.colors,
+        }
+    elif algorithm == "luby":
+        res = baselines.luby_randomized_coloring(w.graph, seed=w.spec.seed)
+    elif algorithm == "greedy":
+        res = baselines.greedy_sequential(w.graph)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown E10 algorithm {algorithm!r}")
+    return {
+        "rounds": int(res.rounds),
+        "colors used": int(res.num_colors),
+        "color space": int(res.color_space_size),
+        "_colors": res.colors,
+    }
+
+
+def run_e10(
+    n: int = 300,
+    delta: int = 16,
+    seed: int = 10,
+    backend: str | Engine = "array",
+    parity_check: bool = False,
+) -> Table:
+    runner = make_runner(backend, parity_check)
+    spec = GraphSpec("random_regular", n, delta, seed)
+    workload = runner.workload(spec)
     table = Table(
-        f"E10 — baselines vs the mother algorithm (Delta={eff}, n={graph.n})",
+        f"E10 — baselines vs the mother algorithm (Delta={workload.eff_delta}, n={workload.graph.n})",
         ["algorithm", "rounds", "colors used", "color space"],
     )
-
-    for k in (1, 4, 16):
-        res = corollaries.kdelta_coloring(graph, colors, m, k=k, vectorized=True)
-        table.add_row(f"mother algorithm (k={k})", res.rounds, res.num_colors, res.color_space_size)
-
-    lin = linial_coloring(graph, seed=seed, vectorized=True)
-    table.add_row("Linial from unique IDs", lin.rounds, lin.num_colors, lin.color_space_size)
-
-    beg = baselines.locally_iterative_beg18(graph, colors, m, vectorized=True)
-    table.add_row("locally-iterative (BEG18 regime) + reduce", beg.rounds, beg.num_colors,
-                  beg.color_space_size)
-
-    start = corollaries.delta_squared_coloring(graph, colors, m, vectorized=True)
-    kw = kuhn_wattenhofer_reduction(graph, start.colors, start.color_space_size)
-    table.add_row("Delta^2 + Kuhn-Wattenhofer halving", start.rounds + kw.rounds, kw.num_colors,
-                  kw.color_space_size)
-
-    luby = baselines.luby_randomized_coloring(graph, seed=seed)
-    table.add_row("randomized (Luby-style, Delta+1 palette)", luby.rounds, luby.num_colors,
-                  luby.color_space_size)
-
-    greedy = baselines.greedy_sequential(graph)
-    table.add_row("sequential greedy (centralized)", greedy.rounds, greedy.num_colors,
-                  greedy.color_space_size)
+    rows: list[tuple[str, dict[str, Any]]] = [
+        *[(f"mother algorithm (k={k})", {"algorithm": "mother", "k": k}) for k in (1, 4, 16)],
+        ("Linial from unique IDs", {"algorithm": "linial"}),
+        ("locally-iterative (BEG18 regime) + reduce", {"algorithm": "beg18"}),
+        ("Delta^2 + Kuhn-Wattenhofer halving", {"algorithm": "kw_halving"}),
+        ("randomized (Luby-style, Delta+1 palette)", {"algorithm": "luby"}),
+        ("sequential greedy (centralized)", {"algorithm": "greedy"}),
+    ]
+    for label, params in rows:
+        rec = runner.run_cell(_task_e10_baselines, spec, params=params)
+        table.add_row(label, rec["rounds"], rec["colors used"], rec["color space"])
     table.add_note("Deterministic Delta+1 in O(Delta) rounds vs O(Delta log Delta) for KW halving; "
                    "randomized Luby needs O(log n) rounds but is not deterministic.")
     return table

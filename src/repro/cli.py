@@ -8,6 +8,15 @@ Python:
 * ``defective``   — compute a d-defective or beta-outdegree coloring.
 * ``ruling-set``  — compute a (2, r)-ruling set (Theorem 1.5 or the baseline).
 * ``experiment``  — run one of the experiments E1..E10 and print its table.
+* ``batch``       — sweep a task over a (family x n x Delta x seed) grid
+  through the :class:`repro.engine.batch.BatchRunner` and print the tidy
+  records table.
+
+Every command accepts ``--backend reference|array`` (default ``array``, the
+vectorized engine; ``reference`` is the per-node CONGEST simulator — identical
+results, simulator metrics, much slower).  ``batch`` additionally accepts
+``--parity-check`` to re-run every cell on the reference backend and require
+identical outputs.
 
 Every command prints a short report (rounds, colors, verification status) and
 exits non-zero if the produced structure fails verification, so the CLI can be
@@ -19,12 +28,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.congest import generators
 from repro.congest.ids import distinct_input_coloring, random_proper_coloring
 from repro.core import corollaries, pipelines, ruling_sets
+from repro.engine.batch import TASKS, BatchRunner, GraphSpec
+from repro.engine.registry import available_backends
 from repro.verify.coloring import assert_defective_coloring, assert_proper_coloring
 from repro.verify.orientation import assert_outdegree_orientation
 from repro.verify.ruling import assert_ruling_set
@@ -53,6 +62,12 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default="array", choices=available_backends(),
+                        help="execution engine (default: array — the vectorized twin; "
+                             "'reference' is the per-node CONGEST simulator)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -62,22 +77,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     color = sub.add_parser("color", help="proper coloring (Delta+1 pipeline or O(k*Delta) trade-off)")
     _add_graph_arguments(color)
+    _add_backend_argument(color)
     color.add_argument("--k", type=int, default=None,
                        help="batch size for the O(k*Delta) trade-off; omit for the (Delta+1) pipeline")
 
     defective = sub.add_parser("defective", help="d-defective or beta-outdegree coloring")
     _add_graph_arguments(defective)
+    _add_backend_argument(defective)
     defective.add_argument("--d", type=int, default=2, help="defect / outdegree parameter")
     defective.add_argument("--outdegree", action="store_true",
                            help="compute a beta-outdegree coloring instead of a defective one")
 
     ruling = sub.add_parser("ruling-set", help="(2, r)-ruling set")
     _add_graph_arguments(ruling)
+    _add_backend_argument(ruling)
     ruling.add_argument("--r", type=int, default=2, help="domination radius r >= 2")
     ruling.add_argument("--baseline", action="store_true", help="use the SEW13-style baseline")
 
     experiment = sub.add_parser("experiment", help="run one of the experiments E1..E10")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
+    _add_backend_argument(experiment)
+    experiment.add_argument("--parity-check", action="store_true",
+                            help="re-run every cell on the reference backend and require identical results")
+
+    batch = sub.add_parser("batch", help="sweep a task over a (family x n x Delta x seed) grid")
+    batch.add_argument("--task", default="delta_plus_one", choices=sorted(TASKS),
+                       help="named task to run per cell (default: delta_plus_one)")
+    batch.add_argument("--family", default="random_regular", nargs="+",
+                       choices=sorted(generators.FAMILIES), help="graph families")
+    batch.add_argument("--nodes", "-n", type=int, nargs="+", default=[200], help="vertex counts")
+    batch.add_argument("--delta", type=int, nargs="+", default=[8], help="target maximum degrees")
+    batch.add_argument("--seeds", type=int, default=1, help="number of seeds per cell (0..seeds-1)")
+    _add_backend_argument(batch)
+    batch.add_argument("--parity-check", action="store_true",
+                       help="re-run every cell on the reference backend and require identical results")
+    batch.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                       help="task parameter (repeatable), e.g. --param k=4")
 
     return parser
 
@@ -85,16 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_color(args) -> int:
     graph = _make_graph(args)
     if args.k is None:
-        result = pipelines.delta_plus_one_coloring(graph, seed=args.seed, vectorized=True)
+        result = pipelines.delta_plus_one_coloring(graph, seed=args.seed, backend=args.backend)
         assert_proper_coloring(graph, result.colors, max_colors=graph.max_degree + 1)
         label = "(Delta+1) pipeline"
     else:
         colors, m = _make_input_coloring(graph, args.seed)
-        result = corollaries.kdelta_coloring(graph, colors, m, k=args.k, vectorized=True)
+        result = corollaries.kdelta_coloring(graph, colors, m, k=args.k, backend=args.backend)
         assert_proper_coloring(graph, result.colors)
         label = f"O(k*Delta) trade-off with k={args.k}"
     print(f"graph: n={graph.n} edges={graph.num_edges} Delta={graph.max_degree}")
-    print(f"{label}: {result.num_colors} colors (space {result.color_space_size}) "
+    print(f"{label} [{args.backend}]: {result.num_colors} colors (space {result.color_space_size}) "
           f"in {result.rounds} rounds — verified proper")
     return 0
 
@@ -103,15 +138,17 @@ def _cmd_defective(args) -> int:
     graph = _make_graph(args)
     colors, m = _make_input_coloring(graph, args.seed)
     if args.outdegree:
-        result = corollaries.outdegree_coloring(graph, colors, m, beta=args.d)
+        result = corollaries.outdegree_coloring(graph, colors, m, beta=args.d, backend=args.backend)
         assert_outdegree_orientation(graph, result.colors, result.orientation, args.d)
         kind = f"beta-outdegree (beta={args.d})"
     else:
-        result = corollaries.defective_coloring_one_round(graph, colors, m, d=args.d, vectorized=True)
+        result = corollaries.defective_coloring_one_round(
+            graph, colors, m, d=args.d, backend=args.backend
+        )
         assert_defective_coloring(graph, result.colors, d=args.d)
         kind = f"{args.d}-defective (one round)"
     print(f"graph: n={graph.n} edges={graph.num_edges} Delta={graph.max_degree}")
-    print(f"{kind}: {result.num_colors} colors in {result.rounds} rounds — verified")
+    print(f"{kind} [{args.backend}]: {result.num_colors} colors in {result.rounds} rounds — verified")
     return 0
 
 
@@ -119,21 +156,55 @@ def _cmd_ruling_set(args) -> int:
     graph = _make_graph(args)
     colors, m = _make_input_coloring(graph, args.seed)
     if args.baseline:
-        result = ruling_sets.ruling_set_sew13_baseline(graph, colors, m, r=args.r, vectorized=True)
+        result = ruling_sets.ruling_set_sew13_baseline(graph, colors, m, r=args.r, backend=args.backend)
         label = "SEW13 baseline"
     else:
-        result = ruling_sets.ruling_set_theorem15(graph, colors, m, r=args.r, vectorized=True)
+        result = ruling_sets.ruling_set_theorem15(graph, colors, m, r=args.r, backend=args.backend)
         label = "Theorem 1.5"
     assert_ruling_set(graph, result.vertices, r=max(args.r, result.r))
     print(f"graph: n={graph.n} edges={graph.num_edges} Delta={graph.max_degree}")
-    print(f"{label} (2,{args.r})-ruling set: {result.size} vertices in {result.rounds} rounds "
-          f"({result.metadata['ruling_rounds']} in the ruling phase) — verified")
+    print(f"{label} [{args.backend}] (2,{args.r})-ruling set: {result.size} vertices in "
+          f"{result.rounds} rounds ({result.metadata['ruling_rounds']} in the ruling phase) — verified")
     return 0
 
 
 def _cmd_experiment(args) -> int:
-    table = run_experiment(args.name)
+    table = run_experiment(args.name, backend=args.backend, parity_check=args.parity_check)
     print(table.render())
+    return 0
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        key, _, value = pair.partition("=")
+        try:
+            parsed = int(value)
+        except ValueError:
+            try:
+                parsed = float(value)
+            except ValueError:
+                parsed = {"true": True, "false": False}.get(value.lower(), value)
+        params[key] = parsed
+    return params
+
+
+def _cmd_batch(args) -> int:
+    runner = BatchRunner(backend=args.backend, parity_check=args.parity_check)
+    families = args.family if isinstance(args.family, list) else [args.family]
+    cells = BatchRunner.grid(families, args.nodes, args.delta, seeds=range(args.seeds))
+    params = _parse_params(args.param)
+    result = runner.run(args.task, cells, params_grid=[params] if params else None)
+    columns = [c for c in result.records[0] if c != "backend"] if result.records else []
+    title = (
+        f"batch: task={args.task} backend={args.backend} cells={len(result)}"
+        + (" parity-checked" if args.parity_check else "")
+    )
+    print(result.to_table(title, columns).render())
+    print(f"\ntotal wall-clock: {result.total_seconds:.3f}s on backend {args.backend!r}"
+          + (" (every cell parity-checked against 'reference')" if args.parity_check else ""))
     return 0
 
 
@@ -144,10 +215,11 @@ def main(argv: list[str] | None = None) -> int:
         "defective": _cmd_defective,
         "ruling-set": _cmd_ruling_set,
         "experiment": _cmd_experiment,
+        "batch": _cmd_batch,
     }
     try:
         return commands[args.command](args)
-    except AssertionError as exc:  # verification failure
+    except AssertionError as exc:  # verification failure (incl. parity errors)
         print(f"VERIFICATION FAILED: {exc}", file=sys.stderr)
         return 1
 

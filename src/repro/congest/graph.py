@@ -93,6 +93,48 @@ class Graph:
         return cls(n, map(tuple, edges.tolist()))
 
     @classmethod
+    def from_csr_arrays(
+        cls, indptr: np.ndarray, indices: np.ndarray, copy: bool = True
+    ) -> "Graph":
+        """Trusted fast path: build a graph directly from CSR arrays.
+
+        ``indptr`` / ``indices`` must already describe a *valid* simple
+        undirected graph: every edge present in both directions, neighbor
+        lists sorted, no self loops.  Only cheap shape checks are performed —
+        this constructor exists so array-backend code (e.g. the vectorized
+        :meth:`induced_subgraph`) can skip the ``O(E)`` Python dedup loop of
+        the public constructor.
+
+        With ``copy=True`` (the default) the graph freezes private copies, so
+        the caller's buffers stay writable.  Pass ``copy=False`` only when
+        handing over freshly built arrays nobody else holds — they are frozen
+        in place.
+        """
+        def owned(a):
+            arr = np.ascontiguousarray(a, dtype=np.int64)
+            # Never freeze a buffer the caller still holds a writable handle
+            # to; take a private copy instead.
+            if copy and arr is a and arr.flags.writeable:
+                arr = arr.copy()
+            return arr
+
+        indptr = owned(indptr)
+        indices = owned(indices)
+        if indptr.ndim != 1 or indptr.size == 0 or indices.ndim != 1:
+            raise GraphError("malformed CSR arrays")
+        if int(indptr[0]) != 0 or int(indptr[-1]) != indices.size:
+            raise GraphError("indptr does not span the indices array")
+        g = cls.__new__(cls)
+        g._n = indptr.size - 1
+        g._indptr = indptr
+        g._indices = indices
+        g._degrees = np.diff(indptr)
+        g._num_edges = indices.size // 2
+        for a in (g._indptr, g._indices, g._degrees):
+            a.setflags(write=False)
+        return g
+
+    @classmethod
     def from_adjacency(cls, adjacency: Sequence[Sequence[int]]) -> "Graph":
         """Build a graph from an adjacency-list representation."""
         n = len(adjacency)
@@ -203,18 +245,27 @@ class Graph:
             vertices and ``mapping`` maps subgraph vertex ``i`` back to the
             original vertex id ``mapping[i]``.
         """
-        verts = np.array(sorted(set(int(v) for v in vertices)), dtype=np.int64)
+        verts = np.unique(np.array(list(vertices), dtype=np.int64))
         if verts.size and (verts[0] < 0 or verts[-1] >= self._n):
             raise GraphError("subgraph vertices out of range")
+        if verts.size == 0:
+            return Graph(0), verts
+        # Fully vectorized: keep the CSR entries whose both endpoints are in
+        # the vertex set and relabel.  ``position`` is monotone over the sorted
+        # ``verts``, so each surviving row keeps its sorted neighbor order and
+        # the filtered arrays are already a valid CSR of the subgraph.
+        keep = np.zeros(self._n, dtype=bool)
+        keep[verts] = True
         position = -np.ones(self._n, dtype=np.int64)
         position[verts] = np.arange(verts.size)
-        edges = []
-        for new_u, u in enumerate(verts):
-            for v in self.neighbors(int(u)):
-                new_v = position[v]
-                if new_v >= 0 and new_u < new_v:
-                    edges.append((new_u, int(new_v)))
-        return Graph(verts.size, edges), verts
+        src = np.repeat(np.arange(self._n, dtype=np.int64), self._degrees)
+        sel = keep[src] & keep[self._indices]
+        sub_src = position[src[sel]]
+        sub_dst = position[self._indices[sel]]
+        counts = np.bincount(sub_src, minlength=verts.size)
+        indptr = np.zeros(verts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return Graph.from_csr_arrays(indptr, sub_dst, copy=False), verts
 
     def power_graph(self, power: int) -> "Graph":
         """Return ``G^power``: vertices at distance ``<= power`` become adjacent.

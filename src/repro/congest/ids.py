@@ -24,6 +24,7 @@ __all__ = [
     "greedy_coloring",
     "random_proper_coloring",
     "distinct_input_coloring",
+    "delta4_input_coloring",
     "validate_proper_coloring",
     "InputColoringError",
 ]
@@ -130,6 +131,22 @@ def distinct_input_coloring(graph: Graph, m: int, seed: int = 0) -> np.ndarray:
     return np.sort(rng.choice(m, size=graph.n, replace=False).astype(np.int64))[
         rng.permutation(graph.n)
     ]
+
+
+def delta4_input_coloring(graph: Graph, seed: int = 0) -> tuple[np.ndarray, int]:
+    """The standing ``Delta^4``-input coloring of Corollary 1.2, as ``(colors, m)``.
+
+    Distinct colors whenever the ``Delta^4`` space covers all vertices (as
+    with unique IDs), otherwise a greedy coloring spread into the space.  The
+    single source of this construction — the experiment harness and the
+    BatchRunner both build their workloads from it, so recorded tables stay
+    reproducible.
+    """
+    delta = max(1, graph.max_degree)
+    m = max(delta + 1, delta ** 4)
+    if m >= graph.n:
+        return distinct_input_coloring(graph, m, seed=seed), m
+    return random_proper_coloring(graph, num_colors=m, seed=seed)
 
 
 def validate_proper_coloring(graph: Graph, colors: np.ndarray, m: int | None = None) -> None:

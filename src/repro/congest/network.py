@@ -12,7 +12,9 @@ instance per vertex and drives the round structure:
 The scheduler also accounts message sizes in bits (:func:`message_bits`) and,
 when ``model="CONGEST"`` and ``strict_bandwidth=True``, raises
 :class:`CongestViolation` if a message exceeds ``bandwidth_factor * log2(n)``
-bits.
+bits.  Under ``model="LOCAL"`` messages are unbounded by definition, so
+per-payload bit accounting is skipped entirely (the bit columns of the round
+metrics report 0); message *counts* are still recorded.
 """
 
 from __future__ import annotations
@@ -83,14 +85,29 @@ class SynchronousNetwork:
         self.globals = shared
 
         self.nodes: list[NodeAlgorithm] = []
+        # Per-node neighbor ids (as plain ints) and membership sets, hoisted
+        # out of the delivery loop: outbox expansion runs once per node per
+        # round and must not re-slice the CSR arrays every time.
+        self._neighbor_ids: list[list[int]] = []
+        self._neighbor_sets: list[frozenset[int]] = []
         for v in range(graph.n):
+            nbrs = graph.neighbors(v)
             ctx = NodeContext(
                 node=v,
                 degree=graph.degree(v),
-                neighbors=graph.neighbors(v),
+                neighbors=nbrs,
                 globals=shared,
             )
             self.nodes.append(factory(ctx))
+            ids = [int(u) for u in nbrs]
+            self._neighbor_ids.append(ids)
+            self._neighbor_sets.append(frozenset(ids))
+
+        # The budget only depends on n and the factor fixed at construction;
+        # compute it once instead of per round.
+        self._bandwidth_budget = self.bandwidth_factor * max(
+            1.0, math.log2(max(2, graph.n))
+        )
 
         #: pending outboxes produced by ``start()`` / the previous ``receive()``
         self._pending: list[Any] = [None] * graph.n
@@ -101,7 +118,7 @@ class SynchronousNetwork:
     @property
     def bandwidth_bits(self) -> float:
         """The per-message bit budget used for CONGEST accounting."""
-        return self.bandwidth_factor * max(1.0, math.log2(max(2, self.graph.n)))
+        return self._bandwidth_budget
 
     def all_halted(self) -> bool:
         """Whether every node has halted."""
@@ -120,10 +137,11 @@ class SynchronousNetwork:
         if outbox is None:
             return {}
         if isinstance(outbox, Broadcast):
-            return {int(u): outbox.payload for u in self.graph.neighbors(v)}
+            return {u: outbox.payload for u in self._neighbor_ids[v]}
         if isinstance(outbox, dict):
+            neighbor_set = self._neighbor_sets[v]
             for u in outbox:
-                if not self.graph.has_edge(v, int(u)):
+                if int(u) not in neighbor_set:
                     raise ValueError(
                         f"node {v} attempted to send to non-neighbor {u}"
                     )
@@ -144,7 +162,11 @@ class SynchronousNetwork:
         if self.all_halted():
             return False
 
-        budget = self.bandwidth_bits
+        budget = self._bandwidth_budget
+        # Bit accounting only matters under CONGEST: the LOCAL model allows
+        # unbounded messages, so computing message_bits for every payload
+        # there is pure overhead (bit columns then report 0).
+        account_bits = self.model == "CONGEST"
         inboxes: list[dict[int, Any]] = [dict() for _ in range(self.graph.n)]
         messages_sent = 0
         total_bits = 0
@@ -159,17 +181,19 @@ class SynchronousNetwork:
             outbox = self._expand_outbox(v, self._pending[v])
             self._pending[v] = None
             for u, payload in outbox.items():
-                bits = message_bits(payload)
                 messages_sent += 1
-                total_bits += bits
-                max_bits = max(max_bits, bits)
-                if self.model == "CONGEST" and bits > budget:
-                    self.bandwidth_violations += 1
-                    if self.strict_bandwidth:
-                        raise CongestViolation(
-                            f"node {v} sent a {bits}-bit message to {u}, exceeding "
-                            f"the CONGEST budget of {budget:.0f} bits"
-                        )
+                if account_bits:
+                    bits = message_bits(payload)
+                    total_bits += bits
+                    if bits > max_bits:
+                        max_bits = bits
+                    if bits > budget:
+                        self.bandwidth_violations += 1
+                        if self.strict_bandwidth:
+                            raise CongestViolation(
+                                f"node {v} sent a {bits}-bit message to {u}, exceeding "
+                                f"the CONGEST budget of {budget:.0f} bits"
+                            )
                 inboxes[u][v] = payload
 
         # Phase 2: every non-halted node processes its inbox and queues the

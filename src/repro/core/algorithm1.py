@@ -181,6 +181,8 @@ def run_mother_algorithm(
     validate_input: bool = True,
     model: str = "CONGEST",
     with_orientation: bool = True,
+    bandwidth_factor: float = 32.0,
+    strict_bandwidth: bool = False,
 ) -> ColoringResult:
     """Run Algorithm 1 on ``graph`` and return the coloring of Theorem 1.1.
 
@@ -203,6 +205,9 @@ def run_mother_algorithm(
         ``"CONGEST"`` (default) or ``"LOCAL"``.
     with_orientation:
         Also derive the monochromatic-edge orientation (point (1)).
+    bandwidth_factor / strict_bandwidth:
+        CONGEST bandwidth accounting knobs, passed through to
+        :class:`repro.congest.network.SynchronousNetwork`.
 
     Returns
     -------
@@ -237,6 +242,8 @@ def run_mother_algorithm(
         globals={"m": params.m, "d": params.d, "k": params.k},
         model=model,
         max_rounds=params.num_batches + 2,
+        bandwidth_factor=bandwidth_factor,
+        strict_bandwidth=strict_bandwidth,
     )
 
     colors = np.array([out["color"] for out in run.outputs], dtype=np.int64)

@@ -23,8 +23,9 @@ import numpy as np
 from repro.congest.graph import Graph
 from repro.congest.ids import greedy_coloring
 from repro.core.corollaries import kdelta_coloring
-from repro.core.reduce import remove_color_class_reduction
 from repro.core.results import ColoringResult
+from repro.engine.base import Engine
+from repro.engine.registry import resolve_backend
 
 __all__ = [
     "greedy_sequential",
@@ -109,7 +110,8 @@ def locally_iterative_beg18(
     input_colors: np.ndarray,
     m: int,
     reduce_to_delta_plus_one: bool = True,
-    vectorized: bool = False,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """The locally-iterative (BEG18-style) baseline: ``k = 1`` trials, one per round.
 
@@ -118,11 +120,12 @@ def locally_iterative_beg18(
     ``O(Delta)`` rounds — the exact route the paper describes for its ``k = 1``
     setting.
     """
-    stage1 = kdelta_coloring(graph, input_colors, m, k=1, vectorized=vectorized)
+    engine = resolve_backend(backend, vectorized)
+    stage1 = kdelta_coloring(graph, input_colors, m, k=1, backend=engine)
     if not reduce_to_delta_plus_one:
         return stage1
     compact = stage1.colors
-    stage2 = remove_color_class_reduction(graph, compact, target_colors=graph.max_degree + 1)
+    stage2 = engine.remove_color_class(graph, compact, target_colors=graph.max_degree + 1)
     return ColoringResult(
         colors=stage2.colors,
         rounds=stage1.rounds + stage2.rounds,

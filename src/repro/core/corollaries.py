@@ -1,8 +1,11 @@
 """Corollary 1.2 — the most important parameter settings of Theorem 1.1.
 
 Every function below is a thin wrapper that chooses ``(d, k)`` exactly as the
-corollary's proof does and delegates to the mother algorithm.  The color / round
-bounds stated in the corollary (for a ``Delta^4``-input coloring) are exposed by
+corollary's proof does and delegates to the mother algorithm through the
+execution-engine layer (:mod:`repro.engine`): ``backend="reference"`` runs the
+per-node CONGEST simulator, ``backend="array"`` the vectorized CSR twin, with
+property-tested identical outputs.  The color / round bounds stated in the
+corollary (for a ``Delta^4``-input coloring) are exposed by
 :mod:`repro.analysis.bounds` and checked by the tests and experiments.
 
 1. ``linial_color_reduction``   — ``d = 0``, one batch:   ``<= 256 Delta^2`` colors in 1 round.
@@ -20,10 +23,10 @@ import math
 import numpy as np
 
 from repro.congest.graph import Graph
-from repro.core.algorithm1 import run_mother_algorithm
 from repro.core.params import MotherParameters
 from repro.core.results import ColoringResult
-from repro.core.vectorized import run_mother_algorithm_vectorized
+from repro.engine.base import Engine
+from repro.engine.registry import resolve_backend
 
 __all__ = [
     "linial_color_reduction",
@@ -35,9 +38,19 @@ __all__ = [
 ]
 
 
-def _run(graph, input_colors, m, d, k, vectorized, with_orientation=True, params=None):
-    runner = run_mother_algorithm_vectorized if vectorized else run_mother_algorithm
-    return runner(
+def _run(
+    graph,
+    input_colors,
+    m,
+    d,
+    k,
+    backend: str | Engine,
+    vectorized: bool | None,
+    with_orientation=True,
+    params=None,
+):
+    engine = resolve_backend(backend, vectorized)
+    return engine.run_mother(
         graph,
         input_colors,
         m=m,
@@ -55,7 +68,11 @@ def _single_batch_params(m: int, delta: int, d: int) -> MotherParameters:
 
 
 def linial_color_reduction(
-    graph: Graph, input_colors: np.ndarray, m: int, vectorized: bool = False
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """Corollary 1.2 (1): Linial's one-round color reduction.
 
@@ -66,11 +83,16 @@ def linial_color_reduction(
     """
     delta = max(1, graph.max_degree)
     params = _single_batch_params(m, delta, 0)
-    return _run(graph, input_colors, m, 0, params.k, vectorized, params=params)
+    return _run(graph, input_colors, m, 0, params.k, backend, vectorized, params=params)
 
 
 def kdelta_coloring(
-    graph: Graph, input_colors: np.ndarray, m: int, k: int, vectorized: bool = False
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    k: int,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """Corollary 1.2 (2): ``O(k Delta)`` colors in ``O(Delta / k)`` rounds.
 
@@ -78,20 +100,29 @@ def kdelta_coloring(
     regime (``k = 1``).  For a ``Delta^4``-input coloring the concrete bounds
     are ``16 Delta k`` colors in ``16 Delta / k`` rounds.
     """
-    return _run(graph, input_colors, m, 0, k, vectorized)
+    return _run(graph, input_colors, m, 0, k, backend, vectorized)
 
 
 def delta_squared_coloring(
-    graph: Graph, input_colors: np.ndarray, m: int, vectorized: bool = False
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """Corollary 1.2 (3): ``Delta^2`` colors in ``O(1)`` rounds (``k = ceil(Delta/16)``)."""
     delta = max(1, graph.max_degree)
     k = max(1, math.ceil(delta / 16))
-    return _run(graph, input_colors, m, 0, k, vectorized)
+    return _run(graph, input_colors, m, 0, k, backend, vectorized)
 
 
 def outdegree_coloring(
-    graph: Graph, input_colors: np.ndarray, m: int, beta: int, vectorized: bool = False
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    beta: int,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """Corollary 1.2 (4): a ``beta``-outdegree ``O(Delta / beta)``-coloring in ``O(Delta / beta)`` rounds.
 
@@ -104,11 +135,16 @@ def outdegree_coloring(
     delta = max(1, graph.max_degree)
     if not (1 <= beta <= delta - 1):
         raise ValueError(f"beta must satisfy 1 <= beta <= Delta - 1, got beta={beta}, Delta={delta}")
-    return _run(graph, input_colors, m, beta, 1, vectorized, with_orientation=True)
+    return _run(graph, input_colors, m, beta, 1, backend, vectorized, with_orientation=True)
 
 
 def defective_coloring_one_round(
-    graph: Graph, input_colors: np.ndarray, m: int, d: int, vectorized: bool = False
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    d: int,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """Corollary 1.2 (5): a ``d``-defective ``O((Delta/d)^2)``-coloring in one round.
 
@@ -120,11 +156,16 @@ def defective_coloring_one_round(
     if not (1 <= d <= delta - 1):
         raise ValueError(f"d must satisfy 1 <= d <= Delta - 1, got d={d}, Delta={delta}")
     params = _single_batch_params(m, delta, d)
-    return _run(graph, input_colors, m, d, params.k, vectorized, params=params)
+    return _run(graph, input_colors, m, d, params.k, backend, vectorized, params=params)
 
 
 def defective_coloring(
-    graph: Graph, input_colors: np.ndarray, m: int, d: int, vectorized: bool = False
+    graph: Graph,
+    input_colors: np.ndarray,
+    m: int,
+    d: int,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """Corollary 1.2 (6): a ``d``-defective ``O((Delta/d)^2)``-coloring in ``O(Delta/d)`` rounds.
 
@@ -136,7 +177,7 @@ def defective_coloring(
     delta = max(1, graph.max_degree)
     if not (1 <= d <= delta - 1):
         raise ValueError(f"d must satisfy 1 <= d <= Delta - 1, got d={d}, Delta={delta}")
-    base = _run(graph, input_colors, m, d, 1, vectorized, with_orientation=False)
+    base = _run(graph, input_colors, m, d, 1, backend, vectorized, with_orientation=False)
     if base.parts is None:  # pragma: no cover - defensive
         raise RuntimeError("mother algorithm did not report parts")
     stride = int(base.parts.max(initial=0)) + 1

@@ -19,6 +19,8 @@ from repro.congest.graph import Graph
 from repro.congest.ids import assign_unique_ids
 from repro.core.corollaries import linial_color_reduction
 from repro.core.results import ColoringResult
+from repro.engine.base import Engine
+from repro.engine.registry import resolve_backend
 
 __all__ = ["linial_coloring", "iterated_color_reduction"]
 
@@ -29,7 +31,8 @@ def iterated_color_reduction(
     m: int,
     target_colors: int | None = None,
     max_iterations: int = 64,
-    vectorized: bool = False,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """Iterate the one-round reduction until the color space stops shrinking.
 
@@ -45,6 +48,7 @@ def iterated_color_reduction(
         ``rounds`` counts one round per reduction step (the paper's
         ``O(log* n)``); metadata records the sequence of color-space sizes.
     """
+    engine = resolve_backend(backend, vectorized)
     delta = max(1, graph.max_degree)
     if target_colors is None:
         target_colors = 256 * delta * delta
@@ -58,7 +62,7 @@ def iterated_color_reduction(
     for _ in range(max_iterations):
         if space <= target_colors:
             break
-        step = linial_color_reduction(graph, colors, space, vectorized=vectorized)
+        step = linial_color_reduction(graph, colors, space, backend=engine)
         new_space = step.color_space_size
         if new_space >= space:
             # No further progress possible (already at the fixed point of the
@@ -89,7 +93,8 @@ def linial_coloring(
     id_space: int | None = None,
     seed: int | None = None,
     target_colors: int | None = None,
-    vectorized: bool = False,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """Compute an ``O(Delta^2)``-coloring from unique IDs in ``O(log* n)`` rounds.
 
@@ -112,5 +117,6 @@ def linial_coloring(
         raise ValueError("ids must be unique")
     space = int(id_space) if id_space is not None else (int(ids.max()) + 1 if ids.size else 1)
     return iterated_color_reduction(
-        graph, ids, space, target_colors=target_colors, vectorized=vectorized
+        graph, ids, space, target_colors=target_colors,
+        backend=resolve_backend(backend, vectorized),
     )

@@ -23,6 +23,11 @@
 * :func:`corollary14_coloring` — Corollary 1.4: the ``O(k Delta)`` colors /
   ``O(sqrt(Delta / k))``-style trade-off obtained by instantiating Theorem 1.3
   with ``eps = log_Delta k``.
+
+Every pipeline accepts ``backend="reference" | "array" | Engine`` and runs all
+its stages through the selected execution engine (:mod:`repro.engine`); the
+two built-in backends produce identical colors and round counts.  The legacy
+``vectorized=`` flag is kept as a deprecated alias (``True`` -> ``"array"``).
 """
 
 from __future__ import annotations
@@ -35,8 +40,9 @@ import numpy as np
 from repro.congest.graph import Graph
 from repro.core.corollaries import defective_coloring, kdelta_coloring
 from repro.core.linial import linial_coloring
-from repro.core.reduce import remove_color_class_reduction
 from repro.core.results import ColoringResult
+from repro.engine.base import Engine
+from repro.engine.registry import resolve_backend
 from repro.verify.coloring import color_classes
 
 __all__ = [
@@ -51,7 +57,8 @@ def delta_plus_one_coloring(
     graph: Graph,
     ids: np.ndarray | None = None,
     seed: int | None = None,
-    vectorized: bool = False,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """The full ``(Delta + 1)``-coloring pipeline in ``O(Delta) + log* n`` rounds.
 
@@ -59,18 +66,20 @@ def delta_plus_one_coloring(
     Stage 2 (mother algorithm, ``k = 1``): ``O(Delta)`` colors in ``O(Delta)`` rounds.
     Stage 3 (color-class removal): ``Delta + 1`` colors in ``O(Delta)`` rounds.
     """
+    engine = resolve_backend(backend, vectorized)
     delta = max(1, graph.max_degree)
-    stage1 = linial_coloring(graph, ids=ids, seed=seed, vectorized=vectorized)
+    stage1 = linial_coloring(graph, ids=ids, seed=seed, backend=engine)
     stage2 = kdelta_coloring(
-        graph, stage1.colors, stage1.color_space_size, k=1, vectorized=vectorized
+        graph, stage1.colors, stage1.color_space_size, k=1, backend=engine
     )
-    stage3 = remove_color_class_reduction(graph, stage2.colors, target_colors=delta + 1)
+    stage3 = engine.remove_color_class(graph, stage2.colors, target_colors=delta + 1)
     return ColoringResult(
         colors=stage3.colors,
         rounds=stage1.rounds + stage2.rounds + stage3.rounds,
         color_space_size=delta + 1,
         metadata={
             "method": "delta_plus_one_pipeline",
+            "backend": engine.name,
             "linial_rounds": stage1.rounds,
             "linial_color_space": stage1.color_space_size,
             "mother_rounds": stage2.rounds,
@@ -84,7 +93,8 @@ def o_delta_coloring(
     graph: Graph,
     input_colors: np.ndarray,
     m: int,
-    vectorized: bool = False,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """An ``O(Delta)``-coloring of ``graph`` given a proper ``m``-input coloring.
 
@@ -95,7 +105,8 @@ def o_delta_coloring(
     flagged in the metadata so downstream results (Theorem 1.3 / 1.5) can report
     both the paper bound and the measured rounds honestly.
     """
-    result = kdelta_coloring(graph, input_colors, m, k=1, vectorized=vectorized)
+    engine = resolve_backend(backend, vectorized)
+    result = kdelta_coloring(graph, input_colors, m, k=1, backend=engine)
     result.metadata["substitution"] = (
         "Theorem 3.1 [Bar16, BEG18] replaced by the k=1 mother algorithm: "
         "same O(Delta) color bound, O(Delta) instead of O(sqrt(Delta)) rounds"
@@ -109,7 +120,8 @@ def theorem13_coloring(
     m: int,
     epsilon: float = 0.5,
     low_degree_coloring: Callable[[Graph, np.ndarray, int], ColoringResult] | None = None,
-    vectorized: bool = False,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """Theorem 1.3: an ``O(Delta^{1+eps})``-coloring.
 
@@ -128,22 +140,23 @@ def theorem13_coloring(
     """
     if not (0.0 < epsilon <= 1.0):
         raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    engine = resolve_backend(backend, vectorized)
     delta = max(1, graph.max_degree)
     input_colors = np.asarray(input_colors, dtype=np.int64)
     if low_degree_coloring is None:
         def low_degree_coloring(sub: Graph, sub_colors: np.ndarray, sub_m: int) -> ColoringResult:
-            return o_delta_coloring(sub, sub_colors, sub_m, vectorized=vectorized)
+            return o_delta_coloring(sub, sub_colors, sub_m, backend=engine)
 
     d = max(1, min(delta - 1, int(round(delta ** (1.0 - epsilon)))))
     if delta <= 2 or d >= delta:
         # Degenerate small-degree case: the defective step is pointless; fall
         # back to the plain O(Delta)-coloring which satisfies the color bound.
-        base = o_delta_coloring(graph, input_colors, m, vectorized=vectorized)
+        base = o_delta_coloring(graph, input_colors, m, backend=engine)
         base.metadata["theorem13_degenerate"] = True
         return base
 
     # Step 1: d-defective coloring psi (Corollary 1.2 (6)).
-    psi = defective_coloring(graph, input_colors, m, d=d, vectorized=vectorized)
+    psi = defective_coloring(graph, input_colors, m, d=d, backend=engine)
 
     # Step 2: color every psi-class in parallel with a disjoint output space.
     classes = color_classes(graph, psi.colors)
@@ -171,6 +184,7 @@ def theorem13_coloring(
         color_space_size=total_space,
         metadata={
             "method": "theorem13",
+            "backend": engine.name,
             "epsilon": epsilon,
             "defect_d": d,
             "defective_rounds": psi.rounds,
@@ -187,7 +201,8 @@ def corollary14_coloring(
     input_colors: np.ndarray,
     m: int,
     k: int,
-    vectorized: bool = False,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> ColoringResult:
     """Corollary 1.4: an ``O(k Delta)``-coloring via Theorem 1.3 with ``eps = log_Delta k``."""
     delta = max(1, graph.max_degree)
@@ -198,5 +213,6 @@ def corollary14_coloring(
     else:
         epsilon = min(1.0, math.log(k) / math.log(delta))
     return theorem13_coloring(
-        graph, input_colors, m, epsilon=max(epsilon, 1e-9), vectorized=vectorized
+        graph, input_colors, m, epsilon=max(epsilon, 1e-9),
+        backend=resolve_backend(backend, vectorized),
     )

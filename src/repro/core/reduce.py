@@ -19,6 +19,11 @@ Both functions simulate the distributed algorithm directly with arrays: a
 round consists of every affected vertex looking at its neighbors' *current*
 colors (one message each, clearly CONGEST) and recoloring simultaneously; the
 returned ``rounds`` is the number of such rounds.
+
+:func:`remove_color_class_reduction` is backend-pluggable: ``backend="array"``
+runs a whole-graph CSR implementation with bit-identical colors and round
+counts (the greedy "smallest free color" choice is deterministic, so the two
+paths agree exactly; this is property-tested in ``tests/test_engine_parity.py``).
 """
 
 from __future__ import annotations
@@ -37,23 +42,7 @@ def _neighbor_color_sets(graph: Graph, colors: np.ndarray, vertices: np.ndarray)
     ]
 
 
-def remove_color_class_reduction(
-    graph: Graph,
-    colors: np.ndarray,
-    target_colors: int | None = None,
-) -> ColoringResult:
-    """Reduce a proper coloring to ``target_colors`` (default ``Delta + 1``) colors.
-
-    In each round all vertices whose color equals the current maximum color
-    value ``c >= target_colors`` simultaneously pick the smallest color in
-    ``[target_colors]`` not used by any neighbor.  These vertices form an
-    independent set (they share a color of a proper coloring), so simultaneous
-    recoloring is safe, and a free color exists because the degree is at most
-    ``Delta < target_colors``.
-
-    Rounds: one per color value above ``target_colors`` that actually occurs.
-    """
-    colors = np.asarray(colors, dtype=np.int64).copy()
+def _validated_target(graph: Graph, target_colors: int | None) -> int:
     delta = graph.max_degree
     if target_colors is None:
         target_colors = delta + 1
@@ -61,7 +50,12 @@ def remove_color_class_reduction(
         raise ValueError(
             f"cannot greedily reduce below Delta + 1 = {delta + 1} colors, requested {target_colors}"
         )
+    return int(target_colors)
 
+
+def _remove_color_class_reference(
+    graph: Graph, colors: np.ndarray, target_colors: int
+) -> tuple[np.ndarray, int]:
     rounds = 0
     while colors.size and int(colors.max()) >= target_colors:
         current = int(colors.max())
@@ -73,12 +67,82 @@ def remove_color_class_reduction(
                 c += 1
             colors[v] = c
         rounds += 1
+    return colors, rounds
 
+
+def _remove_color_class_array(
+    graph: Graph, colors: np.ndarray, target_colors: int
+) -> tuple[np.ndarray, int]:
+    """CSR implementation of the same reduction (identical colors and rounds).
+
+    Per round: gather the incident CSR entries of the affected independent
+    set, scatter their neighbors' sub-``target`` colors into a dense
+    ``(affected, target)`` occupancy table, and take the first free column.
+    The affected vertices' degrees are at most ``Delta < target_colors``, so a
+    free column always exists, and neighbor colors ``>= target_colors`` can
+    never block the scan (the reference scan stops at most at index ``Delta``).
+    """
+    indices = graph.indices
+    src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
+    rounds = 0
+    while colors.size and int(colors.max()) >= target_colors:
+        current = int(colors.max())
+        affected_mask = colors == current
+        vertices = np.nonzero(affected_mask)[0]
+        sel = affected_mask[src]
+        rows = np.searchsorted(vertices, src[sel])
+        nbr_colors = colors[indices[sel]]
+        used = np.zeros((vertices.size, target_colors), dtype=bool)
+        in_range = nbr_colors < target_colors
+        used[rows[in_range], nbr_colors[in_range]] = True
+        colors[vertices] = np.argmax(~used, axis=1)
+        rounds += 1
+    return colors, rounds
+
+
+def remove_color_class_reduction(
+    graph: Graph,
+    colors: np.ndarray,
+    target_colors: int | None = None,
+    backend: str | object = "reference",
+) -> ColoringResult:
+    """Reduce a proper coloring to ``target_colors`` (default ``Delta + 1``) colors.
+
+    In each round all vertices whose color equals the current maximum color
+    value ``c >= target_colors`` simultaneously pick the smallest color in
+    ``[target_colors]`` not used by any neighbor.  These vertices form an
+    independent set (they share a color of a proper coloring), so simultaneous
+    recoloring is safe, and a free color exists because the degree is at most
+    ``Delta < target_colors``.
+
+    Rounds: one per color value above ``target_colors`` that actually occurs.
+
+    ``backend`` selects the execution path: ``"reference"`` (per-vertex Python
+    sets) or ``"array"`` (whole-graph CSR scatter); both produce identical
+    colors and round counts.  An :class:`repro.engine.base.Engine` instance is
+    also accepted (its ``name`` selects the path).
+    """
+    colors = np.asarray(colors, dtype=np.int64).copy()
+    target_colors = _validated_target(graph, target_colors)
+    backend_name = getattr(backend, "name", backend)
+    if backend_name == "array":
+        colors, rounds = _remove_color_class_array(graph, colors, target_colors)
+    elif backend_name == "reference":
+        colors, rounds = _remove_color_class_reference(graph, colors, target_colors)
+    else:
+        raise ValueError(
+            f"unknown backend {backend_name!r} for remove_color_class_reduction; "
+            "expected 'reference' or 'array'"
+        )
     return ColoringResult(
         colors=colors,
         rounds=rounds,
         color_space_size=target_colors,
-        metadata={"method": "remove_color_class", "target_colors": target_colors},
+        metadata={
+            "method": "remove_color_class",
+            "target_colors": target_colors,
+            "backend": backend_name,
+        },
     )
 
 

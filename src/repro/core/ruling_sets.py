@@ -37,6 +37,8 @@ from repro.congest.graph import Graph
 from repro.core.corollaries import linial_color_reduction
 from repro.core.pipelines import theorem13_coloring
 from repro.core.results import ColoringResult, RulingSetResult
+from repro.engine.base import Engine
+from repro.engine.registry import resolve_backend
 
 __all__ = [
     "ruling_set_from_coloring",
@@ -147,7 +149,8 @@ def ruling_set_theorem15(
     input_colors: np.ndarray,
     m: int,
     r: int,
-    vectorized: bool = False,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> RulingSetResult:
     """Theorem 1.5: a ``(2, r)``-ruling set in ``O(Delta^{2/(r+2)}) + log* n`` rounds.
 
@@ -160,7 +163,8 @@ def ruling_set_theorem15(
         raise ValueError("Theorem 1.5 requires r >= 2 (r = 1 is MIS, see mis_from_coloring)")
     epsilon = max(1e-9, (r - 2) / (r + 2))
     coloring: ColoringResult = theorem13_coloring(
-        graph, input_colors, m, epsilon=epsilon, vectorized=vectorized
+        graph, input_colors, m, epsilon=epsilon,
+        backend=resolve_backend(backend, vectorized),
     )
     num_colors = max(2, coloring.color_space_size)
     base = _base_for_target_r(num_colors, r)
@@ -187,7 +191,8 @@ def ruling_set_sew13_baseline(
     input_colors: np.ndarray,
     m: int,
     r: int,
-    vectorized: bool = False,
+    backend: str | Engine = "reference",
+    vectorized: bool | None = None,
 ) -> RulingSetResult:
     """The previous state of the art: Lemma 3.2 on an ``O(Delta^2)``-coloring.
 
@@ -198,7 +203,9 @@ def ruling_set_sew13_baseline(
     """
     if r < 1:
         raise ValueError("r must be >= 1")
-    coloring = linial_color_reduction(graph, input_colors, m, vectorized=vectorized)
+    coloring = linial_color_reduction(
+        graph, input_colors, m, backend=resolve_backend(backend, vectorized)
+    )
     num_colors = max(2, coloring.color_space_size)
     if r == 1:
         ruling = mis_from_coloring(graph, coloring.colors, num_colors)

@@ -1,0 +1,43 @@
+"""repro.engine — the pluggable execution-engine layer.
+
+One backend API, two interchangeable implementations:
+
+* :class:`ReferenceEngine` (``backend="reference"``) — the model-faithful
+  per-node LOCAL/CONGEST scheduler with round/message/bandwidth metrics;
+* :class:`ArrayEngine` (``backend="array"``) — the whole-graph NumPy twin
+  over the CSR adjacency, bit-identical outputs, orders of magnitude faster.
+
+Every algorithm in :mod:`repro.core` accepts ``backend=`` and routes its
+primitive steps (mother-algorithm invocations and color-class removal)
+through the selected engine; :class:`BatchRunner` sweeps whole
+(graph x seed x params) grids through a backend with shared precomputed
+CSR structures and optional built-in reference-parity checking.
+
+See ARCHITECTURE.md for the backend contract and parity guarantees.
+"""
+
+from repro.engine.array import ArrayEngine
+from repro.engine.base import Engine, EngineError
+from repro.engine.batch import BatchResult, BatchRunner, GraphSpec, ParityError
+from repro.engine.reference import ReferenceEngine
+from repro.engine.registry import (
+    available_backends,
+    get_engine,
+    register_engine,
+    resolve_backend,
+)
+
+__all__ = [
+    "Engine",
+    "EngineError",
+    "ReferenceEngine",
+    "ArrayEngine",
+    "get_engine",
+    "register_engine",
+    "available_backends",
+    "resolve_backend",
+    "BatchRunner",
+    "BatchResult",
+    "GraphSpec",
+    "ParityError",
+]

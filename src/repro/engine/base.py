@@ -1,0 +1,96 @@
+"""The backend contract of the execution-engine layer.
+
+An :class:`Engine` provides the two primitive operations every coloring
+pipeline in the package is composed of:
+
+* :meth:`Engine.run_mother` — one invocation of Algorithm 1 / Theorem 1.1
+  (the "mother algorithm") with parameters ``(m, d, k)``;
+* :meth:`Engine.remove_color_class` — the color-class-removal reduction used
+  as the finishing step of the ``(Delta + 1)`` pipeline.
+
+Everything else (Linial's iterated reduction, the Corollary 1.2 wrappers, the
+Theorem 1.3 defective-class decomposition, ruling sets) is backend-generic
+composition living in :mod:`repro.core`; those functions accept a
+``backend=`` argument and route the primitives through the selected engine.
+
+Two engines ship with the package (see :mod:`repro.engine.registry`):
+
+* ``"reference"`` — the model-faithful per-node CONGEST/LOCAL simulator.
+  Every message is materialised and bit-accounted; results carry the
+  simulator's round/message/bandwidth metrics.  Slow, but it *is* the model.
+* ``"array"`` — the whole-graph NumPy twin over the CSR adjacency.  Produces
+  bit-identical colors, parts, and round counts (property-tested), orders of
+  magnitude faster, but reports no per-message metrics.
+
+The parity guarantee between the two is the load-bearing invariant of the
+layer: any new backend must reproduce the reference outputs exactly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.congest.graph import Graph
+    from repro.core.params import MotherParameters
+    from repro.core.results import ColoringResult
+
+__all__ = ["Engine", "EngineError"]
+
+
+class EngineError(RuntimeError):
+    """Raised for unknown backends or invalid engine configurations."""
+
+
+class Engine(abc.ABC):
+    """A pluggable execution backend for the paper's algorithms.
+
+    Subclasses implement the two primitives below; both must match the
+    reference semantics exactly (same colors, same part indices, same round
+    counts) — callers are free to mix backends across pipeline stages.
+    """
+
+    #: Registry key and the value reported in result metadata.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # Primitives
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def run_mother(
+        self,
+        graph: "Graph",
+        input_colors: np.ndarray,
+        m: int,
+        d: int = 0,
+        k: int = 1,
+        params: "MotherParameters | None" = None,
+        validate_input: bool = True,
+        with_orientation: bool = False,
+    ) -> "ColoringResult":
+        """Run Algorithm 1 on ``graph`` (the semantics of Theorem 1.1)."""
+
+    @abc.abstractmethod
+    def remove_color_class(
+        self,
+        graph: "Graph",
+        colors: np.ndarray,
+        target_colors: int | None = None,
+    ) -> "ColoringResult":
+        """Greedy color-class removal down to ``target_colors`` colors."""
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def collects_message_metrics(self) -> bool:
+        """Whether results carry per-message simulator metrics."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

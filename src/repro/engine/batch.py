@@ -1,0 +1,415 @@
+"""Batched experiment execution: sweep (graph x seed x params) grids through a backend.
+
+:class:`BatchRunner` is the experiment driver of the engine layer.  It
+
+* **shares precomputed structures** — graphs (CSR adjacency) and their
+  ``Delta^4`` input colorings are built once per :class:`GraphSpec` and reused
+  across every parameter combination and backend that touches the cell;
+* **runs named or custom tasks** — a task maps one workload to a flat record
+  of measurements (``{"rounds": 7, "colors used": 33, ...}``); the built-in
+  tasks cover every algorithm family of the paper (see :data:`TASKS`);
+* **parity-checks against the reference backend** — with
+  ``parity_check=True`` every cell is re-run on the reference engine and all
+  scalar measurements plus array artifacts (colors, parts, ruling sets) must
+  match exactly, so a fast array sweep is continuously validated against the
+  model-faithful simulator;
+* **returns a tidy records table** — one dict per (graph, seed, params) cell,
+  convertible to the :class:`repro.analysis.tables.Table` the experiment
+  harness renders.
+
+The CLI (``python -m repro batch``), the E1-E10 experiment suite, and the
+benchmark harness all drive their sweeps through this class.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.congest.graph import Graph
+from repro.engine.base import Engine
+from repro.engine.registry import get_engine
+
+__all__ = ["GraphSpec", "Workload", "BatchRunner", "BatchResult", "ParityError", "TASKS"]
+
+
+class ParityError(AssertionError):
+    """A backend produced different results than the parity (reference) backend."""
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """One cell of a sweep grid: a graph family instantiation plus its seed."""
+
+    family: str
+    n: int
+    delta: int
+    seed: int = 0
+
+    def label(self) -> str:
+        return f"{self.family}(n={self.n}, Delta={self.delta}, seed={self.seed})"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A materialised cell: the graph and its standing ``Delta^4`` input coloring."""
+
+    spec: GraphSpec
+    graph: Graph
+    input_colors: np.ndarray
+    m: int
+
+    @property
+    def eff_delta(self) -> int:
+        return max(1, self.graph.max_degree)
+
+
+# --------------------------------------------------------------------------- #
+# Built-in tasks
+#
+# A task is ``task(workload, engine, **params) -> Mapping[str, Any]``.  Keys
+# starting with "_" are artifacts (arrays used for parity checking, stripped
+# from the tidy record); everything else must be a scalar measurement.
+# Imports are local so that ``repro.engine`` never imports ``repro.core`` at
+# module load time (``repro.core`` imports the engine registry).
+# --------------------------------------------------------------------------- #
+
+
+def _coloring_record(result, verify_graph=None, max_colors=None) -> dict[str, Any]:
+    if verify_graph is not None:
+        from repro.verify.coloring import assert_proper_coloring
+
+        assert_proper_coloring(verify_graph, result.colors, max_colors=max_colors)
+    record: dict[str, Any] = {
+        "rounds": int(result.rounds),
+        "colors used": int(result.num_colors),
+        "color space": int(result.color_space_size),
+        "_colors": result.colors,
+    }
+    if result.parts is not None:
+        record["_parts"] = result.parts
+    return record
+
+
+def _task_linial_reduction(w: Workload, engine: Engine) -> dict[str, Any]:
+    from repro.core import corollaries
+
+    res = corollaries.linial_color_reduction(w.graph, w.input_colors, w.m, backend=engine)
+    return _coloring_record(res, verify_graph=w.graph)
+
+
+def _task_kdelta(w: Workload, engine: Engine, k: int = 1) -> dict[str, Any]:
+    from repro.core import corollaries
+
+    res = corollaries.kdelta_coloring(w.graph, w.input_colors, w.m, k=k, backend=engine)
+    return _coloring_record(res, verify_graph=w.graph)
+
+
+def _task_delta_squared(w: Workload, engine: Engine) -> dict[str, Any]:
+    from repro.core import corollaries
+
+    res = corollaries.delta_squared_coloring(w.graph, w.input_colors, w.m, backend=engine)
+    return _coloring_record(res, verify_graph=w.graph)
+
+
+def _task_outdegree(w: Workload, engine: Engine, beta: int = 1) -> dict[str, Any]:
+    from repro.core import corollaries
+    from repro.verify.orientation import assert_outdegree_orientation
+
+    res = corollaries.outdegree_coloring(w.graph, w.input_colors, w.m, beta=beta, backend=engine)
+    assert_outdegree_orientation(w.graph, res.colors, res.orientation, beta)
+    record = _coloring_record(res)
+    sources = np.fromiter((e[0] for e in res.orientation), dtype=np.int64,
+                          count=len(res.orientation))
+    record["max outdegree"] = (
+        int(np.bincount(sources, minlength=w.graph.n).max()) if sources.size else 0
+    )
+    return record
+
+
+def _task_defective_one_round(w: Workload, engine: Engine, d: int = 1) -> dict[str, Any]:
+    from repro.core import corollaries
+    from repro.verify.coloring import max_defect
+
+    res = corollaries.defective_coloring_one_round(w.graph, w.input_colors, w.m, d=d, backend=engine)
+    record = _coloring_record(res)
+    record["max defect"] = int(max_defect(w.graph, res.colors))
+    return record
+
+
+def _task_defective(w: Workload, engine: Engine, d: int = 1) -> dict[str, Any]:
+    from repro.core import corollaries
+    from repro.verify.coloring import max_defect
+
+    res = corollaries.defective_coloring(w.graph, w.input_colors, w.m, d=d, backend=engine)
+    record = _coloring_record(res)
+    record["max defect"] = int(max_defect(w.graph, res.colors))
+    return record
+
+
+def _task_linial(w: Workload, engine: Engine) -> dict[str, Any]:
+    from repro.core.linial import linial_coloring
+
+    res = linial_coloring(w.graph, seed=w.spec.seed, backend=engine)
+    return _coloring_record(res, verify_graph=w.graph)
+
+
+def _task_delta_plus_one(w: Workload, engine: Engine) -> dict[str, Any]:
+    from repro.core import pipelines
+
+    res = pipelines.delta_plus_one_coloring(w.graph, seed=w.spec.seed, backend=engine)
+    record = _coloring_record(res, verify_graph=w.graph, max_colors=w.eff_delta + 1)
+    record.update(
+        {
+            "linial rounds": res.metadata["linial_rounds"],
+            "mother rounds": res.metadata["mother_rounds"],
+            "reduce rounds": res.metadata["reduction_rounds"],
+        }
+    )
+    return record
+
+
+def _task_theorem13(w: Workload, engine: Engine, epsilon: float = 0.5) -> dict[str, Any]:
+    from repro.core import pipelines
+
+    res = pipelines.theorem13_coloring(w.graph, w.input_colors, w.m, epsilon=epsilon, backend=engine)
+    return _coloring_record(res, verify_graph=w.graph)
+
+
+def _task_corollary14(w: Workload, engine: Engine, k: int = 1) -> dict[str, Any]:
+    from repro.core import pipelines
+
+    res = pipelines.corollary14_coloring(w.graph, w.input_colors, w.m, k=k, backend=engine)
+    return _coloring_record(res, verify_graph=w.graph)
+
+
+def _task_ruling_set(w: Workload, engine: Engine, r: int = 2, baseline: bool = False) -> dict[str, Any]:
+    from repro.core import ruling_sets
+    from repro.verify.ruling import assert_ruling_set
+
+    fn = ruling_sets.ruling_set_sew13_baseline if baseline else ruling_sets.ruling_set_theorem15
+    res = fn(w.graph, w.input_colors, w.m, r=r, backend=engine)
+    assert_ruling_set(w.graph, res.vertices, r=max(r, res.r))
+    return {
+        "rounds": int(res.rounds),
+        "ruling rounds only": int(res.metadata["ruling_rounds"]),
+        "set size": int(res.size),
+        "_vertices": res.vertices,
+    }
+
+
+#: Named tasks usable from the CLI and the experiment harness.
+TASKS: dict[str, Callable[..., Mapping[str, Any]]] = {
+    "linial_reduction": _task_linial_reduction,
+    "kdelta": _task_kdelta,
+    "delta_squared": _task_delta_squared,
+    "outdegree": _task_outdegree,
+    "defective_one_round": _task_defective_one_round,
+    "defective": _task_defective,
+    "linial": _task_linial,
+    "delta_plus_one": _task_delta_plus_one,
+    "theorem13": _task_theorem13,
+    "corollary14": _task_corollary14,
+    "ruling_set": _task_ruling_set,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class BatchResult:
+    """Tidy records produced by a sweep (one dict per cell)."""
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+    backend: str = "array"
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def column(self, key: str) -> list[Any]:
+        return [r.get(key) for r in self.records]
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(r.get("seconds", 0.0) for r in self.records))
+
+    def to_table(self, title: str, columns: Sequence[str] | None = None):
+        """Render the records as a :class:`repro.analysis.tables.Table`."""
+        from repro.analysis.tables import Table
+
+        if columns is None:
+            columns = [k for k in self.records[0]] if self.records else []
+        table = Table(title, list(columns))
+        for record in self.records:
+            table.add_row(*(record.get(c, "") for c in columns))
+        return table
+
+
+# --------------------------------------------------------------------------- #
+# The runner
+# --------------------------------------------------------------------------- #
+
+
+class BatchRunner:
+    """Run experiment tasks over grids of graphs with a pluggable backend.
+
+    Parameters
+    ----------
+    backend:
+        The engine (or backend name) every cell runs on; default ``"array"``,
+        the fast path.
+    parity_check:
+        Re-run every cell on ``parity_backend`` and require identical scalar
+        measurements and array artifacts (colors / parts / ruling sets).
+        This is the built-in reference-parity check of the engine layer.
+    parity_backend:
+        Backend to validate against (default ``"reference"``).
+
+    Graphs and input colorings are cached per :class:`GraphSpec`, so a sweep
+    over many parameter settings of the same graphs pays the generation and
+    CSR construction cost exactly once — including across the parity re-runs.
+    """
+
+    def __init__(
+        self,
+        backend: str | Engine = "array",
+        parity_check: bool = False,
+        parity_backend: str | Engine = "reference",
+    ):
+        self.engine = get_engine(backend)
+        self.parity_check = bool(parity_check)
+        self.parity_engine = get_engine(parity_backend)
+        self._graphs: dict[GraphSpec, Graph] = {}
+        self._workloads: dict[GraphSpec, Workload] = {}
+
+    # ------------------------------------------------------------------ #
+    # Grid and workload construction
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def grid(
+        families: str | Iterable[str],
+        ns: int | Iterable[int],
+        deltas: int | Iterable[int],
+        seeds: int | Iterable[int] = (0,),
+    ) -> list[GraphSpec]:
+        """Cross product of the given axes as a list of :class:`GraphSpec`."""
+
+        def tup(x):
+            return (x,) if isinstance(x, (int, str)) else tuple(x)
+
+        return [
+            GraphSpec(family=f, n=n, delta=d, seed=s)
+            for f, n, d, s in itertools.product(tup(families), tup(ns), tup(deltas), tup(seeds))
+        ]
+
+    def graph(self, spec: GraphSpec) -> Graph:
+        """The (cached) graph of a cell."""
+        if spec not in self._graphs:
+            from repro.congest import generators
+
+            self._graphs[spec] = generators.by_name(spec.family, spec.n, spec.delta, seed=spec.seed)
+        return self._graphs[spec]
+
+    def workload(self, spec: GraphSpec) -> Workload:
+        """The (cached) graph plus its standing ``Delta^4`` input coloring.
+
+        This is the assumption of Corollary 1.2 ("on any Delta^4-input colored
+        graph"): distinct colors whenever the ``Delta^4`` space allows it,
+        otherwise a greedy coloring spread into the space.
+        """
+        if spec not in self._workloads:
+            from repro.congest.ids import delta4_input_coloring
+
+            graph = self.graph(spec)
+            colors, m = delta4_input_coloring(graph, seed=spec.seed)
+            self._workloads[spec] = Workload(spec=spec, graph=graph, input_colors=colors, m=m)
+        return self._workloads[spec]
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _resolve_task(task: str | Callable[..., Mapping[str, Any]]):
+        if callable(task):
+            return task
+        try:
+            return TASKS[task]
+        except KeyError:
+            raise KeyError(f"unknown task {task!r}; known: {sorted(TASKS)}") from None
+
+    @staticmethod
+    def _split_artifacts(raw: Mapping[str, Any]) -> tuple[dict[str, Any], dict[str, Any]]:
+        record = {k: v for k, v in raw.items() if not k.startswith("_")}
+        artifacts = {k: v for k, v in raw.items() if k.startswith("_")}
+        return record, artifacts
+
+    def _check_parity(self, task_fn, workload: Workload, params: Mapping[str, Any],
+                      record: Mapping[str, Any], artifacts: Mapping[str, Any]) -> None:
+        ref_raw = task_fn(workload, self.parity_engine, **params)
+        ref_record, ref_artifacts = self._split_artifacts(ref_raw)
+        cell = f"{workload.spec.label()} params={dict(params)}"
+        for key, value in ref_record.items():
+            if record.get(key) != value:
+                raise ParityError(
+                    f"parity mismatch on {cell}: field {key!r} is {record.get(key)!r} on "
+                    f"backend {self.engine.name!r} but {value!r} on {self.parity_engine.name!r}"
+                )
+        for key, value in ref_artifacts.items():
+            if key not in artifacts or not np.array_equal(artifacts[key], value):
+                raise ParityError(
+                    f"parity mismatch on {cell}: artifact {key!r} differs between "
+                    f"backends {self.engine.name!r} and {self.parity_engine.name!r}"
+                )
+
+    def run_cell(
+        self,
+        task: str | Callable[..., Mapping[str, Any]],
+        spec: GraphSpec,
+        params: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Run one (graph, seed, params) cell and return its tidy record."""
+        task_fn = self._resolve_task(task)
+        params = dict(params or {})
+        workload = self.workload(spec)
+        start = time.perf_counter()
+        raw = task_fn(workload, self.engine, **params)
+        elapsed = time.perf_counter() - start
+        record, artifacts = self._split_artifacts(raw)
+        if self.parity_check:
+            self._check_parity(task_fn, workload, params, record, artifacts)
+        out: dict[str, Any] = {
+            "family": spec.family,
+            "n": workload.graph.n,
+            "Delta": workload.eff_delta,
+            "seed": spec.seed,
+            **params,
+            **record,
+            "backend": self.engine.name,
+            "seconds": elapsed,
+        }
+        return out
+
+    def run(
+        self,
+        task: str | Callable[..., Mapping[str, Any]],
+        cells: Iterable[GraphSpec],
+        params_grid: Iterable[Mapping[str, Any]] | None = None,
+    ) -> BatchResult:
+        """Sweep ``task`` over every cell (and every params dict, if given)."""
+        result = BatchResult(backend=self.engine.name)
+        for spec in cells:
+            for params in (params_grid if params_grid is not None else [{}]):
+                result.records.append(self.run_cell(task, spec, params=params))
+        return result

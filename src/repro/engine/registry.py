@@ -1,0 +1,85 @@
+"""Backend registry: resolve ``backend=`` arguments to :class:`Engine` instances.
+
+Every backend-generic function in :mod:`repro.core` accepts
+``backend="reference" | "array" | Engine``; :func:`get_engine` is the single
+resolution point.  Third-party backends (e.g. a GPU twin) can be plugged in
+with :func:`register_engine` without touching any call site.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.array import ArrayEngine
+from repro.engine.base import Engine, EngineError
+from repro.engine.reference import ReferenceEngine
+
+__all__ = [
+    "BACKENDS",
+    "get_engine",
+    "register_engine",
+    "available_backends",
+    "resolve_backend",
+]
+
+#: Factories for the built-in backends (instantiated with defaults on demand).
+BACKENDS: dict[str, Callable[[], Engine]] = {
+    "reference": ReferenceEngine,
+    "array": ArrayEngine,
+}
+
+# Default instances are shared: engines are stateless apart from their
+# configuration, so one instance per name suffices for the default settings.
+_DEFAULT_INSTANCES: dict[str, Engine] = {}
+
+
+def register_engine(name: str, factory: Callable[[], Engine]) -> None:
+    """Register a new backend under ``name`` (overwrites any existing entry)."""
+    if not name or not isinstance(name, str):
+        raise EngineError(f"backend name must be a non-empty string, got {name!r}")
+    BACKENDS[name] = factory
+    _DEFAULT_INSTANCES.pop(name, None)
+
+
+def available_backends() -> list[str]:
+    """Sorted names of all registered backends."""
+    return sorted(BACKENDS)
+
+
+def get_engine(backend: str | Engine = "reference") -> Engine:
+    """Resolve a backend specifier to an :class:`Engine` instance.
+
+    ``backend`` may be an engine instance (returned as-is) or a registered
+    name.  Unknown names raise :class:`EngineError` listing the alternatives.
+    """
+    if isinstance(backend, Engine):
+        return backend
+    if not isinstance(backend, str):
+        raise EngineError(
+            f"backend must be an Engine or a backend name, got {type(backend).__name__}"
+        )
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise EngineError(
+            f"unknown backend {backend!r}; available: {available_backends()}"
+        ) from None
+    if backend not in _DEFAULT_INSTANCES:
+        _DEFAULT_INSTANCES[backend] = factory()
+    return _DEFAULT_INSTANCES[backend]
+
+
+def resolve_backend(backend: str | Engine, vectorized: bool | None = None) -> Engine:
+    """Resolve ``backend`` honoring the deprecated ``vectorized`` flag.
+
+    ``vectorized=True/False`` predates the engine layer; when it is passed
+    explicitly it overrides ``backend`` (``True`` -> ``"array"``, ``False`` ->
+    ``"reference"``) so pre-engine call sites keep their exact behavior.  A
+    bare bool arriving *as* ``backend`` (a legacy caller passing the old
+    positional ``vectorized`` argument) is honored the same way.
+    """
+    if vectorized is not None:
+        return get_engine("array" if vectorized else "reference")
+    if isinstance(backend, bool):
+        return get_engine("array" if backend else "reference")
+    return get_engine(backend)

@@ -14,12 +14,12 @@ if str(_SRC) not in sys.path:
     except ModuleNotFoundError:
         sys.path.insert(0, str(_SRC))
 
-import numpy as np
 import pytest
 
 from repro.congest import generators
 from repro.congest.graph import Graph
-from repro.congest.ids import distinct_input_coloring, random_proper_coloring
+
+from helpers import make_input_coloring  # noqa: E402 - needs the sys.path fallback above
 
 
 @pytest.fixture
@@ -61,17 +61,6 @@ def small_graph_zoo(ring12, petersen, random_regular8, gnp_graph) -> list[Graph]
         generators.empty_graph(5),
         generators.path(2),
     ]
-
-
-def make_input_coloring(graph: Graph, m: int | None = None, seed: int = 0):
-    """A proper m-coloring for tests: distinct colors when the space allows it."""
-    delta = max(1, graph.max_degree)
-    if m is None:
-        m = max(delta + 1, delta ** 4, graph.n)
-    if m >= graph.n:
-        return distinct_input_coloring(graph, m, seed=seed), m
-    colors, m = random_proper_coloring(graph, num_colors=m, seed=seed)
-    return colors, m
 
 
 @pytest.fixture

@@ -1,0 +1,30 @@
+"""Importable shared test helpers.
+
+Kept out of ``conftest.py`` on purpose: ``conftest`` modules are loaded by
+pytest under the single module name ``conftest``, so ``from conftest import
+...`` resolves to whichever conftest was imported first (e.g.
+``benchmarks/conftest.py`` when benchmarks are collected too).  Test modules
+must import helpers from here instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.graph import Graph
+from repro.congest.ids import distinct_input_coloring, random_proper_coloring
+
+__all__ = ["make_input_coloring"]
+
+
+def make_input_coloring(
+    graph: Graph, m: int | None = None, seed: int = 0
+) -> tuple[np.ndarray, int]:
+    """A proper m-coloring for tests: distinct colors when the space allows it."""
+    delta = max(1, graph.max_degree)
+    if m is None:
+        m = max(delta + 1, delta ** 4, graph.n)
+    if m >= graph.n:
+        return distinct_input_coloring(graph, m, seed=seed), m
+    colors, m = random_proper_coloring(graph, num_colors=m, seed=seed)
+    return colors, m

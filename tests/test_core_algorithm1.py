@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import make_input_coloring
+from helpers import make_input_coloring
 from repro.congest import generators
 from repro.congest.graph import Graph
 from repro.core.algorithm1 import derive_orientation, run_mother_algorithm

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import make_input_coloring
+from helpers import make_input_coloring
 from repro.congest import generators
 from repro.core import baselines
 from repro.verify.coloring import assert_proper_coloring

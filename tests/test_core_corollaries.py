@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import make_input_coloring
+from helpers import make_input_coloring
 from repro.analysis import bounds
 from repro.congest import generators
 from repro.core import corollaries

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import make_input_coloring
+from helpers import make_input_coloring
 from repro.congest import generators
 from repro.core.corollaries import kdelta_coloring
 from repro.core.reduce import kuhn_wattenhofer_reduction, remove_color_class_reduction

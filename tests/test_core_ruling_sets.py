@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import make_input_coloring
+from helpers import make_input_coloring
 from repro.congest import generators
 from repro.congest.ids import greedy_coloring
 from repro.core import ruling_sets

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import make_input_coloring
+from helpers import make_input_coloring
 from repro.congest import generators
 from repro.core.algorithm1 import run_mother_algorithm
 from repro.core.params import MotherParameters

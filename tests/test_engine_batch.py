@@ -1,0 +1,123 @@
+"""Tests for the BatchRunner: grids, caching, records, parity checking."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchRunner, GraphSpec, ParityError, get_engine
+from repro.engine.batch import TASKS, Workload
+
+
+class TestGrid:
+    def test_cross_product(self):
+        cells = BatchRunner.grid(("gnp", "ring"), (20, 30), 4, seeds=(0, 1))
+        assert len(cells) == 2 * 2 * 1 * 2
+        assert all(isinstance(c, GraphSpec) for c in cells)
+        assert {c.family for c in cells} == {"gnp", "ring"}
+
+    def test_scalars_accepted(self):
+        cells = BatchRunner.grid("gnp", 20, 4)
+        assert cells == [GraphSpec("gnp", 20, 4, 0)]
+
+
+class TestCaching:
+    def test_graph_and_workload_cached(self):
+        runner = BatchRunner(backend="array")
+        spec = GraphSpec("random_regular", 40, 4, 0)
+        g1 = runner.graph(spec)
+        g2 = runner.graph(spec)
+        assert g1 is g2
+        w1 = runner.workload(spec)
+        w2 = runner.workload(spec)
+        assert w1 is w2
+        assert w1.graph is g1
+
+    def test_workload_coloring_is_proper_delta4(self):
+        runner = BatchRunner()
+        w = runner.workload(GraphSpec("gnp", 50, 6, 3))
+        assert w.m >= w.eff_delta + 1
+        # proper: no monochromatic edge
+        src = np.repeat(np.arange(w.graph.n), w.graph.degrees)
+        assert not np.any(w.input_colors[src] == w.input_colors[w.graph.indices])
+
+
+class TestRun:
+    def test_records_are_tidy(self):
+        runner = BatchRunner(backend="array")
+        cells = BatchRunner.grid("random_regular", 40, (4, 6), seeds=(0, 1))
+        result = runner.run("kdelta", cells, params_grid=[{"k": 1}, {"k": 2}])
+        assert len(result) == 8
+        for rec in result:
+            assert rec["backend"] == "array"
+            assert rec["seconds"] >= 0.0
+            assert rec["rounds"] >= 1
+            assert not any(key.startswith("_") for key in rec)
+        assert set(result.column("k")) == {1, 2}
+
+    def test_every_named_task_runs(self):
+        runner = BatchRunner(backend="array")
+        spec = GraphSpec("random_regular", 30, 4, 0)
+        params = {
+            "outdegree": {"beta": 1},
+            "defective_one_round": {"d": 1},
+            "defective": {"d": 1},
+            "theorem13": {"epsilon": 0.5},
+            "corollary14": {"k": 2},
+            "ruling_set": {"r": 2},
+            "kdelta": {"k": 2},
+        }
+        for name in TASKS:
+            rec = runner.run_cell(name, spec, params=params.get(name))
+            assert rec["rounds"] >= 0, name
+
+    def test_custom_callable_task(self):
+        def task(w: Workload, engine, scale: int = 1):
+            return {"value": w.graph.n * scale, "_colors": np.zeros(w.graph.n, dtype=np.int64)}
+
+        runner = BatchRunner(backend="array", parity_check=True)
+        rec = runner.run_cell(task, GraphSpec("ring", 12, 2, 0), params={"scale": 3})
+        assert rec["value"] == 36
+
+    def test_unknown_task_rejected(self):
+        runner = BatchRunner()
+        with pytest.raises(KeyError):
+            runner.run_cell("no_such_task", GraphSpec("ring", 10, 2, 0))
+
+    def test_to_table(self):
+        runner = BatchRunner(backend="array")
+        result = runner.run("kdelta", BatchRunner.grid("gnp", 30, 4, seeds=(0, 1)),
+                            params_grid=[{"k": 1}])
+        table = result.to_table("demo", ["family", "n", "seed", "rounds", "colors used"])
+        rendered = table.render()
+        assert "demo" in rendered and "colors used" in rendered
+        assert len(table.rows) == 2
+
+
+class TestParity:
+    def test_parity_check_passes_on_honest_backends(self):
+        runner = BatchRunner(backend="array", parity_check=True)
+        result = runner.run("delta_plus_one", BatchRunner.grid("gnp", 30, 5, seeds=(0, 1)))
+        assert len(result) == 2
+
+    def test_parity_check_catches_lying_backend(self):
+        class LyingArray(type(get_engine("array"))):
+            name = "array"
+
+            def run_mother(self, graph, input_colors, m, **kwargs):
+                result = super().run_mother(graph, input_colors, m, **kwargs)
+                result.colors = result.colors + result.color_space_size  # shift: still proper
+                return result
+
+        runner = BatchRunner(backend=LyingArray(), parity_check=True)
+        with pytest.raises(ParityError):
+            runner.run_cell("kdelta", GraphSpec("gnp", 25, 4, 0), params={"k": 1})
+
+    def test_parity_compares_scalar_fields(self):
+        calls = []
+
+        def flaky(w: Workload, engine, **params):
+            calls.append(engine.name)
+            return {"rounds": len(calls)}  # differs between the two runs
+
+        runner = BatchRunner(backend="array", parity_check=True)
+        with pytest.raises(ParityError):
+            runner.run_cell(flaky, GraphSpec("ring", 10, 2, 0))
