@@ -1,8 +1,8 @@
 """Fixtures for the benchmark harness.
 
 Each benchmark file regenerates one experiment table (E1-E10, see DESIGN.MD;
-B1 for the engine-layer backend comparison) and times its core computation
-with pytest-benchmark.  The rendered tables are written to
+B1 for the engine-layer backend comparison, B2 for serial-vs-parallel
+sharding) and times its core computation with pytest-benchmark.  The rendered tables are written to
 ``benchmarks/results/`` so EXPERIMENTS.md can quote exactly what the harness
 produced.
 

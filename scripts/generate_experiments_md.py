@@ -46,6 +46,29 @@ Reading guide:
   O(Delta) colors in O(sqrt(Delta)) rounds) is replaced by the paper's own
   k = 1 algorithm (O(Delta) colors in O(Delta) rounds).  This affects measured
   rounds of E7/E8 (noted there) and nothing else.  See DESIGN.md.
+
+### Multi-worker sweeps
+
+Every experiment accepts a worker count and shards its grid sweeps across a
+process pool; every table is *identical* to the serial run (deterministic cell
+ordering, cross-process-deterministic generators — see "Parallel execution &
+sinks" in ARCHITECTURE.md):
+
+```
+python -m repro experiment E6 --workers 4                 # CLI
+run_experiment("E6", workers=4)                           # Python
+python -m repro batch --task delta_plus_one \\
+    --family random_regular gnp -n 300 --delta 8 16 --seeds 5 \\
+    --workers 4 --parity-check --output sweep.jsonl       # raw grid sweep
+```
+
+`--output sweep.jsonl` streams each record to disk as it completes and
+`--resume` restarts an interrupted sweep where it left off, skipping the
+cells already recorded (the file's manifest is checked, so resuming a
+different sweep into the file is rejected).  The data-dependent, cell-by-cell
+parts of E2/E5/E8/E9/E10 stay serial by construction; the grid sweeps of
+E1/E3/E6/E7 and all `repro batch` runs shard.  B2 below records the measured
+serial-vs-parallel wall-clock.
 """
 
 COMMENTARY = {
@@ -124,6 +147,15 @@ COMMENTARY = {
         "reference simulator.  The parity is asserted inside the benchmark and property-tested in\n"
         "tests/test_engine_parity.py.",
     ),
+    "B2_parallel": (
+        "B2 — parallel sharding: serial vs a 4-worker process pool",
+        "Also an implementation guarantee: sharding a parity-checked 24-cell sweep across 4 worker\n"
+        "processes yields records identical to the serial sweep modulo the wall-clock field\n"
+        "(asserted in the benchmark and in tests/test_golden_records.py) and beats the serial\n"
+        "wall-clock whenever more than one CPU core is available.  On a single-core recording\n"
+        "environment the table demonstrates bounded sharding overhead rather than the multi-core\n"
+        "speedup; CI re-runs the sweep on multi-core runners.",
+    ),
     "E10_baselines": (
         "E10 — baselines",
         "The mother algorithm at k = 1 matches the locally-iterative (BEG18) regime; adding\n"
@@ -138,7 +170,7 @@ COMMENTARY = {
 ORDER = [
     "E1_linial_one_round", "E2_rounds_vs_k", "E3_delta_squared", "E4_outdegree",
     "E5_defective", "E6_delta_plus_one", "E7_theorem13", "E8_ruling_sets",
-    "E9_one_round", "E10_baselines", "B1_batch_backends",
+    "E9_one_round", "E10_baselines", "B1_batch_backends", "B2_parallel",
 ]
 
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/golden/batch_records.json`` — the golden record snapshot.
+
+The golden file freezes the *tidy record schema and values* of a small
+(graph x seed) grid for every named BatchRunner task, as produced by the
+serial array backend.  ``tests/test_golden_records.py`` asserts that
+
+* the serial array backend,
+* the serial reference backend, and
+* the parallel array backend (``workers=2``)
+
+all still produce exactly these records (modulo the wall-clock ``seconds``
+and the ``backend`` name).  Regenerate only when an algorithm change is
+*supposed* to alter results, and say so in the commit message:
+
+    PYTHONPATH=src python scripts/generate_golden_records.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.engine.batch import BatchRunner  # noqa: E402
+
+#: The grid: one random-regular and one G(n, p) cell, both tiny but nontrivial.
+CELLS = [("random_regular", 40, 4, 0), ("gnp", 40, 4, 1)]
+
+#: Params per named task (tasks not listed run with their defaults).
+TASK_PARAMS: dict[str, dict] = {
+    "linial_reduction": {},
+    "kdelta": {"k": 2},
+    "delta_squared": {},
+    "outdegree": {"beta": 1},
+    "defective_one_round": {"d": 1},
+    "defective": {"d": 1},
+    "linial": {},
+    "delta_plus_one": {},
+    "theorem13": {"epsilon": 0.5},
+    "corollary14": {"k": 2},
+    "ruling_set": {"r": 2},
+}
+
+#: Record fields excluded from the snapshot (run-dependent by design).
+VOLATILE_FIELDS = ("seconds", "backend")
+
+
+def snapshot_records() -> dict[str, list[dict]]:
+    from repro.engine import GraphSpec
+
+    runner = BatchRunner(backend="array")
+    cells = [GraphSpec(*cell) for cell in CELLS]
+    golden: dict[str, list[dict]] = {}
+    for task, params in TASK_PARAMS.items():
+        result = runner.run(task, cells, params_grid=[params] if params else None)
+        golden[task] = [
+            {k: v for k, v in rec.items() if k not in VOLATILE_FIELDS} for rec in result
+        ]
+    return golden
+
+
+def main() -> None:
+    payload = {
+        "cells": [list(cell) for cell in CELLS],
+        "task_params": TASK_PARAMS,
+        "volatile_fields": list(VOLATILE_FIELDS),
+        "records": snapshot_records(),
+    }
+    out = ROOT / "tests" / "golden" / "batch_records.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    total = sum(len(v) for v in payload["records"].values())
+    print(f"wrote {out} ({len(payload['records'])} tasks, {total} records)")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,8 +23,9 @@ The package is organised around four layers:
     model-faithful ``ReferenceEngine`` (per-node scheduler), the vectorized
     ``ArrayEngine`` (CSR NumPy twin, identical outputs), and the
     ``BatchRunner`` that sweeps (graph x seed x params) grids with shared
-    precomputed structures and built-in reference-parity checking.  Every
-    algorithm accepts ``backend="reference" | "array"``.
+    precomputed structures, built-in reference-parity checking, process-pool
+    sharding (``workers=N``) and streaming, resumable JSONL/CSV result sinks.
+    Every algorithm accepts ``backend="reference" | "array"``.
 
 ``repro.verify`` / ``repro.analysis``
     Validation of colorings / orientations / partitions / ruling sets, and the
@@ -53,7 +54,7 @@ from repro.engine import (
     get_engine,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph",

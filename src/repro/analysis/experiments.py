@@ -48,10 +48,15 @@ __all__ = ["EXPERIMENTS", "run_experiment", "delta4_colored_graph", "make_runner
 
 
 def make_runner(
-    backend: str | Engine = "array", parity_check: bool = False
+    backend: str | Engine = "array", parity_check: bool = False, workers: int = 1
 ) -> BatchRunner:
-    """The BatchRunner every experiment drives its grid through."""
-    return BatchRunner(backend=backend, parity_check=parity_check)
+    """The BatchRunner every experiment drives its grid through.
+
+    ``workers > 1`` shards every grid sweep (``runner.run``) across a process
+    pool; the cell-by-cell parts of the experiments (data-dependent axes,
+    single-cell comparisons) stay serial.  Records are identical either way.
+    """
+    return BatchRunner(backend=backend, parity_check=parity_check, workers=workers)
 
 
 def delta4_colored_graph(
@@ -87,8 +92,9 @@ def run_e1(
     seed: int = 1,
     backend: str | Engine = "array",
     parity_check: bool = False,
+    workers: int = 1,
 ) -> Table:
-    runner = make_runner(backend, parity_check)
+    runner = make_runner(backend, parity_check, workers)
     table = Table(
         "E1 — Corollary 1.2(1): one-round reduction of a Delta^4-coloring",
         ["family", "Delta", "n", "rounds", "colors used", "color space", "paper bound 256*Delta^2"],
@@ -119,8 +125,9 @@ def run_e2(
     seed: int = 2,
     backend: str | Engine = "array",
     parity_check: bool = False,
+    workers: int = 1,
 ) -> Table:
-    runner = make_runner(backend, parity_check)
+    runner = make_runner(backend, parity_check, workers)
     spec = GraphSpec(family, n, delta, seed)
     eff = runner.workload(spec).eff_delta
     table = Table(
@@ -157,8 +164,9 @@ def run_e3(
     seed: int = 3,
     backend: str | Engine = "array",
     parity_check: bool = False,
+    workers: int = 1,
 ) -> Table:
-    runner = make_runner(backend, parity_check)
+    runner = make_runner(backend, parity_check, workers)
     table = Table(
         "E3 — Corollary 1.2(3): Delta^2 colors in O(1) rounds (k = ceil(Delta/16))",
         ["Delta", "rounds", "colors used", "color bound Delta^2"],
@@ -185,8 +193,9 @@ def run_e4(
     seed: int = 4,
     backend: str | Engine = "array",
     parity_check: bool = False,
+    workers: int = 1,
 ) -> Table:
-    runner = make_runner(backend, parity_check)
+    runner = make_runner(backend, parity_check, workers)
     spec = GraphSpec("random_regular", n, delta, seed)
     eff = runner.workload(spec).eff_delta
     table = Table(
@@ -217,8 +226,9 @@ def run_e5(
     seed: int = 5,
     backend: str | Engine = "array",
     parity_check: bool = False,
+    workers: int = 1,
 ) -> Table:
-    runner = make_runner(backend, parity_check)
+    runner = make_runner(backend, parity_check, workers)
     spec = GraphSpec("random_regular", n, delta, seed)
     eff = runner.workload(spec).eff_delta
     table = Table(
@@ -252,8 +262,9 @@ def run_e6(
     seed: int = 6,
     backend: str | Engine = "array",
     parity_check: bool = False,
+    workers: int = 1,
 ) -> Table:
-    runner = make_runner(backend, parity_check)
+    runner = make_runner(backend, parity_check, workers)
     table = Table(
         "E6 — (Delta+1)-coloring pipeline: IDs -> Linial -> k=1 mother -> class removal",
         ["n", "Delta", "linial rounds", "mother rounds", "reduce rounds", "total rounds",
@@ -281,8 +292,9 @@ def run_e7(
     seed: int = 7,
     backend: str | Engine = "array",
     parity_check: bool = False,
+    workers: int = 1,
 ) -> Table:
-    runner = make_runner(backend, parity_check)
+    runner = make_runner(backend, parity_check, workers)
     table = Table(
         f"E7 — Theorem 1.3: O(Delta^(1+eps))-coloring (eps={epsilon})",
         ["Delta", "rounds (measured)", "paper rounds O(Delta^(1/2-eps/2))",
@@ -315,8 +327,9 @@ def run_e8(
     seed: int = 8,
     backend: str | Engine = "array",
     parity_check: bool = False,
+    workers: int = 1,
 ) -> Table:
-    runner = make_runner(backend, parity_check)
+    runner = make_runner(backend, parity_check, workers)
     spec = GraphSpec("random_regular", n, delta, seed)
     eff = runner.workload(spec).eff_delta
     table = Table(
@@ -373,8 +386,9 @@ def run_e9(
     seed: int = 9,
     backend: str | Engine = "array",
     parity_check: bool = False,
+    workers: int = 1,
 ) -> Table:
-    runner = make_runner(backend, parity_check)
+    runner = make_runner(backend, parity_check, workers)
     table = Table(
         "E9 — Theorem 1.6: one-round reduction of exactly k colors",
         ["Delta", "m = k(Delta-k+3)", "k (paper)", "rounds", "output colors space", "m - k",
@@ -442,8 +456,9 @@ def run_e10(
     seed: int = 10,
     backend: str | Engine = "array",
     parity_check: bool = False,
+    workers: int = 1,
 ) -> Table:
-    runner = make_runner(backend, parity_check)
+    runner = make_runner(backend, parity_check, workers)
     spec = GraphSpec("random_regular", n, delta, seed)
     workload = runner.workload(spec)
     table = Table(

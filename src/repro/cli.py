@@ -16,7 +16,12 @@ Every command accepts ``--backend reference|array`` (default ``array``, the
 vectorized engine; ``reference`` is the per-node CONGEST simulator — identical
 results, simulator metrics, much slower).  ``batch`` additionally accepts
 ``--parity-check`` to re-run every cell on the reference backend and require
-identical outputs.
+identical outputs, ``--workers N`` to shard the grid across N worker
+processes (identical records, deterministic order), ``--output results.jsonl``
+(or ``.csv``) to stream each record to a durable sink as it completes, and
+``--resume`` to skip cells already present in the output file — an
+interrupted sweep restarts where it left off.  ``experiment`` accepts
+``--workers`` as well.
 
 Every command prints a short report (rounds, colors, verification status) and
 exits non-zero if the produced structure fails verification, so the CLI can be
@@ -32,8 +37,10 @@ from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.congest import generators
 from repro.congest.ids import distinct_input_coloring, random_proper_coloring
 from repro.core import corollaries, pipelines, ruling_sets
+from repro.engine.base import EngineError
 from repro.engine.batch import TASKS, BatchRunner, GraphSpec
 from repro.engine.registry import available_backends
+from repro.engine.sink import SinkError, open_sink
 from repro.verify.coloring import assert_defective_coloring, assert_proper_coloring
 from repro.verify.orientation import assert_outdegree_orientation
 from repro.verify.ruling import assert_ruling_set
@@ -99,6 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_argument(experiment)
     experiment.add_argument("--parity-check", action="store_true",
                             help="re-run every cell on the reference backend and require identical results")
+    experiment.add_argument("--workers", type=int, default=1,
+                            help="worker processes the experiment's grid sweeps shard across (default: 1)")
 
     batch = sub.add_parser("batch", help="sweep a task over a (family x n x Delta x seed) grid")
     batch.add_argument("--task", default="delta_plus_one", choices=sorted(TASKS),
@@ -113,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run every cell on the reference backend and require identical results")
     batch.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
                        help="task parameter (repeatable), e.g. --param k=4")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker processes to shard the grid across (default: 1 = serial; "
+                            "records are identical and deterministically ordered either way)")
+    batch.add_argument("--output", metavar="PATH", default=None,
+                       help="stream each record to PATH as it completes (.jsonl/.ndjson/.csv); "
+                            "a run manifest is recorded alongside the records")
+    batch.add_argument("--resume", action="store_true",
+                       help="skip cells already recorded in --output (restart an interrupted sweep)")
 
     return parser
 
@@ -169,7 +186,8 @@ def _cmd_ruling_set(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    table = run_experiment(args.name, backend=args.backend, parity_check=args.parity_check)
+    table = run_experiment(args.name, backend=args.backend, parity_check=args.parity_check,
+                           workers=args.workers)
     print(table.render())
     return 0
 
@@ -192,19 +210,34 @@ def _parse_params(pairs: list[str]) -> dict:
 
 
 def _cmd_batch(args) -> int:
-    runner = BatchRunner(backend=args.backend, parity_check=args.parity_check)
+    if args.resume and not args.output:
+        raise SystemExit("--resume requires --output (the file to resume from)")
+    runner = BatchRunner(backend=args.backend, parity_check=args.parity_check,
+                         workers=args.workers)
     families = args.family if isinstance(args.family, list) else [args.family]
     cells = BatchRunner.grid(families, args.nodes, args.delta, seeds=range(args.seeds))
     params = _parse_params(args.param)
-    result = runner.run(args.task, cells, params_grid=[params] if params else None)
+    sink = open_sink(args.output, resume=args.resume) if args.output else None
+    try:
+        result = runner.run(args.task, cells, params_grid=[params] if params else None,
+                            sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
     columns = [c for c in result.records[0] if c != "backend"] if result.records else []
     title = (
         f"batch: task={args.task} backend={args.backend} cells={len(result)}"
+        + (f" workers={args.workers}" if args.workers > 1 else "")
         + (" parity-checked" if args.parity_check else "")
     )
     print(result.to_table(title, columns).render())
     print(f"\ntotal wall-clock: {result.total_seconds:.3f}s on backend {args.backend!r}"
+          + (f" across {args.workers} workers" if args.workers > 1 else "")
           + (" (every cell parity-checked against 'reference')" if args.parity_check else ""))
+    if sink is not None:
+        skipped = len(result) - sink.written
+        print(f"wrote {sink.written} record(s) to {args.output}"
+              + (f" ({skipped} cell(s) resumed from a previous run)" if skipped else ""))
     return 0
 
 
@@ -221,6 +254,9 @@ def main(argv: list[str] | None = None) -> int:
         return commands[args.command](args)
     except AssertionError as exc:  # verification failure (incl. parity errors)
         print(f"VERIFICATION FAILED: {exc}", file=sys.stderr)
+        return 1
+    except (SinkError, EngineError) as exc:  # unusable sink file / backend setup
+        print(f"ERROR: {exc}", file=sys.stderr)
         return 1
 
 

@@ -16,6 +16,7 @@ import numpy as np
 from repro.congest.graph import Graph, GraphError
 
 __all__ = [
+    "canonical_rng",
     "empty_graph",
     "path",
     "ring",
@@ -35,6 +36,22 @@ __all__ = [
     "FAMILIES",
     "by_name",
 ]
+
+
+def canonical_rng(seed: int | None) -> np.random.Generator:
+    """A :class:`numpy.random.Generator` whose stream depends only on ``seed``.
+
+    Every randomized generator in this module draws from this helper so that
+    equal seeds produce *identical* graphs everywhere — across calls, across
+    interpreter restarts, and across worker processes of a parallel sweep
+    (the per-worker workload caches of ``repro.engine`` rebuild graphs
+    independently and rely on this).  ``None`` is normalized to ``0`` instead
+    of NumPy's OS-entropy default, and NumPy integer scalars are accepted,
+    because either would otherwise silently break cross-process determinism.
+    """
+    if seed is None:
+        seed = 0
+    return np.random.default_rng(int(seed))
 
 
 def empty_graph(n: int) -> Graph:
@@ -112,7 +129,7 @@ def binary_tree(depth: int) -> Graph:
 
 def random_tree(n: int, seed: int = 0) -> Graph:
     """Uniform random recursive tree: vertex ``i`` attaches to a random earlier vertex."""
-    rng = np.random.default_rng(seed)
+    rng = canonical_rng(seed)
     edges = [(i, int(rng.integers(0, i))) for i in range(1, n)]
     return Graph(n, edges)
 
@@ -132,7 +149,7 @@ def gnp(n: int, p: float, seed: int = 0) -> Graph:
     """Erdos-Renyi ``G(n, p)`` random graph."""
     if not 0.0 <= p <= 1.0:
         raise GraphError(f"edge probability must be in [0, 1], got {p}")
-    rng = np.random.default_rng(seed)
+    rng = canonical_rng(seed)
     if n < 2:
         return empty_graph(n)
     iu, ju = np.triu_indices(n, k=1)
@@ -157,7 +174,7 @@ def random_regular(n: int, degree: int, seed: int = 0, max_restarts: int = 500) 
     if degree == 0:
         return empty_graph(n)
 
-    rng = np.random.default_rng(seed)
+    rng = canonical_rng(seed)
 
     for _ in range(max_restarts):
         stubs = rng.permutation(np.repeat(np.arange(n, dtype=np.int64), degree)).tolist()
@@ -187,7 +204,10 @@ def random_regular(n: int, degree: int, seed: int = 0, max_restarts: int = 500) 
                 stuck = True
                 break
         if not stuck:
-            return Graph(n, edges)
+            # Canonical (sorted) edge order: the sampled *set* of edges is what
+            # the seed determines, so hand the constructor an order that cannot
+            # depend on set-iteration internals of the running interpreter.
+            return Graph(n, sorted(edges))
 
     raise GraphError(
         f"failed to sample a {degree}-regular graph on {n} vertices after {max_restarts} restarts"
@@ -196,7 +216,7 @@ def random_regular(n: int, degree: int, seed: int = 0, max_restarts: int = 500) 
 
 def random_bipartite(a: int, b: int, p: float, seed: int = 0) -> Graph:
     """Random bipartite graph with sides of size ``a`` and ``b`` and edge probability ``p``."""
-    rng = np.random.default_rng(seed)
+    rng = canonical_rng(seed)
     edges = []
     for i in range(a):
         mask = rng.random(b) < p
@@ -216,7 +236,7 @@ def power_law_cluster(n: int, attach: int, seed: int = 0) -> Graph:
         raise GraphError("attach must be >= 1")
     if n <= attach:
         return complete_graph(n)
-    rng = np.random.default_rng(seed)
+    rng = canonical_rng(seed)
     edges: list[tuple[int, int]] = []
     # Start from a small clique so every early vertex has positive degree.
     targets = list(range(attach))

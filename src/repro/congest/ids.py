@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.congest.generators import canonical_rng
 from repro.congest.graph import Graph
 
 __all__ = [
@@ -98,7 +99,7 @@ def random_proper_coloring(
     coloring would).  Returns ``(colors, m)`` where ``m`` is the size of the
     color space (``num_colors`` or ``Delta + 1`` if not given).
     """
-    rng = np.random.default_rng(seed)
+    rng = canonical_rng(seed)
     base = greedy_coloring(graph, order=rng.permutation(graph.n).astype(np.int64))
     used = int(base.max()) + 1 if base.size else 1
     m = int(num_colors) if num_colors is not None else used
@@ -127,7 +128,7 @@ def distinct_input_coloring(graph: Graph, m: int, seed: int = 0) -> np.ndarray:
         raise InputColoringError(
             f"distinct input coloring needs m >= n, got m={m}, n={graph.n}"
         )
-    rng = np.random.default_rng(seed)
+    rng = canonical_rng(seed)
     return np.sort(rng.choice(m, size=graph.n, replace=False).astype(np.int64))[
         rng.permutation(graph.n)
     ]

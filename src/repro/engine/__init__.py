@@ -20,6 +20,14 @@ from repro.engine.array import ArrayEngine
 from repro.engine.base import Engine, EngineError
 from repro.engine.batch import BatchResult, BatchRunner, GraphSpec, ParityError
 from repro.engine.reference import ReferenceEngine
+from repro.engine.sink import (
+    CsvSink,
+    JsonlSink,
+    ResultSink,
+    RunManifest,
+    SinkError,
+    open_sink,
+)
 from repro.engine.registry import (
     available_backends,
     get_engine,
@@ -40,4 +48,10 @@ __all__ = [
     "BatchResult",
     "GraphSpec",
     "ParityError",
+    "ResultSink",
+    "JsonlSink",
+    "CsvSink",
+    "RunManifest",
+    "SinkError",
+    "open_sink",
 ]

@@ -15,7 +15,16 @@
   model-faithful simulator;
 * **returns a tidy records table** — one dict per (graph, seed, params) cell,
   convertible to the :class:`repro.analysis.tables.Table` the experiment
-  harness renders.
+  harness renders;
+* **shards across processes** — ``workers=N`` fans the deterministic cell
+  order out over a :mod:`multiprocessing` pool (see
+  :mod:`repro.engine.parallel`) with per-worker workload caches and
+  shard-local parity checking; records come back in the serial order, so a
+  parallel sweep is byte-identical to a serial one modulo wall-clock fields;
+* **streams to durable sinks** — pass ``sink=`` (see
+  :mod:`repro.engine.sink`) to append each record to a JSONL/CSV file as it
+  completes; a sink opened with ``resume=True`` skips already-completed
+  cells, making interrupted sweeps restartable.
 
 The CLI (``python -m repro batch``), the E1-E10 experiment suite, and the
 benchmark harness all drive their sweeps through this class.
@@ -31,8 +40,9 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.congest.graph import Graph
-from repro.engine.base import Engine
+from repro.engine.base import Engine, EngineError
 from repro.engine.registry import get_engine
+from repro.engine.sink import ResultSink, RunManifest, cell_id, cell_key, grid_hash, task_name
 
 __all__ = ["GraphSpec", "Workload", "BatchRunner", "BatchResult", "ParityError", "TASKS"]
 
@@ -274,10 +284,23 @@ class BatchRunner:
         This is the built-in reference-parity check of the engine layer.
     parity_backend:
         Backend to validate against (default ``"reference"``).
+    workers:
+        Number of worker processes :meth:`run` shards its cells across.  The
+        default ``1`` executes serially in-process; ``N > 1`` requires
+        ``backend``/``parity_backend`` to be registered *names* (workers
+        rebuild their engines from the registry) and named or importable
+        tasks.  Records are identical either way.
+    worker_init:
+        Importable callable executed first in every worker process (e.g. to
+        register a third-party backend); ignored when ``workers == 1``.
+    start_method:
+        ``multiprocessing`` start method for the pool; default ``"fork"``
+        where available, else ``"spawn"``.
 
     Graphs and input colorings are cached per :class:`GraphSpec`, so a sweep
     over many parameter settings of the same graphs pays the generation and
     CSR construction cost exactly once — including across the parity re-runs.
+    With ``workers > 1`` each worker process keeps its own cache.
     """
 
     def __init__(
@@ -285,10 +308,22 @@ class BatchRunner:
         backend: str | Engine = "array",
         parity_check: bool = False,
         parity_backend: str | Engine = "reference",
+        workers: int = 1,
+        worker_init: Callable[[], None] | None = None,
+        start_method: str | None = None,
     ):
         self.engine = get_engine(backend)
         self.parity_check = bool(parity_check)
         self.parity_engine = get_engine(parity_backend)
+        self.workers = int(workers)
+        if self.workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        self.worker_init = worker_init
+        self.start_method = start_method
+        # Registry names survive the trip to a worker process; live Engine
+        # instances do not, so remember which kind we were given.
+        self._backend_name = backend if isinstance(backend, str) else None
+        self._parity_backend_name = parity_backend if isinstance(parity_backend, str) else None
         self._graphs: dict[GraphSpec, Graph] = {}
         self._workloads: dict[GraphSpec, Workload] = {}
 
@@ -401,15 +436,101 @@ class BatchRunner:
         }
         return out
 
+    def _jobs(
+        self,
+        task: str | Callable[..., Mapping[str, Any]],
+        cells: Iterable[GraphSpec],
+        params_grid: Iterable[Mapping[str, Any]] | None,
+    ) -> list[tuple[int, str, GraphSpec, dict[str, Any]]]:
+        """The deterministic job list: ``(index, cell key, spec, params)``.
+
+        Materialises both axes up front so one-shot iterables (generators)
+        behave identically to lists — ``params_grid`` is re-used per spec.
+        """
+        grids = [dict(p) for p in params_grid] if params_grid is not None else [{}]
+        jobs = []
+        for spec in cells:
+            for params in grids:
+                jobs.append((len(jobs), cell_key(task, spec, params), spec, dict(params)))
+        return jobs
+
+    def _manifest_from_jobs(
+        self, task: str | Callable[..., Mapping[str, Any]], jobs: list
+    ) -> RunManifest:
+        from repro import __version__
+
+        return RunManifest(
+            task=task_name(task),
+            backend=self.engine.name,
+            grid_hash=grid_hash(key for _, key, _, _ in jobs),
+            cells=len(jobs),
+            parity_check=self.parity_check,
+            version=__version__,
+        )
+
+    def manifest(
+        self,
+        task: str | Callable[..., Mapping[str, Any]],
+        cells: Iterable[GraphSpec],
+        params_grid: Iterable[Mapping[str, Any]] | None = None,
+    ) -> RunManifest:
+        """The :class:`RunManifest` describing a sweep (what sinks record/check)."""
+        return self._manifest_from_jobs(task, self._jobs(task, cells, params_grid))
+
     def run(
         self,
         task: str | Callable[..., Mapping[str, Any]],
         cells: Iterable[GraphSpec],
         params_grid: Iterable[Mapping[str, Any]] | None = None,
+        sink: ResultSink | None = None,
     ) -> BatchResult:
-        """Sweep ``task`` over every cell (and every params dict, if given)."""
-        result = BatchResult(backend=self.engine.name)
-        for spec in cells:
-            for params in (params_grid if params_grid is not None else [{}]):
-                result.records.append(self.run_cell(task, spec, params=params))
-        return result
+        """Sweep ``task`` over every cell (and every params dict, if given).
+
+        Cells are ordered deterministically (grid order), sharded across
+        :attr:`workers` processes when ``workers > 1``, streamed to ``sink``
+        as they complete, and returned as a :class:`BatchResult` in grid
+        order.  A sink opened with ``resume=True`` pre-loads the records of
+        already-completed cells; those cells are not re-executed.
+        """
+        self._resolve_task(task)  # fail fast on unknown task names
+        jobs = self._jobs(task, cells, params_grid)
+        ids = {index: cell_id(key) for index, key, _, _ in jobs}
+        records: dict[int, dict[str, Any]] = {}
+        if sink is not None:
+            sink.start(self._manifest_from_jobs(task, jobs))
+            for index, cid in ids.items():
+                if cid in sink.completed:
+                    records[index] = sink.completed[cid]
+        pending = [job for job in jobs if job[0] not in records]
+
+        if self.workers > 1 and len(pending) > 1:
+            if self._backend_name is None or self._parity_backend_name is None:
+                raise EngineError(
+                    "parallel execution requires backends given as registered names "
+                    "(workers rebuild their engines from the registry); pass e.g. "
+                    "backend='array' or register_engine() your engine and use its name"
+                )
+            from repro.engine.parallel import run_cells_parallel
+
+            results = run_cells_parallel(
+                [(index, task, spec, params) for index, _, spec, params in pending],
+                workers=self.workers,
+                backend=self._backend_name,
+                parity_check=self.parity_check,
+                parity_backend=self._parity_backend_name,
+                worker_init=self.worker_init,
+                start_method=self.start_method,
+            )
+        else:
+            results = (
+                (index, self.run_cell(task, spec, params=params))
+                for index, _, spec, params in pending
+            )
+
+        for index, record in results:
+            records[index] = record
+            if sink is not None:
+                sink.write(ids[index], record)
+        return BatchResult(
+            records=[records[index] for index, _, _, _ in jobs], backend=self.engine.name
+        )

@@ -1,0 +1,121 @@
+"""Process-pool sharding for :class:`repro.engine.batch.BatchRunner` sweeps.
+
+The (graph x seed x params) cells of a sweep are embarrassingly parallel map
+steps: no cell reads another cell's output.  This module shards an *ordered*
+job list across a :mod:`multiprocessing` pool while preserving everything the
+serial runner guarantees:
+
+* **Deterministic records** — jobs carry their grid index and results are
+  consumed via the *ordered* ``imap``, so records come back in exactly the
+  serial order; combined with the cross-process determinism of the graph
+  generators (see :func:`repro.congest.generators.canonical_rng`) a parallel
+  sweep is byte-identical to the serial one modulo wall-clock fields.
+* **Per-worker workload caches** — each worker process owns a full
+  :class:`BatchRunner` (created once by the pool initializer), so graphs and
+  ``Delta^4`` colorings are built at most once per (worker, GraphSpec) and
+  the parent never pickles a graph.
+* **A parallel-safe parity oracle** — with ``parity_check=True`` every worker
+  holds its *own* parity engine and re-runs its own cells on it, so the
+  reference-parity guarantee is enforced shard-locally and a
+  :class:`~repro.engine.batch.ParityError` raised in any worker propagates to
+  the parent sweep.
+
+Workers are described by *names* (backend registry keys, task registry keys
+or importable callables), never by live objects: that is what makes the
+sharding safe under both ``fork`` and ``spawn`` start methods.  Third-party
+backends registered at runtime can be made visible to workers by passing an
+importable ``worker_init`` callable, which runs first in every worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.engine.base import EngineError
+
+__all__ = ["default_start_method", "run_cells_parallel"]
+
+#: The per-process runner, created once per worker by :func:`_init_worker`.
+_WORKER_RUNNER = None
+
+
+def default_start_method() -> str:
+    """``"fork"`` where available (cheap, inherits registrations), else ``"spawn"``."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _init_worker(
+    backend: str,
+    parity_check: bool,
+    parity_backend: str,
+    worker_init: Callable[[], None] | None,
+) -> None:
+    from repro.engine.batch import BatchRunner
+
+    if worker_init is not None:
+        worker_init()
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = BatchRunner(
+        backend=backend, parity_check=parity_check, parity_backend=parity_backend
+    )
+
+
+def _run_job(job: tuple[int, Any, Any, Mapping[str, Any]]) -> tuple[int, dict[str, Any]]:
+    index, task, spec, params = job
+    return index, _WORKER_RUNNER.run_cell(task, spec, params=params)
+
+
+def _require_importable(value: Any, role: str) -> None:
+    """Reject objects a freshly spawned worker could not reconstruct."""
+    if value is None or isinstance(value, str):
+        return
+    import importlib
+
+    module, qualname = getattr(value, "__module__", None), getattr(value, "__qualname__", None)
+    resolved = None
+    if module and qualname and "<locals>" not in qualname:
+        try:
+            resolved = importlib.import_module(module)
+            for part in qualname.split("."):
+                resolved = getattr(resolved, part)
+        except (ImportError, AttributeError):
+            resolved = None
+    if resolved is not value:
+        raise EngineError(
+            f"parallel execution needs an importable {role}, got {value!r}; "
+            f"use a registered name or a module-level function"
+        )
+
+
+def run_cells_parallel(
+    jobs: list[tuple[int, str | Callable[..., Mapping[str, Any]], Any, Mapping[str, Any]]],
+    *,
+    workers: int,
+    backend: str,
+    parity_check: bool,
+    parity_backend: str,
+    worker_init: Callable[[], None] | None = None,
+    start_method: str | None = None,
+    chunksize: int = 1,
+) -> Iterator[tuple[int, dict[str, Any]]]:
+    """Run ``(index, task, spec, params)`` jobs on a pool; yield ``(index, record)``.
+
+    Results are yielded in job order (ordered ``imap``), one at a time as the
+    pool completes them, so the caller can stream each record to a sink while
+    later cells are still computing.  Any exception raised in a worker —
+    including :class:`~repro.engine.batch.ParityError` — re-raises here.
+    """
+    if workers < 1:
+        raise EngineError(f"workers must be >= 1, got {workers}")
+    for _, task, _, _ in jobs:
+        _require_importable(task, "task")
+    _require_importable(worker_init, "worker_init")
+    ctx = mp.get_context(start_method or default_start_method())
+    processes = max(1, min(workers, len(jobs)))
+    with ctx.Pool(
+        processes,
+        initializer=_init_worker,
+        initargs=(backend, parity_check, parity_backend, worker_init),
+    ) as pool:
+        yield from pool.imap(_run_job, jobs, chunksize=max(1, chunksize))

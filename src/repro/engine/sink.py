@@ -1,0 +1,363 @@
+"""Streaming result sinks: durable, resumable record streams for sweeps.
+
+A :class:`ResultSink` receives the tidy records of a
+:class:`repro.engine.batch.BatchRunner` sweep *as each cell completes* and
+appends them to a durable file, so an interrupted sweep loses at most the
+cells in flight.  Two formats ship with the package:
+
+* :class:`JsonlSink` — one JSON object per line.  The first line is the run
+  manifest; every following line is ``{"cell": <id>, "record": {...}}``.
+  JSONL is the *resumable* format of record: types round-trip exactly, and
+  partially written final lines (a sweep killed mid-write) are detected and
+  discarded on resume.
+* :class:`CsvSink` — a spreadsheet-friendly table with a leading ``cell``
+  column; the manifest lives in a ``<path>.manifest.json`` sidecar.  CSV also
+  resumes, but values read back from a CSV are re-typed best-effort (CSV has
+  no types), so prefer JSONL when the file feeds further tooling.
+
+The **manifest** pins down what a result file is: the task, the backend, the
+package version, whether cells were parity-checked, and a hash over the
+ordered cell keys of the grid.  ``resume=True`` refuses to append to a file
+whose manifest disagrees — resuming a *different* sweep into an existing file
+is always an error, never silent corruption.
+
+Cell identity is the (task, graph spec, params) triple, canonicalised by
+:func:`cell_key` and hashed by :func:`cell_id`; the runner skips cells whose
+ids are already present in the sink.  Because the runner also orders cells
+deterministically, a resumed or parallel sweep produces the same records as
+an uninterrupted serial one (modulo the wall-clock ``seconds`` field).
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import os
+import pathlib
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = [
+    "SinkError",
+    "RunManifest",
+    "ResultSink",
+    "JsonlSink",
+    "CsvSink",
+    "open_sink",
+    "task_name",
+    "cell_key",
+    "cell_id",
+    "grid_hash",
+]
+
+
+class SinkError(RuntimeError):
+    """Raised for unusable sink files: malformed lines, manifest mismatches."""
+
+
+# --------------------------------------------------------------------------- #
+# Cell identity
+# --------------------------------------------------------------------------- #
+
+
+def task_name(task: str | Callable[..., Any]) -> str:
+    """Canonical name of a task: the registry key, or ``module:qualname``."""
+    if isinstance(task, str):
+        return task
+    return f"{getattr(task, '__module__', '?')}:{getattr(task, '__qualname__', repr(task))}"
+
+
+def _jsonable(value: Any) -> Any:
+    """JSON encoder fallback: NumPy scalars become plain Python scalars."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"value {value!r} of type {type(value).__name__} is not JSON-serializable")
+
+
+def cell_key(task: str | Callable[..., Any], spec, params: Mapping[str, Any]) -> str:
+    """Canonical JSON identity of one (task, graph spec, params) cell."""
+    payload = {
+        "task": task_name(task),
+        "family": spec.family,
+        "n": spec.n,
+        "delta": spec.delta,
+        "seed": spec.seed,
+        "params": {k: params[k] for k in sorted(params)},
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_jsonable)
+
+
+def cell_id(key: str) -> str:
+    """Short stable id of a cell key (hex SHA-256 prefix)."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def grid_hash(keys: Iterable[str]) -> str:
+    """Hash of the *ordered* cell keys of a sweep; pins grid and cell order."""
+    digest = hashlib.sha256()
+    for key in keys:
+        digest.update(key.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------- #
+# Manifest
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """What a result stream contains; written first, checked on resume."""
+
+    task: str
+    backend: str
+    grid_hash: str
+    cells: int
+    parity_check: bool
+    version: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunManifest":
+        fields = {f: data.get(f) for f in ("task", "backend", "grid_hash", "cells",
+                                           "parity_check", "version")}
+        if any(v is None for v in fields.values()):
+            raise SinkError(f"incomplete run manifest: {dict(data)!r}")
+        return cls(**fields)
+
+    def check_resumable(self, existing: "RunManifest", path: os.PathLike | str) -> None:
+        """Refuse to resume into a file produced by a *different* run setup."""
+        for field in ("task", "backend", "grid_hash", "parity_check"):
+            ours, theirs = getattr(self, field), getattr(existing, field)
+            if ours != theirs:
+                raise SinkError(
+                    f"cannot resume into {os.fspath(path)!r}: manifest field {field!r} is "
+                    f"{theirs!r} in the file but {ours!r} for this run — the file belongs "
+                    f"to a different sweep"
+                )
+
+
+# --------------------------------------------------------------------------- #
+# Sinks
+# --------------------------------------------------------------------------- #
+
+
+class ResultSink:
+    """Base class: a durable, append-only stream of sweep records.
+
+    Lifecycle: ``start(manifest)`` once (loads completed cells when resuming,
+    writes the manifest otherwise), then ``write(cell, record)`` per completed
+    cell, then ``close()``.  Sinks are context managers; :attr:`completed`
+    maps cell ids to their previously recorded records after ``start``.
+    """
+
+    #: cell id -> record, loaded by ``start`` when resuming.
+    completed: dict[str, dict[str, Any]]
+
+    def __init__(self, path: os.PathLike | str, resume: bool = False):
+        self.path = pathlib.Path(path)
+        self.resume = bool(resume)
+        self.completed = {}
+        self.written = 0
+
+    # -- interface ------------------------------------------------------- #
+
+    def start(self, manifest: RunManifest) -> None:
+        raise NotImplementedError
+
+    def write(self, cell: str, record: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    # -- context management ---------------------------------------------- #
+
+    def __enter__(self) -> "ResultSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class JsonlSink(ResultSink):
+    """Line-delimited JSON: manifest first, then one ``{cell, record}`` per line."""
+
+    def __init__(self, path: os.PathLike | str, resume: bool = False):
+        super().__init__(path, resume)
+        self._file = None
+
+    def start(self, manifest: RunManifest) -> None:
+        if self.resume and self.path.exists() and self.path.stat().st_size > 0:
+            self._load_existing(manifest)
+            self._file = self.path.open("a", encoding="utf-8")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w", encoding="utf-8")
+            self._emit({"manifest": manifest.to_dict()})
+
+    def _load_existing(self, manifest: RunManifest) -> None:
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.split("\n")
+        # A trailing chunk without a newline is a write the previous run did
+        # not survive mid-write; it is dropped — but only *after* the file has
+        # been validated as belonging to this sweep (never mutate a file the
+        # resume is about to refuse).
+        torn = lines[-1] != ""
+        complete_lines = [line for line in lines[:-1] if line.strip()]
+        if not complete_lines:
+            raise SinkError(f"cannot resume from {self.path}: no manifest line")
+        parsed = []
+        for lineno, line in enumerate(complete_lines, start=1):
+            try:
+                parsed.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise SinkError(
+                    f"cannot resume from {self.path}: malformed JSONL at line {lineno}: {exc}"
+                ) from None
+        head = parsed[0]
+        if not isinstance(head, dict) or "manifest" not in head:
+            raise SinkError(f"cannot resume from {self.path}: first line is not a manifest")
+        manifest.check_resumable(RunManifest.from_dict(head["manifest"]), self.path)
+        for lineno, obj in enumerate(parsed[1:], start=2):
+            if not isinstance(obj, dict) or "cell" not in obj or "record" not in obj:
+                raise SinkError(
+                    f"cannot resume from {self.path}: line {lineno} is not a "
+                    "{'cell': ..., 'record': ...} object"
+                )
+            self.completed[obj["cell"]] = obj["record"]
+        if torn:
+            self.path.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")
+
+    def _emit(self, obj: Mapping[str, Any]) -> None:
+        self._file.write(json.dumps(obj, separators=(",", ":"), default=_jsonable) + "\n")
+        self._file.flush()
+
+    def write(self, cell: str, record: Mapping[str, Any]) -> None:
+        self._emit({"cell": cell, "record": dict(record)})
+        self.written += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def _csv_scalar(value: str) -> Any:
+    """Best-effort re-typing of a CSV cell (CSV itself stores only strings)."""
+    if value == "True":
+        return True
+    if value == "False":
+        return False
+    try:
+        return json.loads(value)
+    except (json.JSONDecodeError, ValueError):
+        return value
+
+
+class CsvSink(ResultSink):
+    """Streaming CSV with a leading ``cell`` id column and a manifest sidecar.
+
+    The column set is frozen by the first record written (or by the header of
+    the file being resumed); a record with unknown keys raises
+    :class:`SinkError` rather than silently dropping measurements.
+    """
+
+    def __init__(self, path: os.PathLike | str, resume: bool = False):
+        super().__init__(path, resume)
+        self._file = None
+        self._writer = None
+        self._columns: list[str] | None = None
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.path.with_name(self.path.name + ".manifest.json")
+
+    def start(self, manifest: RunManifest) -> None:
+        if self.resume and self.path.exists() and self.path.stat().st_size > 0:
+            self._load_existing(manifest)
+            self._file = self.path.open("a", encoding="utf-8", newline="")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w", encoding="utf-8", newline="")
+            self.manifest_path.write_text(
+                json.dumps(manifest.to_dict(), indent=2, default=_jsonable) + "\n",
+                encoding="utf-8",
+            )
+
+    def _load_existing(self, manifest: RunManifest) -> None:
+        if not self.manifest_path.exists():
+            raise SinkError(
+                f"cannot resume from {self.path}: missing sidecar {self.manifest_path.name}"
+            )
+        try:
+            existing = RunManifest.from_dict(
+                json.loads(self.manifest_path.read_text(encoding="utf-8"))
+            )
+        except json.JSONDecodeError as exc:
+            raise SinkError(f"cannot resume from {self.manifest_path}: {exc}") from None
+        manifest.check_resumable(existing, self.path)
+        text = self.path.read_text(encoding="utf-8")
+        # A trailing chunk without a newline is a row the previous run did not
+        # survive mid-write.  Field counting cannot detect a row truncated
+        # *inside* its last field, so the newline is the completion marker —
+        # exactly as in the JSONL sink.  (Record values are scalars; embedded
+        # newlines cannot occur.)
+        torn_tail = None
+        if text and not text.endswith("\n"):
+            head, _, torn_tail = text.rpartition("\n")
+            text = head + "\n" if head else ""
+        rows = list(csv.reader(io.StringIO(text)))
+        if not rows or not rows[0] or rows[0][0] != "cell":
+            raise SinkError(f"cannot resume from {self.path}: missing 'cell' header column")
+        self._columns = rows[0][1:]
+        for lineno, row in enumerate(rows[1:], start=2):
+            if len(row) != len(rows[0]):
+                raise SinkError(
+                    f"cannot resume from {self.path}: row {lineno} has {len(row)} fields, "
+                    f"expected {len(rows[0])}"
+                )
+            self.completed[row[0]] = {
+                col: _csv_scalar(val) for col, val in zip(self._columns, row[1:])
+            }
+        if torn_tail is not None:
+            self.path.write_text(text, encoding="utf-8")
+
+    def write(self, cell: str, record: Mapping[str, Any]) -> None:
+        if self._columns is None:
+            self._columns = list(record)
+            csv.writer(self._file).writerow(["cell", *self._columns])
+        unknown = set(record) - set(self._columns)
+        if unknown:
+            raise SinkError(
+                f"record has columns {sorted(unknown)} not in the CSV header "
+                f"{self._columns} — CSV sinks need a fixed column set per sweep"
+            )
+        csv.writer(self._file).writerow(
+            [cell, *(record.get(col, "") for col in self._columns)]
+        )
+        self._file.flush()
+        self.written += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def open_sink(path: os.PathLike | str, resume: bool = False) -> ResultSink:
+    """Build the sink matching ``path``'s suffix (``.jsonl``/``.ndjson``/``.csv``)."""
+    suffix = pathlib.Path(path).suffix.lower()
+    if suffix in (".jsonl", ".ndjson"):
+        return JsonlSink(path, resume=resume)
+    if suffix == ".csv":
+        return CsvSink(path, resume=resume)
+    raise SinkError(
+        f"cannot infer sink format from {os.fspath(path)!r}; use a .jsonl/.ndjson/.csv suffix"
+    )

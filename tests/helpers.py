@@ -13,8 +13,16 @@ import numpy as np
 
 from repro.congest.graph import Graph
 from repro.congest.ids import distinct_input_coloring, random_proper_coloring
+from repro.engine.array import ArrayEngine
+from repro.engine.registry import register_engine
 
-__all__ = ["make_input_coloring"]
+__all__ = [
+    "make_input_coloring",
+    "graph_fingerprint",
+    "BrokenArrayEngine",
+    "register_broken_engine",
+    "scaled_n_task",
+]
 
 
 def make_input_coloring(
@@ -28,3 +36,42 @@ def make_input_coloring(
         return distinct_input_coloring(graph, m, seed=seed), m
     colors, m = random_proper_coloring(graph, num_colors=m, seed=seed)
     return colors, m
+
+
+def graph_fingerprint(family: str, n: int, delta: int, seed: int) -> bytes:
+    """CSR bytes of a generated graph — comparable across worker processes.
+
+    Module-level so multiprocessing can ship it to freshly spawned
+    interpreters (the cross-process determinism tests run this in a
+    ``spawn``-context pool and compare against the parent's bytes).
+    """
+    from repro.congest import generators
+
+    g = generators.by_name(family, n, delta, seed=seed)
+    return g.indptr.tobytes() + b"|" + g.indices.tobytes()
+
+
+class BrokenArrayEngine(ArrayEngine):
+    """A deliberately wrong backend for exercising ``ParityError`` paths.
+
+    Shifts every color by the color-space size: the coloring stays proper
+    (verification passes) but no longer matches the reference engine, so a
+    parity check must trip — under serial and parallel execution alike.
+    """
+
+    name = "broken-array"
+
+    def run_mother(self, graph, input_colors, m, **kwargs):
+        result = super().run_mother(graph, input_colors, m, **kwargs)
+        result.colors = result.colors + result.color_space_size
+        return result
+
+
+def register_broken_engine() -> None:
+    """Register :class:`BrokenArrayEngine`; importable, so usable as ``worker_init``."""
+    register_engine("broken-array", BrokenArrayEngine)
+
+
+def scaled_n_task(workload, engine, scale: int = 2):
+    """Minimal importable custom task for pickling/parallel tests."""
+    return {"value": workload.graph.n * scale}

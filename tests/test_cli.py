@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+BATCH_GRID = ["batch", "--task", "kdelta", "--family", "random_regular", "gnp",
+              "-n", "50", "--delta", "4", "--seeds", "2", "--param", "k=1"]
 
 
 class TestParser:
@@ -19,6 +24,12 @@ class TestParser:
         assert args.nodes == 200
         assert args.delta == 8
         assert args.k is None
+
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.workers == 1
+        assert args.output is None
+        assert args.resume is False
 
 
 class TestCommands:
@@ -59,3 +70,80 @@ class TestCommands:
     def test_color_all_families(self, family, capsys):
         assert main(["color", "--family", family, "-n", "50", "--delta", "4", "--seed", "4"]) == 0
         assert "verified proper" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def test_batch_serial(self, capsys):
+        assert main(BATCH_GRID) == 0
+        out = capsys.readouterr().out
+        assert "cells=4" in out and "total wall-clock" in out
+
+    def test_batch_workers(self, capsys):
+        assert main(BATCH_GRID + ["--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out and "across 2 workers" in out
+
+    def test_batch_output_jsonl(self, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        assert main(BATCH_GRID + ["--output", str(out_file)]) == 0
+        assert "wrote 4 record(s)" in capsys.readouterr().out
+        lines = out_file.read_text().splitlines()
+        assert len(lines) == 5  # manifest + 4 records
+        manifest = json.loads(lines[0])["manifest"]
+        assert manifest["task"] == "kdelta" and manifest["cells"] == 4
+
+    def test_batch_output_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "run.csv"
+        assert main(BATCH_GRID + ["--output", str(out_file)]) == 0
+        header, *rows = out_file.read_text().splitlines()
+        assert header.startswith("cell,family,")
+        assert len(rows) == 4
+        assert out_file.with_name("run.csv.manifest.json").exists()
+
+    def test_batch_resume_after_partial_run(self, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        assert main(BATCH_GRID + ["--output", str(out_file)]) == 0
+        full = out_file.read_text().splitlines()
+        # Simulate a sweep killed after two cells, mid-write of the third.
+        out_file.write_text("\n".join(full[:3]) + "\n" + full[3][:20])
+        capsys.readouterr()
+        assert main(BATCH_GRID + ["--workers", "2", "--output", str(out_file),
+                                  "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 2 record(s)" in out and "2 cell(s) resumed" in out
+        resumed = out_file.read_text().splitlines()
+        # identical stream modulo the wall-clock field
+        def cells_of(lines):
+            return [json.loads(line)["cell"] for line in lines[1:]]
+        assert cells_of(resumed) == cells_of(full)
+
+    def test_batch_resume_requires_output(self):
+        with pytest.raises(SystemExit):
+            main(BATCH_GRID + ["--resume"])
+
+    def test_batch_resume_rejects_malformed_jsonl(self, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        assert main(BATCH_GRID + ["--output", str(out_file)]) == 0
+        with out_file.open("a") as f:
+            f.write("{definitely not json}\n")
+        assert main(BATCH_GRID + ["--output", str(out_file), "--resume"]) == 1
+        assert "malformed JSONL" in capsys.readouterr().err
+
+    def test_batch_resume_rejects_different_sweep(self, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        assert main(BATCH_GRID + ["--output", str(out_file)]) == 0
+        different = [a if a != "kdelta" else "linial" for a in BATCH_GRID]
+        assert main(different + ["--output", str(out_file), "--resume"]) == 1
+        assert "different sweep" in capsys.readouterr().err
+
+    def test_batch_unknown_output_format(self, capsys):
+        assert main(BATCH_GRID + ["--output", "run.parquet"]) == 1
+        assert "suffix" in capsys.readouterr().err
+
+    def test_batch_parallel_parity_checked(self, capsys):
+        assert main(BATCH_GRID + ["--workers", "2", "--parity-check"]) == 0
+        assert "parity-checked" in capsys.readouterr().out
+
+    def test_experiment_workers(self, capsys):
+        assert main(["experiment", "E1", "--workers", "2"]) == 0
+        assert "Corollary 1.2(1)" in capsys.readouterr().out

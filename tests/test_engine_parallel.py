@@ -1,0 +1,188 @@
+"""Tests for process-pool sharding: determinism, resume, parallel-safe parity."""
+
+import json
+
+import pytest
+
+from helpers import register_broken_engine, scaled_n_task
+from repro.engine import (
+    BatchRunner,
+    EngineError,
+    GraphSpec,
+    JsonlSink,
+    ParityError,
+    get_engine,
+)
+
+CELLS = BatchRunner.grid(("random_regular", "gnp"), 40, 4, seeds=(0, 1, 2))
+PARAMS = [{"k": 1}]
+
+
+def stripped(result):
+    """Records minus the wall-clock field — the byte-identity comparison set."""
+    return [{k: v for k, v in rec.items() if k != "seconds"} for rec in result]
+
+
+class TestParallelDeterminism:
+    def test_parallel_records_identical_to_serial(self):
+        serial = BatchRunner(backend="array").run("kdelta", CELLS, params_grid=PARAMS)
+        parallel = BatchRunner(backend="array", workers=3).run(
+            "kdelta", CELLS, params_grid=PARAMS
+        )
+        assert stripped(parallel) == stripped(serial)
+
+    def test_parallel_on_reference_backend(self):
+        cells = CELLS[:3]
+        serial = BatchRunner(backend="reference").run("kdelta", cells, params_grid=PARAMS)
+        parallel = BatchRunner(backend="reference", workers=2).run(
+            "kdelta", cells, params_grid=PARAMS
+        )
+        assert stripped(parallel) == stripped(serial)
+
+    def test_parallel_parity_checked_sweep_passes(self):
+        result = BatchRunner(backend="array", parity_check=True, workers=2).run(
+            "delta_plus_one", CELLS[:4]
+        )
+        assert len(result) == 4
+
+    def test_parallel_custom_importable_task(self):
+        result = BatchRunner(backend="array", workers=2).run(
+            scaled_n_task, CELLS[:3], params_grid=[{"scale": 3}]
+        )
+        assert [rec["value"] for rec in result] == [rec["n"] * 3 for rec in result]
+
+    def test_workers_one_is_plain_serial(self):
+        runner = BatchRunner(backend="array", workers=1)
+        result = runner.run("kdelta", CELLS[:2], params_grid=PARAMS)
+        # serial path populates the parent-process caches; the pool path never does
+        assert len(runner._workloads) == 2
+        assert len(result) == 2
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(EngineError):
+            BatchRunner(backend="array", workers=0)
+
+
+class TestParallelValidation:
+    def test_engine_instance_backend_rejected_in_parallel(self):
+        runner = BatchRunner(backend=get_engine("array"), workers=2)
+        with pytest.raises(EngineError, match="registered names"):
+            runner.run("kdelta", CELLS[:4], params_grid=PARAMS)
+
+    def test_unimportable_task_rejected_in_parallel(self):
+        def local_task(workload, engine):
+            return {"value": 1}
+
+        runner = BatchRunner(backend="array", workers=2)
+        with pytest.raises(EngineError, match="importable"):
+            runner.run(local_task, CELLS[:4])
+
+    def test_unknown_task_fails_fast(self):
+        runner = BatchRunner(backend="array", workers=2)
+        with pytest.raises(KeyError):
+            runner.run("no_such_task", CELLS[:4])
+
+
+class TestSinkIntegration:
+    def test_parallel_sink_file_matches_serial_file(self, tmp_path):
+        paths = {}
+        for label, workers in (("serial", 1), ("parallel", 3)):
+            path = tmp_path / f"{label}.jsonl"
+            with JsonlSink(path) as sink:
+                BatchRunner(backend="array", workers=workers).run(
+                    "kdelta", CELLS, params_grid=PARAMS, sink=sink
+                )
+            paths[label] = path
+
+        def parsed(path):
+            lines = [json.loads(line) for line in path.read_text().splitlines()]
+            head, rest = lines[0], lines[1:]
+            return head, [
+                (obj["cell"], {k: v for k, v in obj["record"].items() if k != "seconds"})
+                for obj in rest
+            ]
+
+        assert parsed(paths["serial"]) == parsed(paths["parallel"])
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        # First run covers only a prefix of the grid (an "interrupted" sweep).
+        with JsonlSink(path) as sink:
+            BatchRunner(backend="array").run("kdelta", CELLS[:2], params_grid=PARAMS,
+                                            sink=sink)
+        # Trick: rewrite the manifest to the full grid's manifest so the resume
+        # check accepts the file (a real kill leaves the full manifest behind).
+        full_manifest = BatchRunner(backend="array").manifest(
+            "kdelta", CELLS, params_grid=PARAMS
+        )
+        lines = path.read_text().splitlines()
+        lines[0] = json.dumps({"manifest": full_manifest.to_dict()})
+        path.write_text("\n".join(lines) + "\n")
+
+        with JsonlSink(path, resume=True) as sink:
+            result = BatchRunner(backend="array", workers=2).run(
+                "kdelta", CELLS, params_grid=PARAMS, sink=sink
+            )
+        assert sink.written == len(CELLS) - 2  # only the missing cells ran
+        assert len(result) == len(CELLS)
+        serial = BatchRunner(backend="array").run("kdelta", CELLS, params_grid=PARAMS)
+        assert stripped(result) == stripped(serial)
+
+    def test_resume_with_nothing_done_runs_everything(self, tmp_path):
+        path = tmp_path / "fresh.jsonl"
+        with JsonlSink(path, resume=True) as sink:
+            result = BatchRunner(backend="array", workers=2).run(
+                "kdelta", CELLS, params_grid=PARAMS, sink=sink
+            )
+        assert sink.written == len(result) == len(CELLS)
+
+    def test_fully_resumed_sweep_runs_no_cells(self, tmp_path):
+        path = tmp_path / "done.jsonl"
+        with JsonlSink(path) as sink:
+            BatchRunner(backend="array").run("kdelta", CELLS, params_grid=PARAMS, sink=sink)
+        with JsonlSink(path, resume=True) as sink:
+            result = BatchRunner(backend="array", workers=2).run(
+                "kdelta", CELLS, params_grid=PARAMS, sink=sink
+            )
+        assert sink.written == 0
+        assert len(result) == len(CELLS)
+
+
+class TestParityUnderParallelism:
+    """Satellite: a deliberately broken backend must trip the parity oracle
+    under both serial and parallel execution (the 'parallel-safe oracle')."""
+
+    def test_broken_engine_trips_parity_serially(self):
+        register_broken_engine()
+        runner = BatchRunner(backend="broken-array", parity_check=True)
+        with pytest.raises(ParityError, match="parity mismatch"):
+            runner.run("kdelta", CELLS[:2], params_grid=PARAMS)
+
+    def test_broken_engine_trips_parity_in_parallel(self):
+        register_broken_engine()
+        runner = BatchRunner(
+            backend="broken-array",
+            parity_check=True,
+            workers=2,
+            worker_init=register_broken_engine,  # workers must know the backend too
+        )
+        with pytest.raises(ParityError, match="parity mismatch"):
+            runner.run("kdelta", CELLS[:4], params_grid=PARAMS)
+
+    def test_broken_engine_passes_without_parity_check(self):
+        register_broken_engine()
+        runner = BatchRunner(backend="broken-array", parity_check=False, workers=2,
+                             worker_init=register_broken_engine)
+        result = runner.run("kdelta", CELLS[:2], params_grid=PARAMS)
+        assert len(result) == 2  # wrong but proper colors sail through unchecked
+
+    def test_sink_keeps_records_completed_before_parity_failure(self, tmp_path):
+        register_broken_engine()
+        path = tmp_path / "run.jsonl"
+        runner = BatchRunner(backend="broken-array", parity_check=True)
+        with JsonlSink(path) as sink:
+            with pytest.raises(ParityError):
+                runner.run("kdelta", CELLS, params_grid=PARAMS, sink=sink)
+        # the manifest line survives; no torn record lines
+        lines = path.read_text().splitlines()
+        assert "manifest" in json.loads(lines[0])
