@@ -15,6 +15,7 @@ imported first.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 
@@ -38,5 +39,33 @@ def record_table():
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.md"
         path.write_text(table.render() + "\n", encoding="utf-8")
+
+    return _record
+
+
+@pytest.fixture
+def machine_cores() -> int:
+    """CPU cores available to this process (what the B-series records report)."""
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture
+def record_json():
+    """Persist a machine-readable benchmark record (``BENCH_<name>.json``).
+
+    The B-series benchmarks write one JSON file each (cells/sec, speedup,
+    instance sizes, machine cores) so the perf trajectory can be tracked
+    across commits by tooling, not just by humans reading the markdown tables.
+    """
+
+    def _record(name: str, payload: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 
     return _record

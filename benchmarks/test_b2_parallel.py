@@ -17,7 +17,6 @@ single-core machine (some CI sandboxes) the benchmark instead asserts the
 sharding overhead is bounded — records identity is asserted unconditionally.
 """
 
-import os
 import time
 
 from repro.analysis.tables import Table
@@ -39,14 +38,7 @@ def _stripped(result):
     return [{k: v for k, v in rec.items() if k != "seconds"} for rec in result]
 
 
-def _available_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
-
-
-def test_b2_parallel_speedup(record_table):
+def test_b2_parallel_speedup(record_table, record_json, machine_cores):
     serial_seconds, serial_result = _timed_sweep(1)
     parallel_seconds, parallel_result = _timed_sweep(WORKERS)
 
@@ -54,7 +46,7 @@ def test_b2_parallel_speedup(record_table):
     assert _stripped(parallel_result) == _stripped(serial_result)
 
     speedup = serial_seconds / max(parallel_seconds, 1e-9)
-    cores = _available_cores()
+    cores = machine_cores
     table = Table(
         f"B2 — parallel BatchRunner: {len(CELLS)}-cell parity-checked sweep "
         f"({TASK}), serial vs {WORKERS} workers",
@@ -71,6 +63,18 @@ def test_b2_parallel_speedup(record_table):
         "(a 1-core sandbox can only demonstrate bounded sharding overhead)."
     )
     record_table("B2_parallel", table)
+    record_json("B2", {
+        "benchmark": "B2_parallel",
+        "task": TASK,
+        "cells": len(CELLS),
+        "workers": WORKERS,
+        "machine_cores": cores,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(speedup, 2),
+        "cells_per_sec": round(len(CELLS) / max(parallel_seconds, 1e-9), 3),
+        "records_identical": True,
+    })
 
     assert len(parallel_result) >= 20
     if cores >= 2:

@@ -1,5 +1,8 @@
 """B1 — the engine-layer sweep: array backend vs the reference scheduler.
 
+Also emits ``results/BENCH_B1.json`` (cells/sec, speedup, machine cores) —
+the machine-readable perf-trajectory record.
+
 The acceptance bar of the engine layer: a BatchRunner sweep over >= 20
 (graph, seed) cells on the ``array`` backend must be at least 3x faster in
 wall-clock than the identical sweep on the ``reference`` backend, while both
@@ -25,7 +28,7 @@ def _timed_sweep(backend: str) -> tuple[float, "BatchResult"]:
     return time.perf_counter() - start, result
 
 
-def test_b1_array_backend_speedup(record_table):
+def test_b1_array_backend_speedup(record_table, record_json, machine_cores):
     array_seconds, array_result = _timed_sweep("array")
     reference_seconds, reference_result = _timed_sweep("reference")
 
@@ -42,6 +45,17 @@ def test_b1_array_backend_speedup(record_table):
     table.add_row("array", len(array_result), round(array_seconds, 3), round(speedup, 1))
     table.add_note("Identical rounds / colors per cell on both backends (asserted).")
     record_table("B1_batch_backends", table)
+    record_json("B1", {
+        "benchmark": "B1_batch_backends",
+        "task": TASK,
+        "cells": len(CELLS),
+        "machine_cores": machine_cores,
+        "reference_seconds": round(reference_seconds, 4),
+        "array_seconds": round(array_seconds, 4),
+        "speedup": round(speedup, 2),
+        "cells_per_sec": round(len(CELLS) / max(array_seconds, 1e-9), 3),
+        "outputs_identical": True,
+    })
 
     assert len(array_result) >= 20
     assert speedup >= 3.0, (

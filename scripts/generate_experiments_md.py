@@ -147,6 +147,16 @@ COMMENTARY = {
         "reference simulator.  The parity is asserted inside the benchmark and property-tested in\n"
         "tests/test_engine_parity.py.",
     ),
+    "B3_kernels": (
+        "B3 — frontier-compacted kernels: pre-compaction vs compacted array backend",
+        "An implementation guarantee (see ARCHITECTURE.md, \"Kernel compaction\"): the array\n"
+        "kernels gather only the CSR entries incident to still-active vertices, count conflicts\n"
+        "with a single 2-D scatter-add over the compacted edges, evaluate polynomial sequences\n"
+        "lazily, and bucket removal classes with one argsort — so every hot round costs\n"
+        "O(active degree) instead of O(|E|).  The benchmark keeps the pre-compaction kernels\n"
+        "verbatim and asserts bit-identical colors and round counts per cell; the machine-readable\n"
+        "record (cells/sec, speedup, cores) lands in benchmarks/results/BENCH_B3.json.",
+    ),
     "B2_parallel": (
         "B2 — parallel sharding: serial vs a 4-worker process pool",
         "Also an implementation guarantee: sharding a parity-checked 24-cell sweep across 4 worker\n"
@@ -171,6 +181,7 @@ ORDER = [
     "E1_linial_one_round", "E2_rounds_vs_k", "E3_delta_squared", "E4_outdegree",
     "E5_defective", "E6_delta_plus_one", "E7_theorem13", "E8_ruling_sets",
     "E9_one_round", "E10_baselines", "B1_batch_backends", "B2_parallel",
+    "B3_kernels",
 ]
 
 

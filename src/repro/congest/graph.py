@@ -38,7 +38,7 @@ class Graph:
     read-only.  All algorithm state lives outside the graph.
     """
 
-    __slots__ = ("_n", "_indptr", "_indices", "_degrees", "_num_edges")
+    __slots__ = ("_n", "_indptr", "_indices", "_degrees", "_num_edges", "_src_index")
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()):
         if n < 0:
@@ -75,6 +75,7 @@ class Graph:
         self._indptr = indptr
         self._indices = dst
         self._degrees = counts.astype(np.int64)
+        self._src_index = None
         for a in (self._indptr, self._indices, self._degrees):
             a.setflags(write=False)
 
@@ -130,6 +131,7 @@ class Graph:
         g._indices = indices
         g._degrees = np.diff(indptr)
         g._num_edges = indices.size // 2
+        g._src_index = None
         for a in (g._indptr, g._indices, g._degrees):
             a.setflags(write=False)
         return g
@@ -194,6 +196,23 @@ class Graph:
         return self._degrees
 
     @property
+    def src_index(self) -> np.ndarray:
+        """Source vertex of every CSR entry, shape ``(2 * num_edges,)``.
+
+        Equal to ``np.repeat(np.arange(n), degrees)`` — the edge-source array
+        every flat array kernel scatters per-entry values back to vertices
+        with.  Built lazily on first access and cached read-only, so hot
+        kernels (the vectorized mother algorithm, the array reductions,
+        orientation derivation, coloring validation) share one copy instead
+        of rebuilding an ``O(E)`` array per call.
+        """
+        if self._src_index is None:
+            src = np.repeat(np.arange(self._n, dtype=np.int64), self._degrees)
+            src.setflags(write=False)
+            self._src_index = src
+        return self._src_index
+
+    @property
     def max_degree(self) -> int:
         """Maximum degree ``Delta`` of the graph (0 for an empty graph)."""
         if self._n == 0 or self._degrees.size == 0:
@@ -227,9 +246,29 @@ class Graph:
         """Return all edges as an ``(num_edges, 2)`` array with ``u < v`` per row."""
         if self._num_edges == 0:
             return np.empty((0, 2), dtype=np.int64)
-        src = np.repeat(np.arange(self._n, dtype=np.int64), self._degrees)
+        src = self.src_index
         mask = src < self._indices
         return np.stack([src[mask], self._indices[mask]], axis=1)
+
+    def incident_csr_entries(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Gather the CSR entry positions incident to ``vertices`` (frontier compaction).
+
+        Returns ``(positions, rows)``: ``positions`` indexes into
+        :attr:`indices` (so ``indices[positions]`` are the neighbors), and
+        ``rows[i]`` is the index *within* ``vertices`` that entry ``i``
+        belongs to.  Entries of one vertex stay contiguous and in sorted
+        neighbor order.  Cost is ``O(sum of degrees(vertices))`` — this is the
+        primitive that lets per-round kernels touch only the active
+        subgraph's adjacency instead of all ``2|E|`` entries.
+        """
+        verts = np.asarray(vertices, dtype=np.int64)
+        deg = self._degrees[verts]
+        total = int(deg.sum())
+        rows = np.repeat(np.arange(verts.size, dtype=np.int64), deg)
+        starts = np.zeros(verts.size, dtype=np.int64)
+        np.cumsum(deg[:-1], out=starts[1:])
+        positions = np.arange(total, dtype=np.int64) + np.repeat(self._indptr[verts] - starts, deg)
+        return positions, rows
 
     # ------------------------------------------------------------------ #
     # Derived graphs
@@ -258,7 +297,7 @@ class Graph:
         keep[verts] = True
         position = -np.ones(self._n, dtype=np.int64)
         position[verts] = np.arange(verts.size)
-        src = np.repeat(np.arange(self._n, dtype=np.int64), self._degrees)
+        src = self.src_index
         sel = keep[src] & keep[self._indices]
         sub_src = position[src[sel]]
         sub_dst = position[self._indices[sel]]

@@ -154,21 +154,23 @@ def derive_orientation(
     iteration are broken from the smaller to the larger input color.  The
     out-neighbors of a vertex are therefore a subset of the at most ``d``
     conflicts it tolerated when it adopted its color, giving outdegree ``<= d``.
+
+    Vectorized: the monochromatic edges are filtered and oriented with flat
+    array operations (via the graph's cached edge-source array), so only the
+    final — typically tiny — set of oriented edges is materialised in Python.
     """
-    orientation: set[tuple[int, int]] = set()
     edges = graph.edge_array()
-    for u, v in map(tuple, edges.tolist()):
-        if colors[u] != colors[v]:
-            continue
-        if parts[u] > parts[v]:
-            orientation.add((u, v))
-        elif parts[v] > parts[u]:
-            orientation.add((v, u))
-        elif input_colors[u] < input_colors[v]:
-            orientation.add((u, v))
-        else:
-            orientation.add((v, u))
-    return orientation
+    if edges.size == 0:
+        return set()
+    u, v = edges[:, 0], edges[:, 1]
+    mono = colors[u] == colors[v]
+    if not np.any(mono):
+        return set()
+    u, v = u[mono], v[mono]
+    from_u = (parts[u] > parts[v]) | ((parts[u] == parts[v]) & (input_colors[u] < input_colors[v]))
+    src = np.where(from_u, u, v)
+    dst = np.where(from_u, v, u)
+    return set(zip(src.tolist(), dst.tolist()))
 
 
 def run_mother_algorithm(

@@ -48,6 +48,7 @@ def _run(
     vectorized: bool | None,
     with_orientation=True,
     params=None,
+    validate_input=True,
 ):
     engine = resolve_backend(backend, vectorized)
     return engine.run_mother(
@@ -58,6 +59,7 @@ def _run(
         k=k,
         params=params,
         with_orientation=with_orientation,
+        validate_input=validate_input,
     )
 
 
@@ -73,6 +75,7 @@ def linial_color_reduction(
     m: int,
     backend: str | Engine = "reference",
     vectorized: bool | None = None,
+    validate_input: bool = True,
 ) -> ColoringResult:
     """Corollary 1.2 (1): Linial's one-round color reduction.
 
@@ -83,7 +86,8 @@ def linial_color_reduction(
     """
     delta = max(1, graph.max_degree)
     params = _single_batch_params(m, delta, 0)
-    return _run(graph, input_colors, m, 0, params.k, backend, vectorized, params=params)
+    return _run(graph, input_colors, m, 0, params.k, backend, vectorized, params=params,
+                validate_input=validate_input)
 
 
 def kdelta_coloring(
@@ -93,6 +97,7 @@ def kdelta_coloring(
     k: int,
     backend: str | Engine = "reference",
     vectorized: bool | None = None,
+    validate_input: bool = True,
 ) -> ColoringResult:
     """Corollary 1.2 (2): ``O(k Delta)`` colors in ``O(Delta / k)`` rounds.
 
@@ -100,7 +105,7 @@ def kdelta_coloring(
     regime (``k = 1``).  For a ``Delta^4``-input coloring the concrete bounds
     are ``16 Delta k`` colors in ``16 Delta / k`` rounds.
     """
-    return _run(graph, input_colors, m, 0, k, backend, vectorized)
+    return _run(graph, input_colors, m, 0, k, backend, vectorized, validate_input=validate_input)
 
 
 def delta_squared_coloring(
@@ -109,11 +114,12 @@ def delta_squared_coloring(
     m: int,
     backend: str | Engine = "reference",
     vectorized: bool | None = None,
+    validate_input: bool = True,
 ) -> ColoringResult:
     """Corollary 1.2 (3): ``Delta^2`` colors in ``O(1)`` rounds (``k = ceil(Delta/16)``)."""
     delta = max(1, graph.max_degree)
     k = max(1, math.ceil(delta / 16))
-    return _run(graph, input_colors, m, 0, k, backend, vectorized)
+    return _run(graph, input_colors, m, 0, k, backend, vectorized, validate_input=validate_input)
 
 
 def outdegree_coloring(
@@ -166,6 +172,7 @@ def defective_coloring(
     d: int,
     backend: str | Engine = "reference",
     vectorized: bool | None = None,
+    validate_input: bool = True,
 ) -> ColoringResult:
     """Corollary 1.2 (6): a ``d``-defective ``O((Delta/d)^2)``-coloring in ``O(Delta/d)`` rounds.
 
@@ -177,7 +184,8 @@ def defective_coloring(
     delta = max(1, graph.max_degree)
     if not (1 <= d <= delta - 1):
         raise ValueError(f"d must satisfy 1 <= d <= Delta - 1, got d={d}, Delta={delta}")
-    base = _run(graph, input_colors, m, d, 1, backend, vectorized, with_orientation=False)
+    base = _run(graph, input_colors, m, d, 1, backend, vectorized, with_orientation=False,
+                validate_input=validate_input)
     if base.parts is None:  # pragma: no cover - defensive
         raise RuntimeError("mother algorithm did not report parts")
     stride = int(base.parts.max(initial=0)) + 1

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.congest.graph import Graph
-from repro.congest.ids import assign_unique_ids
+from repro.congest.ids import assign_unique_ids, validate_proper_coloring
 from repro.core.corollaries import linial_color_reduction
 from repro.core.results import ColoringResult
 from repro.engine.base import Engine
@@ -33,6 +33,7 @@ def iterated_color_reduction(
     max_iterations: int = 64,
     backend: str | Engine = "reference",
     vectorized: bool | None = None,
+    validate_input: bool = True,
 ) -> ColoringResult:
     """Iterate the one-round reduction until the color space stops shrinking.
 
@@ -41,6 +42,11 @@ def iterated_color_reduction(
     target_colors:
         Stop as soon as the color-space bound is at most this value (default:
         ``256 * Delta^2``, the bound of Corollary 1.2 (1)).
+    validate_input:
+        Check that ``input_colors`` is a proper ``m``-coloring *once*, here at
+        entry.  The interior reduction steps always skip re-validation: every
+        step's output is a proper coloring by Theorem 1.1, so validating it
+        again inside each iteration is ``O(|E|)`` of pure overhead.
 
     Returns
     -------
@@ -55,6 +61,11 @@ def iterated_color_reduction(
 
     colors = np.asarray(input_colors, dtype=np.int64)
     space = int(m)
+    if validate_input and space > target_colors:
+        # Validate once, up front — but only when a reduction step will
+        # actually run (the no-op path never validated before the hoist
+        # either: validation used to live inside the first mother call).
+        validate_proper_coloring(graph, colors, m)
     history = [space]
     rounds = 0
     result: ColoringResult | None = None
@@ -62,7 +73,7 @@ def iterated_color_reduction(
     for _ in range(max_iterations):
         if space <= target_colors:
             break
-        step = linial_color_reduction(graph, colors, space, backend=engine)
+        step = linial_color_reduction(graph, colors, space, backend=engine, validate_input=False)
         new_space = step.color_space_size
         if new_space >= space:
             # No further progress possible (already at the fixed point of the

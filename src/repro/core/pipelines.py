@@ -38,6 +38,7 @@ from typing import Callable
 import numpy as np
 
 from repro.congest.graph import Graph
+from repro.congest.ids import validate_proper_coloring
 from repro.core.corollaries import defective_coloring, kdelta_coloring
 from repro.core.linial import linial_coloring
 from repro.core.results import ColoringResult
@@ -65,12 +66,17 @@ def delta_plus_one_coloring(
     Stage 1 (Linial): reduce the unique-ID coloring to ``O(Delta^2)`` colors.
     Stage 2 (mother algorithm, ``k = 1``): ``O(Delta)`` colors in ``O(Delta)`` rounds.
     Stage 3 (color-class removal): ``Delta + 1`` colors in ``O(Delta)`` rounds.
+
+    Input validation happens once, at the pipeline entry (inside stage 1);
+    interior stages consume colorings that are proper by construction and
+    skip re-validation.
     """
     engine = resolve_backend(backend, vectorized)
     delta = max(1, graph.max_degree)
     stage1 = linial_coloring(graph, ids=ids, seed=seed, backend=engine)
     stage2 = kdelta_coloring(
-        graph, stage1.colors, stage1.color_space_size, k=1, backend=engine
+        graph, stage1.colors, stage1.color_space_size, k=1, backend=engine,
+        validate_input=False,
     )
     stage3 = engine.remove_color_class(graph, stage2.colors, target_colors=delta + 1)
     return ColoringResult(
@@ -95,6 +101,7 @@ def o_delta_coloring(
     m: int,
     backend: str | Engine = "reference",
     vectorized: bool | None = None,
+    validate_input: bool = True,
 ) -> ColoringResult:
     """An ``O(Delta)``-coloring of ``graph`` given a proper ``m``-input coloring.
 
@@ -106,7 +113,9 @@ def o_delta_coloring(
     both the paper bound and the measured rounds honestly.
     """
     engine = resolve_backend(backend, vectorized)
-    result = kdelta_coloring(graph, input_colors, m, k=1, backend=engine)
+    result = kdelta_coloring(
+        graph, input_colors, m, k=1, backend=engine, validate_input=validate_input
+    )
     result.metadata["substitution"] = (
         "Theorem 3.1 [Bar16, BEG18] replaced by the k=1 mother algorithm: "
         "same O(Delta) color bound, O(Delta) instead of O(sqrt(Delta)) rounds"
@@ -137,26 +146,32 @@ def theorem13_coloring(
     note there).  The parallel step's round count is the maximum over the
     classes, as all classes run concurrently on vertex-disjoint subgraphs with
     disjoint output color spaces.
+
+    The input coloring is validated once, here at entry; the interior stages
+    (the defective coloring and the per-class colorings, whose inputs are
+    restrictions of the validated coloring to induced subgraphs) skip
+    re-validation.
     """
     if not (0.0 < epsilon <= 1.0):
         raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
     engine = resolve_backend(backend, vectorized)
     delta = max(1, graph.max_degree)
     input_colors = np.asarray(input_colors, dtype=np.int64)
+    validate_proper_coloring(graph, input_colors, m)
     if low_degree_coloring is None:
         def low_degree_coloring(sub: Graph, sub_colors: np.ndarray, sub_m: int) -> ColoringResult:
-            return o_delta_coloring(sub, sub_colors, sub_m, backend=engine)
+            return o_delta_coloring(sub, sub_colors, sub_m, backend=engine, validate_input=False)
 
     d = max(1, min(delta - 1, int(round(delta ** (1.0 - epsilon)))))
     if delta <= 2 or d >= delta:
         # Degenerate small-degree case: the defective step is pointless; fall
         # back to the plain O(Delta)-coloring which satisfies the color bound.
-        base = o_delta_coloring(graph, input_colors, m, backend=engine)
+        base = o_delta_coloring(graph, input_colors, m, backend=engine, validate_input=False)
         base.metadata["theorem13_degenerate"] = True
         return base
 
     # Step 1: d-defective coloring psi (Corollary 1.2 (6)).
-    psi = defective_coloring(graph, input_colors, m, d=d, backend=engine)
+    psi = defective_coloring(graph, input_colors, m, d=d, backend=engine, validate_input=False)
 
     # Step 2: color every psi-class in parallel with a disjoint output space.
     classes = color_classes(graph, psi.colors)

@@ -20,10 +20,15 @@ round consists of every affected vertex looking at its neighbors' *current*
 colors (one message each, clearly CONGEST) and recoloring simultaneously; the
 returned ``rounds`` is the number of such rounds.
 
-:func:`remove_color_class_reduction` is backend-pluggable: ``backend="array"``
-runs a whole-graph CSR implementation with bit-identical colors and round
+Both reductions are backend-pluggable: ``backend="array"`` runs a
+frontier-compacted CSR implementation with bit-identical colors and round
 counts (the greedy "smallest free color" choice is deterministic, so the two
-paths agree exactly; this is property-tested in ``tests/test_engine_parity.py``).
+paths agree exactly; this is property-tested in ``tests/test_engine_parity.py``
+and ``tests/test_kernel_compaction.py``).  The array paths gather only the
+CSR entries incident to the round's affected vertices
+(:meth:`repro.congest.graph.Graph.incident_csr_entries`), so a round costs
+``O(affected degree)`` instead of a full ``2|E|`` scan — over a whole
+reduction that is ``O(|E|)`` total work rather than ``O(color classes x |E|)``.
 """
 
 from __future__ import annotations
@@ -73,25 +78,32 @@ def _remove_color_class_reference(
 def _remove_color_class_array(
     graph: Graph, colors: np.ndarray, target_colors: int
 ) -> tuple[np.ndarray, int]:
-    """CSR implementation of the same reduction (identical colors and rounds).
+    """Compacted CSR implementation of the same reduction (identical colors and rounds).
 
-    Per round: gather the incident CSR entries of the affected independent
-    set, scatter their neighbors' sub-``target`` colors into a dense
-    ``(affected, target)`` occupancy table, and take the first free column.
-    The affected vertices' degrees are at most ``Delta < target_colors``, so a
-    free column always exists, and neighbor colors ``>= target_colors`` can
-    never block the scan (the reference scan stops at most at index ``Delta``).
+    Vertices are bucketed by color *once* (one stable argsort); colors at or
+    above the target are then processed in strictly decreasing order, and
+    since every recolored vertex lands *below* the target (a free column
+    exists because degree ``<= Delta < target_colors``), the initial buckets
+    are exactly the per-round affected sets.  Per round only the affected
+    vertices' incident CSR entries are gathered and their neighbors'
+    sub-``target`` colors scattered into a dense ``(affected, target)``
+    occupancy table; the first free column is the new color.  Neighbor colors
+    ``>= target_colors`` can never block the scan (the reference scan stops at
+    most at index ``Delta``), so dropping them is exact.  Total work over all
+    rounds is ``O(|E| + n log n)`` instead of ``O(color classes x |E|)``.
     """
-    indices = graph.indices
-    src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
     rounds = 0
-    while colors.size and int(colors.max()) >= target_colors:
-        current = int(colors.max())
-        affected_mask = colors == current
-        vertices = np.nonzero(affected_mask)[0]
-        sel = affected_mask[src]
-        rows = np.searchsorted(vertices, src[sel])
-        nbr_colors = colors[indices[sel]]
+    if colors.size == 0 or int(colors.max()) < target_colors:
+        return colors, rounds
+    indices = graph.indices
+    order = np.argsort(colors, kind="stable")
+    sorted_colors = colors[order]
+    start = int(np.searchsorted(sorted_colors, target_colors, side="left"))
+    high = order[start:]
+    boundaries = np.nonzero(np.diff(sorted_colors[start:]))[0] + 1
+    for vertices in reversed(np.split(high, boundaries)):
+        positions, rows = graph.incident_csr_entries(vertices)
+        nbr_colors = colors[indices[positions]]
         used = np.zeros((vertices.size, target_colors), dtype=bool)
         in_range = nbr_colors < target_colors
         used[rows[in_range], nbr_colors[in_range]] = True
@@ -146,11 +158,57 @@ def remove_color_class_reduction(
     )
 
 
+def _kw_round_reference(
+    graph: Graph, colors: np.ndarray, affected: np.ndarray, block: int, target_colors: int
+) -> None:
+    """One KW round on the reference path: per-vertex Python sets."""
+    forbidden = _neighbor_color_sets(graph, colors, affected)
+    for v, banned in zip(affected, forbidden):
+        base = (int(colors[v]) // block) * block
+        # Pick a free slot within the block's lower target_colors colors.
+        banned_slots = {
+            b - base for b in banned if base <= b < base + target_colors
+        }
+        free = 0
+        while free in banned_slots:
+            free += 1
+        colors[v] = base + free
+    # (recoloring within the lower half of the same block keeps the
+    # coloring proper: affected vertices of one color value form an
+    # independent set, and they avoid neighbors' current colors)
+
+
+def _kw_round_array(
+    graph: Graph, colors: np.ndarray, affected: np.ndarray, block: int, target_colors: int
+) -> None:
+    """One KW round on the array path: compacted gather + occupancy scatter.
+
+    Only the affected vertices' incident CSR entries are touched.  A neighbor
+    color ``b`` bans slot ``b % block`` iff it lies in the same block
+    (``b // block`` equal) and in the block's lower ``target_colors`` slots —
+    exactly the ``base <= b < base + target_colors`` window of the reference
+    path, so the smallest free slot (``argmax`` over the negated occupancy
+    table) is bit-identical.
+    """
+    positions, rows = graph.incident_csr_entries(affected)
+    nbr_colors = colors[graph.indices[positions]]
+    block_of = colors[affected] // block
+    slot = nbr_colors % block
+    banned = ((nbr_colors // block) == block_of[rows]) & (slot < target_colors)
+    used = np.zeros((affected.size, target_colors), dtype=bool)
+    used[rows[banned], slot[banned]] = True
+    colors[affected] = block_of * block + np.argmax(~used, axis=1)
+
+
+_KW_ROUNDS = {"reference": _kw_round_reference, "array": _kw_round_array}
+
+
 def kuhn_wattenhofer_reduction(
     graph: Graph,
     colors: np.ndarray,
     m: int,
     target_colors: int | None = None,
+    backend: str | object = "reference",
 ) -> ColoringResult:
     """Block-halving reduction from an ``m``-coloring to ``Delta + 1`` colors.
 
@@ -162,6 +220,12 @@ def kuhn_wattenhofer_reduction(
     rounds and at least halves the number of colors, so the total round count
     is ``O(Delta * log(m / Delta))`` — the classical bound the paper's
     ``O(Delta)``-round algorithms improve upon.
+
+    ``backend`` selects the per-round execution path: ``"reference"``
+    (per-vertex Python sets) or ``"array"`` (compacted CSR gather + occupancy
+    scatter); both produce identical colors, round and phase counts.  An
+    :class:`repro.engine.base.Engine` instance is also accepted (its ``name``
+    selects the path).
     """
     colors = np.asarray(colors, dtype=np.int64).copy()
     delta = graph.max_degree
@@ -173,6 +237,14 @@ def kuhn_wattenhofer_reduction(
         )
     if colors.size and int(colors.max()) >= m:
         raise ValueError("input coloring uses colors outside the declared space [m]")
+    backend_name = getattr(backend, "name", backend)
+    try:
+        kw_round = _KW_ROUNDS[backend_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend_name!r} for kuhn_wattenhofer_reduction; "
+            "expected 'reference' or 'array'"
+        ) from None
 
     block = 2 * target_colors
     space = int(m)
@@ -191,20 +263,7 @@ def kuhn_wattenhofer_reduction(
             affected = np.nonzero((colors % block) == offset)[0] if colors.size else np.empty(0, int)
             if affected.size == 0:
                 continue
-            forbidden = _neighbor_color_sets(graph, colors, affected)
-            for v, banned in zip(affected, forbidden):
-                base = (int(colors[v]) // block) * block
-                # Pick a free slot within the block's lower target_colors colors.
-                banned_slots = {
-                    b - base for b in banned if base <= b < base + target_colors
-                }
-                free = 0
-                while free in banned_slots:
-                    free += 1
-                colors[v] = base + free
-            # (recoloring within the lower half of the same block keeps the
-            # coloring proper: affected vertices of one color value form an
-            # independent set, and they avoid neighbors' current colors)
+            kw_round(graph, colors, affected, block, target_colors)
         rounds += phase_rounds
         # Compact the color space: every block keeps only its lower half.
         if colors.size:
@@ -219,5 +278,6 @@ def kuhn_wattenhofer_reduction(
             "method": "kuhn_wattenhofer",
             "phases": phases,
             "target_colors": target_colors,
+            "backend": backend_name,
         },
     )

@@ -1,13 +1,28 @@
-"""Whole-graph NumPy implementation of Algorithm 1.
+"""Whole-graph NumPy implementation of Algorithm 1, frontier-compacted.
 
 The message-passing implementation in :mod:`repro.core.algorithm1` is the
 faithful model-level artifact; this module is its performance twin.  It runs
-the exact same round structure — evaluate all sequences up front, then per
-batch count conflicts and let every node adopt the first ``d``-proper trial —
-but each round is a handful of flat array operations over the CSR adjacency,
-following the vectorization guidance of the HPC guides (no per-node Python
-loops, no temporaries inside the round loop beyond what the conflict counts
-need).
+the exact same round structure — per batch count conflicts and let every node
+adopt the first ``d``-proper trial — but each round operates on *compacted*
+arrays covering only the still-active subgraph:
+
+* per batch, only the CSR ranges incident to still-active vertices are
+  gathered (:meth:`repro.congest.graph.Graph.incident_csr_entries`); edges
+  between two permanently colored endpoints are never touched again, so a
+  round costs ``O(active degree)``, not ``O(|E|)``;
+* conflict counting is one 2-D scatter-add over the compacted edges
+  (``bincount`` on flattened ``(row, trial)`` indices) instead of a Python
+  loop over the batch's trial positions with full-size temporaries;
+* within a batch the trial axis is processed in bounded-memory chunks with
+  per-row early exit — a row that already found its first ``d``-proper trial
+  is dropped from the remaining chunks (the adopted trial is the *first*
+  qualifying one either way, so outputs are unchanged);
+* polynomial sequences are evaluated *lazily*: instead of the dense ``(n, q)``
+  table of :func:`evaluate_all_sequences` (which dominates the runtime once
+  the round loop is compacted), each chunk Horner-evaluates exactly the
+  vertices it touches at exactly the chunk's trial positions.  Modular
+  arithmetic is exact, so the lazily computed values are bit-identical to the
+  table's.
 
 The two implementations produce *identical* colors and part indices (this is
 property-tested), so benchmarks can use the vectorized twin on graphs where
@@ -26,27 +41,41 @@ from repro.core.results import ColoringResult
 
 __all__ = ["run_mother_algorithm_vectorized", "evaluate_all_sequences"]
 
+#: Budget (in edge x trial cells) for one conflict-counting chunk.  Bounds the
+#: per-chunk temporaries to a few tens of MB regardless of graph size while
+#: leaving single-batch calls (Linial: the whole sequence in one batch) enough
+#: width per chunk to stay vectorized.
+_CHUNK_CELLS = 2 * 1024 * 1024
+
+
+def sequence_coefficients(input_colors: np.ndarray, params: MotherParameters) -> np.ndarray:
+    """Polynomial coefficient matrix, shape ``(n, f + 1)``.
+
+    ``coeffs[v, j]`` is the ``j``-th base-``q`` digit of ``input color + q``;
+    the offset skips the constant polynomials (see :mod:`repro.core.sequences`).
+    """
+    colors = np.asarray(input_colors, dtype=np.int64)
+    q = params.q
+    coeffs = np.empty((colors.shape[0], params.f + 1), dtype=np.int64)
+    rest = colors + q
+    for j in range(params.f + 1):
+        coeffs[:, j] = rest % q
+        rest //= q
+    return coeffs
+
 
 def evaluate_all_sequences(input_colors: np.ndarray, params: MotherParameters) -> np.ndarray:
     """Evaluate ``p_{c(v)}(x)`` for every vertex ``v`` and every ``x`` in ``F_q``.
 
-    Returns an ``(n, q)`` array.  The coefficients of the ``i``-th polynomial
-    are the base-``q`` digits of ``i``, so the whole coefficient matrix is
-    produced by repeated integer division; evaluation is vectorized Horner.
+    Returns an ``(n, q)`` array: the full trial table, via vectorized Horner.
+    The compacted kernel no longer materialises this — it evaluates lazily per
+    chunk — but the table remains the clearest specification of the trial
+    values (and the two agree exactly; modular arithmetic has no rounding).
     """
-    colors = np.asarray(input_colors, dtype=np.int64)
-    n = colors.shape[0]
-    q = params.q
-    f = params.f
-    # Coefficient matrix: coeffs[v, j] = j-th base-q digit of (input color + q);
-    # the offset skips the constant polynomials (see repro.core.sequences).
-    coeffs = np.empty((n, f + 1), dtype=np.int64)
-    rest = colors + q
-    for j in range(f + 1):
-        coeffs[:, j] = rest % q
-        rest //= q
+    coeffs = sequence_coefficients(input_colors, params)
+    q, f = params.q, params.f
     xs = np.arange(q, dtype=np.int64)
-    values = np.zeros((n, q), dtype=np.int64)
+    values = np.zeros((coeffs.shape[0], q), dtype=np.int64)
     for j in range(f, -1, -1):
         values = (values * xs[None, :] + coeffs[:, j][:, None]) % q
     return values
@@ -88,50 +117,111 @@ def run_mother_algorithm_vectorized(
         )
 
     q, k_eff, dd = params.q, params.k, params.d
-    values = evaluate_all_sequences(input_colors, params)
+    f = params.f
+    coeffs = sequence_coefficients(input_colors, params)
 
-    indptr = graph.indptr
+    def eval_grid(verts: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """``p_{c(v)}(x)`` for every ``v`` in ``verts`` and ``x`` in ``xs``."""
+        acc = np.zeros((verts.size, xs.size), dtype=np.int64)
+        for j in range(f, -1, -1):
+            acc = (acc * xs[None, :] + coeffs[verts, j][:, None]) % q
+        return acc
+
+    def eval_at(verts: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """``p_{c(verts[i])}(xs[i])`` — one position per vertex."""
+        acc = np.zeros(verts.size, dtype=np.int64)
+        for j in range(f, -1, -1):
+            acc = (acc * xs + coeffs[verts, j]) % q
+        return acc
+
     indices = graph.indices
-    src_index = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
 
     colors = -np.ones(n, dtype=np.int64)
     parts = np.zeros(n, dtype=np.int64)
     active = np.ones(n, dtype=bool)
     rounds = 0
 
+    # Frontier compaction state: ``act`` are the still-active vertices and
+    # ``rows``/``e_dst`` their incident CSR entries (entry i belongs to vertex
+    # act[rows[i]] and points at neighbor e_dst[i]).  Edges between two
+    # permanently colored endpoints never appear here.  Rebuilt only when the
+    # active set shrank (someone adopted a color).
+    act = rows = e_dst = None
+    refresh = True
+
     for batch in range(params.num_batches):
-        if not active.any():
-            break
+        if refresh:
+            act = np.nonzero(active)[0]
+            if act.size == 0:
+                break
+            positions, rows = graph.incident_csr_entries(act)
+            e_dst = indices[positions]
+            refresh = False
         rounds = batch + 1
         lo = batch * k_eff
         hi = min(lo + k_eff, q)
-        width = hi - lo
+        num_active = act.size
 
-        # Conflict counts: counts[v, l] for trial position lo + l.
-        counts = np.zeros((n, width), dtype=np.int64)
-        nbr_active = active[indices]
-        nbr_colors = colors[indices]
-        for l in range(width):
-            x = lo + l
-            val = values[:, x]
-            trial_color = (x % k_eff) * q + val
-            # Active neighbors whose own trial at position x has the same value.
-            same_value = (val[indices] == val[src_index]) & nbr_active
-            # Neighbors already permanently colored with exactly this color.
-            same_final = (~nbr_active) & (nbr_colors == trial_color[src_index])
-            hits = (same_value | same_final).astype(np.int64)
-            counts[:, l] = np.bincount(src_index, weights=hits, minlength=n).astype(np.int64)
+        # first[r] = first trial position in [lo, hi) with <= d conflicts for
+        # act[r], or -1.  The trial axis is chunked to bound the temporaries
+        # at ~_CHUNK_CELLS edge-trial cells; rows that found their slot are
+        # dropped from later chunks (their first slot is already decided).
+        dst_active = active[e_dst]
+        dst_colors = colors[e_dst]
+        first = np.full(num_active, -1, dtype=np.int64)
+        undone = np.ones(num_active, dtype=bool)
+        r_sub, d_sub, a_sub, c_sub = rows, e_dst, dst_active, dst_colors
+        cstart = lo
+        while cstart < hi:
+            w = max(1, min(hi - cstart, _CHUNK_CELLS // max(1, r_sub.size)))
+            xs = np.arange(cstart, cstart + w, dtype=np.int64)
+            # Lazily evaluate exactly the vertices this chunk touches — the
+            # remaining rows' sources and their *active* neighbors (colored
+            # neighbors are compared by final color, no values needed) — at
+            # exactly the chunk's trial positions.
+            src_verts = act[r_sub]
+            need = np.unique(np.concatenate([src_verts, d_sub[a_sub]]))
+            table = eval_grid(need, xs)
+            src_vals = table[np.searchsorted(need, src_verts)]
+            nbr_pos = np.searchsorted(need, d_sub)
+            if need.size:
+                np.minimum(nbr_pos, need.size - 1, out=nbr_pos)
+            # A hit is an active neighbor trying the same value, or a colored
+            # neighbor whose final color equals the trial color
+            # (x % k) * q + value  <=>  final - (x % k) * q == value.
+            # (For colored neighbors nbr_pos is a clipped dummy; np.where
+            # discards that branch.)
+            hits = np.where(
+                a_sub[:, None],
+                table[nbr_pos] == src_vals,
+                (c_sub[:, None] - ((xs % k_eff) * q)[None, :]) == src_vals,
+            )
+            # 2-D scatter-add over the compacted edges: conflict counts per
+            # (active row, trial position), via bincount on flattened indices.
+            er, el = np.nonzero(hits)
+            counts = np.bincount(
+                r_sub[er] * w + el, minlength=num_active * w
+            ).reshape(num_active, w)
+            ok = counts <= dd
+            ok[~undone] = False
+            found = ok.any(axis=1)
+            first[found] = cstart + np.argmax(ok[found], axis=1)
+            undone &= ~found
+            cstart += w
+            if cstart >= hi or not undone.any():
+                break
+            keep = undone[r_sub]
+            r_sub, d_sub = r_sub[keep], d_sub[keep]
+            a_sub, c_sub = a_sub[keep], c_sub[keep]
 
-        ok = counts <= dd
-        has_slot = ok.any(axis=1)
-        first = np.argmax(ok, axis=1)
-        adopters = active & has_slot
+        adopters = first >= 0
         if np.any(adopters):
-            xs = lo + first[adopters]
-            vals = values[adopters, xs]
-            colors[adopters] = (xs % k_eff) * q + vals
-            parts[adopters] = batch + 1
-            active[adopters] = False
+            verts = act[adopters]
+            xs = first[adopters]
+            colors[verts] = (xs % k_eff) * q + eval_at(verts, xs)
+            parts[verts] = batch + 1
+            active[verts] = False
+            refresh = True
 
     if active.any():
         raise RuntimeError(

@@ -60,3 +60,16 @@ class ArrayEngine(Engine):
         return remove_color_class_reduction(
             graph, colors, target_colors=target_colors, backend="array"
         )
+
+    def kuhn_wattenhofer(
+        self,
+        graph: Graph,
+        colors: np.ndarray,
+        m: int,
+        target_colors: int | None = None,
+    ) -> ColoringResult:
+        from repro.core.reduce import kuhn_wattenhofer_reduction
+
+        return kuhn_wattenhofer_reduction(
+            graph, colors, m, target_colors=target_colors, backend="array"
+        )

@@ -1,12 +1,14 @@
 """The backend contract of the execution-engine layer.
 
-An :class:`Engine` provides the two primitive operations every coloring
+An :class:`Engine` provides the primitive operations every coloring
 pipeline in the package is composed of:
 
 * :meth:`Engine.run_mother` — one invocation of Algorithm 1 / Theorem 1.1
   (the "mother algorithm") with parameters ``(m, d, k)``;
 * :meth:`Engine.remove_color_class` — the color-class-removal reduction used
-  as the finishing step of the ``(Delta + 1)`` pipeline.
+  as the finishing step of the ``(Delta + 1)`` pipeline;
+* :meth:`Engine.kuhn_wattenhofer` — the classical block-halving reduction
+  (the baseline the paper's reductions are compared against).
 
 Everything else (Linial's iterated reduction, the Corollary 1.2 wrappers, the
 Theorem 1.3 defective-class decomposition, ruling sets) is backend-generic
@@ -48,9 +50,11 @@ class EngineError(RuntimeError):
 class Engine(abc.ABC):
     """A pluggable execution backend for the paper's algorithms.
 
-    Subclasses implement the two primitives below; both must match the
-    reference semantics exactly (same colors, same part indices, same round
-    counts) — callers are free to mix backends across pipeline stages.
+    Subclasses implement the abstract primitives below and may override
+    :meth:`kuhn_wattenhofer` (which defaults to the reference path); every
+    primitive must match the reference semantics exactly (same colors, same
+    part indices, same round counts) — callers are free to mix backends
+    across pipeline stages.
     """
 
     #: Registry key and the value reported in result metadata.
@@ -82,6 +86,25 @@ class Engine(abc.ABC):
         target_colors: int | None = None,
     ) -> "ColoringResult":
         """Greedy color-class removal down to ``target_colors`` colors."""
+
+    def kuhn_wattenhofer(
+        self,
+        graph: "Graph",
+        colors: np.ndarray,
+        m: int,
+        target_colors: int | None = None,
+    ) -> "ColoringResult":
+        """Kuhn-Wattenhofer block-halving reduction down to ``target_colors``.
+
+        Concrete (not abstract) with a reference-path default so pre-existing
+        third-party engines keep working; the built-in engines override it
+        with their own execution path.
+        """
+        from repro.core.reduce import kuhn_wattenhofer_reduction
+
+        return kuhn_wattenhofer_reduction(
+            graph, colors, m, target_colors=target_colors, backend="reference"
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection

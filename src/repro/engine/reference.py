@@ -87,3 +87,6 @@ class ReferenceEngine(Engine):
         return remove_color_class_reduction(
             graph, colors, target_colors=target_colors, backend="reference"
         )
+
+    # kuhn_wattenhofer: the Engine base-class default already runs the
+    # reference path; no override needed.
