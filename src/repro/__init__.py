@@ -54,7 +54,7 @@ from repro.engine import (
     get_engine,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Graph",

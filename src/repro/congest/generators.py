@@ -4,9 +4,27 @@ Every generator returns a :class:`repro.congest.graph.Graph`.  All randomized
 generators take an explicit ``seed`` so experiments are reproducible.  The
 families cover the graphs distributed-coloring papers typically argue about:
 rings and paths (Linial's lower bound), bounded-degree random graphs
-(random regular, Erdos-Renyi), grids/tori, trees, complete and complete
+(random regular, Erdos-Renyi), grids/tori, trees, complete, crown and complete
 bipartite graphs (worst cases for greedy arguments) and power-law-ish graphs
 (skewed degrees).
+
+Every family is *array-native*: generators assemble an ``(m, 2)`` edge array
+with ``arange`` arithmetic (deterministic families) or per-round vectorized
+draws (randomized families) and hand it to :meth:`Graph.from_edge_array`, the
+fully vectorized CSR constructor — no generator appends edges one Python
+tuple at a time.  Deterministic families and the block-drawing random
+families build million-vertex instances in fractions of a second;
+``power_law_cluster`` keeps one (vectorized) round per attached vertex — the
+attachment process is inherently sequential — so it remains the slowest
+family at scale.
+
+Randomized streams: ``gnp``, ``random_bipartite`` and ``random_tree`` consume
+their :func:`canonical_rng` stream in exactly the same order as the historical
+per-edge loops, so equal seeds still produce *identical* graphs.  The
+vectorized ``random_regular`` (round-based stub pairing) and
+``power_law_cluster`` (batched preferential draws) consume their streams in a
+new — still seed-deterministic — order; the golden record suite pins the new
+streams.
 """
 
 from __future__ import annotations
@@ -22,6 +40,7 @@ __all__ = [
     "ring",
     "complete_graph",
     "complete_bipartite",
+    "crown",
     "star",
     "grid",
     "torus",
@@ -56,93 +75,110 @@ def canonical_rng(seed: int | None) -> np.random.Generator:
 
 def empty_graph(n: int) -> Graph:
     """Graph with ``n`` vertices and no edges."""
-    return Graph(n, [])
+    return Graph.from_edge_array(n, np.empty((0, 2), dtype=np.int64))
 
 
 def path(n: int) -> Graph:
     """Path on ``n`` vertices."""
-    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+    i = np.arange(max(n - 1, 0), dtype=np.int64)
+    return Graph.from_edge_array(n, np.column_stack([i, i + 1]))
 
 
 def ring(n: int) -> Graph:
     """Cycle on ``n >= 3`` vertices (the classic Linial lower-bound family)."""
     if n < 3:
         raise GraphError("a ring needs at least 3 vertices")
-    edges = [(i, (i + 1) % n) for i in range(n)]
-    return Graph(n, edges)
+    i = np.arange(n, dtype=np.int64)
+    return Graph.from_edge_array(n, np.column_stack([i, (i + 1) % n]))
 
 
 def complete_graph(n: int) -> Graph:
     """Complete graph ``K_n``."""
-    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+    iu, ju = np.triu_indices(max(n, 0), k=1)
+    return Graph.from_edge_array(n, np.column_stack([iu, ju]).astype(np.int64))
 
 
 def complete_bipartite(a: int, b: int) -> Graph:
     """Complete bipartite graph ``K_{a,b}`` with sides ``0..a-1`` and ``a..a+b-1``."""
-    return Graph(a + b, [(i, a + j) for i in range(a) for j in range(b)])
+    left = np.repeat(np.arange(a, dtype=np.int64), b)
+    right = a + np.tile(np.arange(b, dtype=np.int64), a)
+    return Graph.from_edge_array(a + b, np.column_stack([left, right]))
+
+
+def crown(n: int) -> Graph:
+    """Crown graph ``S_n^0``: ``K_{n,n}`` minus a perfect matching.
+
+    Sides ``0..n-1`` and ``n..2n-1``; vertex ``i`` is adjacent to every
+    opposite-side vertex except ``n + i``.  An ``(n-1)``-regular bipartite
+    family, a classic worst case for greedy arguments.
+    """
+    if n < 2:
+        raise GraphError("a crown graph needs at least 2 vertices per side")
+    left = np.repeat(np.arange(n, dtype=np.int64), n)
+    right = n + np.tile(np.arange(n, dtype=np.int64), n)
+    keep = left != right - n
+    return Graph.from_edge_array(2 * n, np.column_stack([left[keep], right[keep]]))
 
 
 def star(n: int) -> Graph:
     """Star with one center (vertex 0) and ``n - 1`` leaves."""
-    return Graph(n, [(0, i) for i in range(1, n)])
+    leaves = np.arange(1, max(n, 1), dtype=np.int64)
+    return Graph.from_edge_array(n, np.column_stack([np.zeros_like(leaves), leaves]))
 
 
 def grid(rows: int, cols: int) -> Graph:
     """2D grid graph (max degree 4)."""
-    def idx(r: int, c: int) -> int:
-        return r * cols + c
-
-    edges = []
-    for r in range(rows):
-        for c in range(cols):
-            if c + 1 < cols:
-                edges.append((idx(r, c), idx(r, c + 1)))
-            if r + 1 < rows:
-                edges.append((idx(r, c), idx(r + 1, c)))
-    return Graph(rows * cols, edges)
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz = np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()])
+    vert = np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()])
+    return Graph.from_edge_array(rows * cols, np.concatenate([horiz, vert]))
 
 
 def torus(rows: int, cols: int) -> Graph:
     """2D torus (grid with wraparound, 4-regular when rows, cols >= 3)."""
     if rows < 3 or cols < 3:
         raise GraphError("torus needs rows >= 3 and cols >= 3")
-
-    def idx(r: int, c: int) -> int:
-        return r * cols + c
-
-    edges = []
-    for r in range(rows):
-        for c in range(cols):
-            edges.append((idx(r, c), idx(r, (c + 1) % cols)))
-            edges.append((idx(r, c), idx((r + 1) % rows, c)))
-    return Graph(rows * cols, edges)
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right = np.roll(idx, -1, axis=1)
+    down = np.roll(idx, -1, axis=0)
+    edges = np.concatenate([
+        np.column_stack([idx.ravel(), right.ravel()]),
+        np.column_stack([idx.ravel(), down.ravel()]),
+    ])
+    return Graph.from_edge_array(rows * cols, edges)
 
 
 def binary_tree(depth: int) -> Graph:
     """Complete binary tree of the given depth (root has depth 0)."""
     n = 2 ** (depth + 1) - 1
-    edges = []
-    for v in range(1, n):
-        edges.append((v, (v - 1) // 2))
-    return Graph(n, edges)
+    v = np.arange(1, n, dtype=np.int64)
+    return Graph.from_edge_array(n, np.column_stack([v, (v - 1) // 2]))
 
 
 def random_tree(n: int, seed: int = 0) -> Graph:
-    """Uniform random recursive tree: vertex ``i`` attaches to a random earlier vertex."""
+    """Uniform random recursive tree: vertex ``i`` attaches to a random earlier vertex.
+
+    One vectorized bounded-integer draw per vertex (array ``high``), consuming
+    the seed's stream in the same order as the historical per-vertex loop —
+    equal seeds produce the same tree as ever.
+    """
     rng = canonical_rng(seed)
-    edges = [(i, int(rng.integers(0, i))) for i in range(1, n)]
-    return Graph(n, edges)
+    if n < 2:
+        return empty_graph(n)
+    children = np.arange(1, n, dtype=np.int64)
+    parents = rng.integers(0, children)
+    return Graph.from_edge_array(n, np.column_stack([children, parents]))
 
 
 def caterpillar(spine: int, legs: int) -> Graph:
     """Caterpillar: a path of length ``spine`` with ``legs`` pendant leaves per spine vertex."""
-    edges = [(i, i + 1) for i in range(spine - 1)]
-    nxt = spine
-    for s in range(spine):
-        for _ in range(legs):
-            edges.append((s, nxt))
-            nxt += 1
-    return Graph(nxt, edges)
+    s = np.arange(max(spine - 1, 0), dtype=np.int64)
+    spine_edges = np.column_stack([s, s + 1])
+    sources = np.repeat(np.arange(spine, dtype=np.int64), legs)
+    leaves = spine + np.arange(spine * legs, dtype=np.int64)
+    leg_edges = np.column_stack([sources, leaves])
+    n = spine + spine * legs
+    return Graph.from_edge_array(n, np.concatenate([spine_edges, leg_edges]))
 
 
 def gnp(n: int, p: float, seed: int = 0) -> Graph:
@@ -159,13 +195,16 @@ def gnp(n: int, p: float, seed: int = 0) -> Graph:
 
 
 def random_regular(n: int, degree: int, seed: int = 0, max_restarts: int = 500) -> Graph:
-    """Random ``degree``-regular simple graph (pairing model with rejection of bad pairs).
+    """Random ``degree``-regular simple graph (pairing model, vectorized rounds).
 
-    Requires ``n * degree`` even and ``degree < n``.  Stubs are matched one pair
-    at a time, rejecting pairs that would create a self-loop or a parallel
-    edge (Steger-Wormald style); if the matching gets stuck the construction
-    restarts with fresh randomness.  For ``degree`` well below ``n`` this
-    succeeds after very few restarts.
+    Requires ``n * degree`` even and ``degree < n``.  Each round permutes the
+    remaining stubs and pairs them off two at a time *in one array operation*;
+    pairs that would create a self-loop or a duplicate edge (within the round
+    or against already-accepted edges) are rejected and their stubs re-enter
+    the next round (Steger-Wormald style).  If a round makes no progress the
+    construction restarts with fresh randomness.  For ``degree`` well below
+    ``n`` almost every pair is accepted in the first round, so the whole build
+    is a handful of ``O(n * degree)`` array passes.
     """
     if degree >= n:
         raise GraphError("degree must be smaller than n")
@@ -177,37 +216,40 @@ def random_regular(n: int, degree: int, seed: int = 0, max_restarts: int = 500) 
     rng = canonical_rng(seed)
 
     for _ in range(max_restarts):
-        stubs = rng.permutation(np.repeat(np.arange(n, dtype=np.int64), degree)).tolist()
-        edges: set[tuple[int, int]] = set()
+        stubs = np.repeat(np.arange(n, dtype=np.int64), degree)
+        accepted = np.empty(0, dtype=np.int64)  # canonical keys lo * n + hi
         stuck = False
-        while stubs:
-            placed = False
-            # Try a bounded number of random partners for the last stub before
-            # declaring the attempt stuck.  Removal uses swap-with-last so each
-            # accepted pair costs O(1).
-            for _attempt in range(200):
-                u = stubs[-1]
-                j = int(rng.integers(0, len(stubs) - 1)) if len(stubs) > 1 else 0
-                v = stubs[j]
-                if u == v:
-                    continue
-                key = (u, v) if u < v else (v, u)
-                if key in edges:
-                    continue
-                edges.add(key)
-                stubs.pop()
-                stubs[j] = stubs[-1]
-                stubs.pop()
-                placed = True
-                break
-            if not placed:
+        while stubs.size:
+            stubs = rng.permutation(stubs)
+            u, v = stubs[0::2], stubs[1::2]
+            lo, hi = np.minimum(u, v), np.maximum(u, v)
+            key = lo * np.int64(n) + hi
+            # Reject self loops, duplicates against accepted edges (binary
+            # search into the sorted ``accepted``), and all but the first
+            # occurrence of a key repeated within this round (stable argsort:
+            # equal keys keep pairing order, so "first" matches a sequential
+            # scan of the round's pairs).
+            ok = lo != hi
+            if accepted.size:
+                pos = np.minimum(np.searchsorted(accepted, key), accepted.size - 1)
+                ok &= accepted[pos] != key
+            order = np.argsort(key, kind="stable")
+            sorted_key = key[order]
+            dup_sorted = np.zeros(key.size, dtype=bool)
+            dup_sorted[1:] = sorted_key[1:] == sorted_key[:-1]
+            dup = np.empty(key.size, dtype=bool)
+            dup[order] = dup_sorted
+            ok &= ~dup
+            if not ok.any():
                 stuck = True
                 break
+            accepted = np.concatenate([accepted, key[ok]])
+            accepted.sort()
+            rejected = ~ok
+            stubs = np.concatenate([u[rejected], v[rejected]])
         if not stuck:
-            # Canonical (sorted) edge order: the sampled *set* of edges is what
-            # the seed determines, so hand the constructor an order that cannot
-            # depend on set-iteration internals of the running interpreter.
-            return Graph(n, sorted(edges))
+            edges = np.column_stack([accepted // n, accepted % n])
+            return Graph.from_edge_array(n, edges)
 
     raise GraphError(
         f"failed to sample a {degree}-regular graph on {n} vertices after {max_restarts} restarts"
@@ -215,14 +257,24 @@ def random_regular(n: int, degree: int, seed: int = 0, max_restarts: int = 500) 
 
 
 def random_bipartite(a: int, b: int, p: float, seed: int = 0) -> Graph:
-    """Random bipartite graph with sides of size ``a`` and ``b`` and edge probability ``p``."""
+    """Random bipartite graph with sides of size ``a`` and ``b`` and edge probability ``p``.
+
+    Row-blocked uniform draws with a ``nonzero`` / ``column_stack`` build per
+    block instead of a per-edge append loop.  Row-major blocks consume the
+    stream in exactly the historical per-row order, so equal seeds produce
+    the same graph as ever; blocking (rather than one ``(a, b)`` array) keeps
+    peak memory bounded when ``a * b`` is huge but the graph itself is sparse.
+    """
     rng = canonical_rng(seed)
-    edges = []
-    for i in range(a):
-        mask = rng.random(b) < p
-        for j in np.nonzero(mask)[0]:
-            edges.append((i, a + int(j)))
-    return Graph(a + b, edges)
+    rows_per_block = max(1, (1 << 24) // max(b, 1))
+    parts = []
+    for start in range(0, a, rows_per_block):
+        mask = rng.random((min(rows_per_block, a - start), b)) < p
+        i, j = np.nonzero(mask)
+        parts.append(np.column_stack([start + i.astype(np.int64),
+                                      a + j.astype(np.int64)]))
+    edges = np.concatenate(parts) if parts else np.empty((0, 2), dtype=np.int64)
+    return Graph.from_edge_array(a + b, edges)
 
 
 def power_law_cluster(n: int, attach: int, seed: int = 0) -> Graph:
@@ -231,43 +283,66 @@ def power_law_cluster(n: int, attach: int, seed: int = 0) -> Graph:
     Produces a skewed degree distribution; useful as a stress test for the
     coloring algorithms because a handful of vertices have degree close to
     ``Delta`` while most are low degree.
+
+    Vectorized per round: each new vertex draws its ``attach`` distinct
+    targets as *batched* index draws into a preallocated endpoint pool (every
+    accepted edge contributes both endpoints, which is exactly
+    degree-proportional sampling), topping up only on duplicate draws — no
+    per-draw Python-list scan, so the build is ``O(n * attach)`` amortized.
     """
     if attach < 1:
         raise GraphError("attach must be >= 1")
     if n <= attach:
         return complete_graph(n)
     rng = canonical_rng(seed)
-    edges: list[tuple[int, int]] = []
-    # Start from a small clique so every early vertex has positive degree.
-    targets = list(range(attach))
-    repeated: list[int] = list(range(attach))
-    for u, v in complete_graph(attach).edges():
-        edges.append((u, v))
+
+    # Endpoint pool: 2 slots per edge; clique seed + attach per later vertex.
+    clique = complete_graph(attach)
+    clique_edges = clique.edge_array()
+    total_edges = clique_edges.shape[0] + (n - attach) * attach
+    pool = np.empty(2 * total_edges, dtype=np.int64)
+    fill = 2 * clique_edges.shape[0]
+    pool[:fill] = clique_edges.ravel()
+
+    edges = np.empty((total_edges, 2), dtype=np.int64)
+    edges[: clique_edges.shape[0]] = clique_edges
+    written = clique_edges.shape[0]
+
     for new in range(attach, n):
-        chosen = set()
-        while len(chosen) < attach:
-            pick = int(rng.choice(repeated)) if repeated else int(rng.integers(0, new))
-            if pick != new:
-                chosen.add(pick)
-        for t in chosen:
-            edges.append((new, t))
-            repeated.append(t)
-            repeated.append(new)
-        targets.append(new)
-    return Graph(n, edges)
+        chosen = np.empty(0, dtype=np.int64)
+        while chosen.size < attach:
+            need = attach - chosen.size
+            if fill:
+                # Pool entries are endpoints of already-accepted edges, all
+                # strictly below ``new`` — a draw can never hit ``new`` itself.
+                picks = pool[rng.integers(0, fill, size=need)]
+            else:
+                # attach == 1 only: the K_1 seed "clique" has no edges, so the
+                # very first new vertex draws uniformly; every accepted edge
+                # fills the pool, so all later draws are degree-proportional.
+                picks = rng.integers(0, new, size=need)
+            chosen = np.unique(np.concatenate([chosen, picks]))
+        edges[written : written + attach, 0] = new
+        edges[written : written + attach, 1] = chosen
+        written += attach
+        pool[fill : fill + attach] = chosen
+        pool[fill + attach : fill + 2 * attach] = new
+        fill += 2 * attach
+    return Graph.from_edge_array(n, edges)
 
 
 def disjoint_union(*graphs: Graph) -> Graph:
     """Disjoint union of graphs (vertex ids shifted)."""
     offset = 0
-    n = 0
-    edges = []
+    parts = []
     for g in graphs:
-        for u, v in g.edges():
-            edges.append((u + offset, v + offset))
+        parts.append(g.edge_array() + offset)
         offset += g.n
-        n += g.n
-    return Graph(n, edges)
+    if parts:
+        edges = np.concatenate(parts)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    return Graph.from_edge_array(offset, edges)
 
 
 #: Named standard families used by the experiment sweeps, each a callable

@@ -6,19 +6,93 @@ immutable adjacency structure backed by two NumPy arrays (``indptr`` and
 layout makes the vectorized twin of the mother algorithm
 (:mod:`repro.core.vectorized`) a collection of flat array operations and keeps
 per-node neighbor access an ``O(degree)`` slice.
+
+Construction is array-native: :meth:`Graph.from_edge_array` is the canonical
+constructor (sort + ``bincount``, no Python edge loop), and
+:meth:`Graph.to_shared` / :meth:`Graph.from_shared` publish the frozen CSR
+triplet (``indptr``, ``indices``, ``src_index``) through
+:mod:`multiprocessing.shared_memory` so worker processes of a parallel sweep
+map the *same* physical pages read-only instead of regenerating or unpickling
+private copies (see :mod:`repro.congest.shared`).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+import warnings
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["Graph", "GraphError"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.congest.shared import SharedGraphHandle
+
+__all__ = ["Graph", "GraphError", "GraphPerformanceWarning"]
 
 
 class GraphError(ValueError):
     """Raised for malformed graph inputs (self loops, out-of-range vertices, ...)."""
+
+
+class GraphPerformanceWarning(UserWarning):
+    """A graph was built along a slow path a vectorized constructor exists for."""
+
+
+#: Edge count above which feeding ``Graph(n, edges)`` a Python sequence of
+#: tuples (rather than an ``(m, 2)`` array) emits a one-time
+#: :class:`GraphPerformanceWarning` pointing at :meth:`Graph.from_edge_array`.
+PYTHON_EDGE_LIST_WARN_THRESHOLD = 1 << 16
+
+_warned_python_edge_list = False
+
+
+def _csr_from_edge_array(n: int, edges: np.ndarray):
+    """Vectorized CSR build: validate, canonicalize ``u < v``, dedup, sort.
+
+    Returns ``(indptr, indices, degrees, num_edges)`` for a simple undirected
+    graph.  Pure NumPy — no Python loop over edges — so construction cost is
+    ``O(m log m)`` in array ops; at ``n = 10^6`` this is the difference
+    between milliseconds and minutes.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        dst = np.empty(0, dtype=np.int64)
+        counts = np.zeros(n, dtype=np.int64)
+    else:
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise GraphError("edge array must have shape (m, 2)")
+        u, v = edges[:, 0], edges[:, 1]
+        loops = u == v
+        if loops.any():
+            raise GraphError(
+                f"self loop on vertex {int(u[np.argmax(loops)])} is not allowed"
+            )
+        bad = (u < 0) | (u >= n) | (v < 0) | (v >= n)
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise GraphError(f"edge ({int(u[i])}, {int(v[i])}) out of range for n={n}")
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        # Duplicate edges (in either orientation) collapse via sorted integer
+        # keys (n < 2^31 keeps n * n inside int64; larger graphs could not
+        # hold their CSR arrays in memory anyway).  A plain sort plus a
+        # consecutive-equality mask beats hash-based ``np.unique`` severalfold
+        # at scale.
+        key = np.sort(lo * np.int64(n) + hi)
+        if key.size > 1:
+            keep = np.empty(key.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(key[1:], key[:-1], out=keep[1:])
+            key = key[keep]
+        lo, hi = key // n, key % n
+        # CSR entries sorted by (source, neighbor) with ONE flat sort: the
+        # combined key src * n + dst orders exactly like the lexsort would.
+        comb = np.concatenate([key, hi * np.int64(n) + lo])
+        comb.sort()
+        dst = comb % n
+        counts = np.bincount(lo, minlength=n) + np.bincount(hi, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst, counts.astype(np.int64), dst.size // 2
 
 
 class Graph:
@@ -38,44 +112,43 @@ class Graph:
     read-only.  All algorithm state lives outside the graph.
     """
 
-    __slots__ = ("_n", "_indptr", "_indices", "_degrees", "_num_edges", "_src_index")
+    __slots__ = (
+        "_n", "_indptr", "_indices", "_degrees", "_num_edges", "_src_index", "_shared",
+    )
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()):
         if n < 0:
             raise GraphError(f"number of vertices must be non-negative, got {n}")
         self._n = int(n)
 
-        pairs = set()
-        for u, v in edges:
-            u = int(u)
-            v = int(v)
-            if u == v:
-                raise GraphError(f"self loop on vertex {u} is not allowed")
-            if not (0 <= u < n and 0 <= v < n):
-                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
-            if u > v:
-                u, v = v, u
-            pairs.add((u, v))
-
-        self._num_edges = len(pairs)
-        if pairs:
-            arr = np.array(sorted(pairs), dtype=np.int64)
-            src = np.concatenate([arr[:, 0], arr[:, 1]])
-            dst = np.concatenate([arr[:, 1], arr[:, 0]])
-            order = np.lexsort((dst, src))
-            src = src[order]
-            dst = dst[order]
-            counts = np.bincount(src, minlength=n)
+        if isinstance(edges, np.ndarray):
+            arr = edges
         else:
-            dst = np.empty(0, dtype=np.int64)
-            counts = np.zeros(n, dtype=np.int64)
-
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
+            pairs = [(int(u), int(v)) for u, v in edges]
+            if len(pairs) > PYTHON_EDGE_LIST_WARN_THRESHOLD:
+                global _warned_python_edge_list
+                if not _warned_python_edge_list:
+                    _warned_python_edge_list = True
+                    warnings.warn(
+                        f"Graph(n, edges) was fed a Python sequence of {len(pairs)} "
+                        "edge tuples; build an (m, 2) NumPy array and use "
+                        "Graph.from_edge_array for large graphs (the tuple-list "
+                        "path re-walks every edge in the interpreter)",
+                        GraphPerformanceWarning,
+                        stacklevel=2,
+                    )
+            arr = (
+                np.array(pairs, dtype=np.int64)
+                if pairs
+                else np.empty((0, 2), dtype=np.int64)
+            )
+        indptr, indices, degrees, num_edges = _csr_from_edge_array(self._n, arr)
         self._indptr = indptr
-        self._indices = dst
-        self._degrees = counts.astype(np.int64)
+        self._indices = indices
+        self._degrees = degrees
+        self._num_edges = num_edges
         self._src_index = None
+        self._shared = None
         for a in (self._indptr, self._indices, self._degrees):
             a.setflags(write=False)
 
@@ -85,13 +158,15 @@ class Graph:
 
     @classmethod
     def from_edge_array(cls, n: int, edges: np.ndarray) -> "Graph":
-        """Build a graph from an ``(m, 2)`` integer array of edges."""
-        edges = np.asarray(edges, dtype=np.int64)
-        if edges.size == 0:
-            return cls(n, [])
-        if edges.ndim != 2 or edges.shape[1] != 2:
-            raise GraphError("edge array must have shape (m, 2)")
-        return cls(n, map(tuple, edges.tolist()))
+        """Build a graph from an ``(m, 2)`` integer array of edges.
+
+        The canonical constructor: a fully vectorized CSR build (canonicalize,
+        ``unique``-dedup, ``lexsort``, ``bincount``) that never walks edges in
+        the interpreter.  Semantics match ``Graph(n, edges)`` exactly —
+        duplicate edges (in either orientation) collapse, self loops and
+        out-of-range endpoints raise :class:`GraphError`.
+        """
+        return cls(n, np.asarray(edges, dtype=np.int64))
 
     @classmethod
     def from_csr_arrays(
@@ -132,9 +207,65 @@ class Graph:
         g._degrees = np.diff(indptr)
         g._num_edges = indices.size // 2
         g._src_index = None
+        g._shared = None
         for a in (g._indptr, g._indices, g._degrees):
             a.setflags(write=False)
         return g
+
+    # ------------------------------------------------------------------ #
+    # Shared-memory plane
+    # ------------------------------------------------------------------ #
+
+    def to_shared(self) -> "SharedGraphHandle":
+        """Publish the CSR triplet in a shared-memory segment; return its handle.
+
+        The returned :class:`repro.congest.shared.SharedGraphHandle` is
+        picklable and cheap to ship to worker processes, which attach with
+        :meth:`from_shared` and get zero-copy read-only views of the *same*
+        physical pages — no per-worker regeneration, no ``W x`` memory.
+
+        The segment is refcounted: the handle holds one reference and every
+        attached graph holds another; ``handle.close()`` (or using the handle
+        as a context manager) drops the publisher's reference and unlinks the
+        segment once the last local reference is gone.  Undropped references
+        are reclaimed by an ``atexit`` hook.  Publishing an already-attached
+        graph returns a handle on the existing segment instead of copying.
+        """
+        from repro.congest import shared
+
+        if self._shared is not None:
+            return shared.reshare(self._shared.name, self._n, self._indices.size)
+        # Materialise src_index up front: attachers get it for free and the
+        # hot kernels never rebuild it per worker.
+        return shared.publish(self._indptr, self._indices, self.src_index)
+
+    @classmethod
+    def from_shared(cls, handle: "SharedGraphHandle") -> "Graph":
+        """Attach to a published graph: zero-copy read-only CSR views.
+
+        The attached graph keeps the segment mapped for its lifetime (a
+        refcounted lease released on garbage collection); nothing is copied
+        and the arrays are read-only, so any number of processes can share one
+        physical graph.
+        """
+        from repro.congest import shared
+
+        indptr, indices, src_index, lease = shared.attach(handle)
+        g = cls.__new__(cls)
+        g._n = indptr.size - 1
+        g._indptr = indptr
+        g._indices = indices
+        g._degrees = np.diff(indptr)
+        g._degrees.setflags(write=False)
+        g._num_edges = indices.size // 2
+        g._src_index = src_index
+        g._shared = lease
+        return g
+
+    @property
+    def shared_name(self) -> str | None:
+        """Name of the shared-memory segment backing this graph (None if private)."""
+        return None if self._shared is None else self._shared.name
 
     @classmethod
     def from_adjacency(cls, adjacency: Sequence[Sequence[int]]) -> "Graph":

@@ -1,0 +1,282 @@
+"""Zero-copy publication of CSR graphs via POSIX shared memory.
+
+This module is the mechanism behind :meth:`repro.congest.graph.Graph.to_shared`
+and :meth:`~repro.congest.graph.Graph.from_shared`: the immutable CSR triplet
+(``indptr``, ``indices``, ``src_index``) of a graph is written once into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment, and every process
+that needs the graph maps the *same* physical pages read-only.  A parallel
+sweep over a million-vertex graph therefore keeps exactly one copy of the
+adjacency in memory, no matter how many workers run (mirroring the data-flow
+split between transient per-event state and shared immutable geometry that
+MAUS uses — see PAPERS.md).
+
+Design notes
+------------
+
+* **Handles, not objects, cross process boundaries.**
+  :class:`SharedGraphHandle` carries only the segment name and the array
+  shapes; it is picklable and a few dozen bytes.  Workers attach by name.
+* **Refcounted unlink-on-close.**  Every publication and attachment in a
+  process takes a reference on the process-local registry entry; releasing
+  the last reference closes the mapping and — in the publishing process —
+  unlinks the segment from ``/dev/shm``.  ``atexit`` reclaims anything still
+  open, so a crashed sweep cannot leak segments from the parent.
+* **Resource-tracker hygiene.**  Python's :mod:`multiprocessing` resource
+  tracker registers every ``SharedMemory`` *attachment* for cleanup-at-exit,
+  which would make the first worker to exit unlink a segment the parent still
+  owns (bpo-39959).  Attachments therefore suppress the registration call
+  (pre-3.13 has no ``track=False``); only the publishing process registers
+  and unlinks, so a pool of workers sharing the parent's tracker produces
+  neither early unlinks nor tracker KeyErrors.
+* **Unlink is decoupled from unmap.**  POSIX allows unlinking a segment that
+  is still mapped: the name disappears from ``/dev/shm`` at once and the
+  pages are freed when the last mapping dies.  If NumPy views still hold the
+  buffer when the last reference is dropped, the close is deferred to
+  interpreter exit instead of raising ``BufferError``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SharedGraphHandle",
+    "SharedGraphLease",
+    "publish",
+    "reshare",
+    "attach",
+    "release",
+    "open_segments",
+    "cleanup_all",
+]
+
+_ITEM = np.dtype(np.int64).itemsize
+
+#: Registry of segments this process has open: name -> [shm, owner, refs].
+_SEGMENTS: dict[str, list] = {}
+_LOCK = threading.Lock()
+
+
+def _segment_name() -> str:
+    """A recognisable, collision-safe segment name (``/dev/shm/repro-g-*``)."""
+    return f"repro-g-{os.getpid():x}-{secrets.token_hex(4)}"
+
+
+class SharedGraphHandle:
+    """Picklable descriptor of a graph published in shared memory.
+
+    Holds one reference on the segment in the process that created it (the
+    attaching side takes its own references).  ``close()`` drops that
+    reference; the handle also works as a context manager::
+
+        with graph.to_shared() as handle:
+            ...ship ``handle`` to workers...
+        # publisher's reference dropped; segment unlinked once unreferenced
+    """
+
+    __slots__ = ("name", "n", "num_entries", "_open")
+
+    def __init__(self, name: str, n: int, num_entries: int):
+        self.name = name
+        self.n = int(n)
+        self.num_entries = int(num_entries)
+        self._open = True
+
+    def close(self) -> None:
+        """Drop this handle's reference on the segment (idempotent)."""
+        if self._open:
+            self._open = False
+            release(self.name)
+
+    def __enter__(self) -> "SharedGraphHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __getstate__(self):
+        return (self.name, self.n, self.num_entries)
+
+    def __setstate__(self, state):
+        self.name, self.n, self.num_entries = state
+        self._open = False  # an unpickled handle owns no local reference
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedGraphHandle(name={self.name!r}, n={self.n}, "
+            f"num_entries={self.num_entries})"
+        )
+
+
+class SharedGraphLease:
+    """One attached graph's reference on a segment, released on GC."""
+
+    __slots__ = ("name", "_open", "__weakref__")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._open = True
+
+    def release(self) -> None:
+        if self._open:
+            self._open = False
+            release(self.name)
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+def _layout(n: int, num_entries: int) -> tuple[int, int, int]:
+    """Byte offsets of (indices, src_index) and the total segment size."""
+    indptr_bytes = (n + 1) * _ITEM
+    entries_bytes = num_entries * _ITEM
+    return indptr_bytes, indptr_bytes + entries_bytes, indptr_bytes + 2 * entries_bytes
+
+
+def publish(indptr: np.ndarray, indices: np.ndarray, src_index: np.ndarray) -> SharedGraphHandle:
+    """Copy the CSR triplet into a fresh shared segment; return its handle."""
+    n = indptr.size - 1
+    num_entries = indices.size
+    off_indices, off_src, total = _layout(n, num_entries)
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1), name=_segment_name())
+    buf = np.frombuffer(shm.buf, dtype=np.int64)
+    buf[: n + 1] = indptr
+    buf[n + 1 : n + 1 + num_entries] = indices
+    buf[n + 1 + num_entries : n + 1 + 2 * num_entries] = src_index
+    del buf
+    with _LOCK:
+        _SEGMENTS[shm.name] = [shm, True, 1]
+    return SharedGraphHandle(shm.name, n, num_entries)
+
+
+def reshare(name: str, n: int, num_entries: int) -> SharedGraphHandle:
+    """A new handle (new reference) on a segment this process already has open."""
+    with _LOCK:
+        _SEGMENTS[name][2] += 1
+    return SharedGraphHandle(name, n, num_entries)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment WITHOUT registering it with the resource tracker.
+
+    The publisher owns unlinking; a tracker registration from an attacher
+    would let the first exiting worker unlink a segment the parent still owns
+    (bpo-39959), and unregister-after-attach is no better when several
+    processes share one tracker (its cache is a set, so the first worker's
+    unregister erases the parent's registration and later unregisters raise
+    KeyErrors inside the tracker).  On Python >= 3.13 ``track=False`` does
+    this natively.  Before 3.13 the registration call is intercepted: the
+    interception targets *only this segment's* registration and passes every
+    other (name, rtype) through, so a concurrent thread creating an unrelated
+    tracked resource during the window is still registered correctly.  (The
+    swap of the module attribute itself is the one remaining thread-hazard —
+    unavoidable pre-3.13 — and the window is a single ``shm_open`` + mmap.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        pass
+    orig_register = resource_tracker.register
+
+    def _register_passthrough(resource_name: str, rtype: str) -> None:
+        if rtype == "shared_memory" and resource_name.lstrip("/") == name:
+            return
+        orig_register(resource_name, rtype)
+
+    resource_tracker.register = _register_passthrough
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig_register
+
+
+def attach(handle: SharedGraphHandle):
+    """Map a published segment; return read-only views plus a refcount lease.
+
+    Returns ``(indptr, indices, src_index, lease)``.  The views are zero-copy
+    slices of the shared buffer and are marked read-only; ``lease`` keeps the
+    mapping alive and releases the reference when garbage collected.
+    """
+    with _LOCK:
+        entry = _SEGMENTS.get(handle.name)
+        if entry is not None:
+            entry[2] += 1
+            shm = entry[0]
+        else:
+            shm = _attach_untracked(handle.name)
+            _SEGMENTS[handle.name] = entry = [shm, False, 1]
+    n, num_entries = handle.n, handle.num_entries
+    flat = np.frombuffer(shm.buf, dtype=np.int64)
+    indptr = flat[: n + 1]
+    indices = flat[n + 1 : n + 1 + num_entries]
+    src_index = flat[n + 1 + num_entries : n + 1 + 2 * num_entries]
+    for a in (indptr, indices, src_index):
+        a.setflags(write=False)
+    return indptr, indices, src_index, SharedGraphLease(handle.name)
+
+
+def _quiet_close(shm: shared_memory.SharedMemory) -> None:
+    """Close a mapping without ever raising or leaving a noisy ``__del__``.
+
+    If NumPy views still export the buffer, ``mmap.close()`` refuses
+    (``BufferError``).  In that case the mmap handle is forgotten — the OS
+    unmaps the pages when the last view dies — the file descriptor is closed
+    immediately, and ``SharedMemory.__del__`` finds nothing left to do.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        # close() released ``_buf`` before failing on the mmap.
+        shm._mmap = None  # type: ignore[attr-defined]
+        if shm._fd >= 0:  # type: ignore[attr-defined]
+            os.close(shm._fd)  # type: ignore[attr-defined]
+            shm._fd = -1  # type: ignore[attr-defined]
+
+
+def release(name: str) -> None:
+    """Drop one reference on a segment; close/unlink when the count hits zero."""
+    with _LOCK:
+        entry = _SEGMENTS.get(name)
+        if entry is None:
+            return
+        entry[2] -= 1
+        if entry[2] > 0:
+            return
+        del _SEGMENTS[name]
+        shm, owner = entry[0], entry[1]
+    if owner:
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+    _quiet_close(shm)
+
+
+def open_segments() -> list[str]:
+    """Names of the segments this process currently holds references on."""
+    with _LOCK:
+        return sorted(_SEGMENTS)
+
+
+@atexit.register
+def cleanup_all() -> None:
+    """Unlink every segment this process still owns (crash/interrupt safety)."""
+    with _LOCK:
+        entries = list(_SEGMENTS.values())
+        _SEGMENTS.clear()
+    for shm, owner, _refs in entries:
+        if owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        _quiet_close(shm)

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.congest.graph import Graph
 from repro.core.results import ColoringResult
+from repro.core.workspace import Workspace
 
 __all__ = ["remove_color_class_reduction", "kuhn_wattenhofer_reduction"]
 
@@ -96,6 +97,7 @@ def _remove_color_class_array(
     if colors.size == 0 or int(colors.max()) < target_colors:
         return colors, rounds
     indices = graph.indices
+    ws = Workspace()
     order = np.argsort(colors, kind="stable")
     sorted_colors = colors[order]
     start = int(np.searchsorted(sorted_colors, target_colors, side="left"))
@@ -103,11 +105,14 @@ def _remove_color_class_array(
     boundaries = np.nonzero(np.diff(sorted_colors[start:]))[0] + 1
     for vertices in reversed(np.split(high, boundaries)):
         positions, rows = graph.incident_csr_entries(vertices)
-        nbr_colors = colors[indices[positions]]
-        used = np.zeros((vertices.size, target_colors), dtype=bool)
+        nbr_idx = ws.gather("nbr_idx", indices, positions)
+        nbr_colors = ws.gather("nbr_colors", colors, nbr_idx)
+        used = ws.zeros("used", vertices.size * target_colors, dtype=bool)
+        used = used.reshape(vertices.size, target_colors)
         in_range = nbr_colors < target_colors
         used[rows[in_range], nbr_colors[in_range]] = True
-        colors[vertices] = np.argmax(~used, axis=1)
+        np.logical_not(used, out=used)
+        colors[vertices] = np.argmax(used, axis=1)
         rounds += 1
     return colors, rounds
 
@@ -159,7 +164,8 @@ def remove_color_class_reduction(
 
 
 def _kw_round_reference(
-    graph: Graph, colors: np.ndarray, affected: np.ndarray, block: int, target_colors: int
+    graph: Graph, colors: np.ndarray, affected: np.ndarray, block: int, target_colors: int,
+    ws: Workspace | None = None,
 ) -> None:
     """One KW round on the reference path: per-vertex Python sets."""
     forbidden = _neighbor_color_sets(graph, colors, affected)
@@ -179,7 +185,8 @@ def _kw_round_reference(
 
 
 def _kw_round_array(
-    graph: Graph, colors: np.ndarray, affected: np.ndarray, block: int, target_colors: int
+    graph: Graph, colors: np.ndarray, affected: np.ndarray, block: int, target_colors: int,
+    ws: Workspace | None = None,
 ) -> None:
     """One KW round on the array path: compacted gather + occupancy scatter.
 
@@ -188,16 +195,23 @@ def _kw_round_array(
     (``b // block`` equal) and in the block's lower ``target_colors`` slots —
     exactly the ``base <= b < base + target_colors`` window of the reference
     path, so the smallest free slot (``argmax`` over the negated occupancy
-    table) is bit-identical.
+    table) is bit-identical.  Scratch (gathered colors, occupancy table)
+    comes from the caller's :class:`Workspace` so successive rounds reuse one
+    set of buffers.
     """
+    if ws is None:
+        ws = Workspace()
     positions, rows = graph.incident_csr_entries(affected)
-    nbr_colors = colors[graph.indices[positions]]
+    nbr_idx = ws.gather("nbr_idx", graph.indices, positions)
+    nbr_colors = ws.gather("nbr_colors", colors, nbr_idx)
     block_of = colors[affected] // block
     slot = nbr_colors % block
     banned = ((nbr_colors // block) == block_of[rows]) & (slot < target_colors)
-    used = np.zeros((affected.size, target_colors), dtype=bool)
+    used = ws.zeros("used", affected.size * target_colors, dtype=bool)
+    used = used.reshape(affected.size, target_colors)
     used[rows[banned], slot[banned]] = True
-    colors[affected] = block_of * block + np.argmax(~used, axis=1)
+    np.logical_not(used, out=used)
+    colors[affected] = block_of * block + np.argmax(used, axis=1)
 
 
 _KW_ROUNDS = {"reference": _kw_round_reference, "array": _kw_round_array}
@@ -250,6 +264,7 @@ def kuhn_wattenhofer_reduction(
     space = int(m)
     rounds = 0
     phases = 0
+    ws = Workspace()
 
     while space > target_colors:
         phases += 1
@@ -263,7 +278,7 @@ def kuhn_wattenhofer_reduction(
             affected = np.nonzero((colors % block) == offset)[0] if colors.size else np.empty(0, int)
             if affected.size == 0:
                 continue
-            kw_round(graph, colors, affected, block, target_colors)
+            kw_round(graph, colors, affected, block, target_colors, ws)
         rounds += phase_rounds
         # Compact the color space: every block keeps only its lower half.
         if colors.size:

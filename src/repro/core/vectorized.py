@@ -22,7 +22,12 @@ arrays covering only the still-active subgraph:
   the round loop is compacted), each chunk Horner-evaluates exactly the
   vertices it touches at exactly the chunk's trial positions.  Modular
   arithmetic is exact, so the lazily computed values are bit-identical to the
-  table's.
+  table's;
+* recurring per-round temporaries (gathered neighbor colors and activity
+  flags, first-slot/undone trackers, Horner accumulators) live in a
+  :class:`repro.core.workspace.Workspace` arena — named grow-only buffers
+  reused across rounds and chunks, so a steady-state round performs no
+  scratch allocations proportional to the graph.
 
 The two implementations produce *identical* colors and part indices (this is
 property-tested), so benchmarks can use the vectorized twin on graphs where
@@ -38,6 +43,7 @@ from repro.congest.ids import validate_proper_coloring
 from repro.core.algorithm1 import derive_orientation
 from repro.core.params import MotherParameters
 from repro.core.results import ColoringResult
+from repro.core.workspace import Workspace
 
 __all__ = ["run_mother_algorithm_vectorized", "evaluate_all_sequences"]
 
@@ -90,6 +96,7 @@ def run_mother_algorithm_vectorized(
     params: MotherParameters | None = None,
     validate_input: bool = True,
     with_orientation: bool = False,
+    workspace: Workspace | None = None,
 ) -> ColoringResult:
     """Vectorized Algorithm 1; same semantics and outputs as
     :func:`repro.core.algorithm1.run_mother_algorithm`.
@@ -97,6 +104,11 @@ def run_mother_algorithm_vectorized(
     ``with_orientation`` defaults to False here because the orientation
     derivation is an extra ``O(num_edges)`` Python pass that benchmarks on
     large graphs usually do not need.
+
+    ``workspace`` optionally supplies the scratch-buffer arena; pass one to
+    reuse buffers across several calls (e.g. the stages of a pipeline), or
+    leave ``None`` for a private per-call arena.  Buffer reuse changes the
+    allocation pattern only — outputs are bit-identical either way.
     """
     input_colors = np.asarray(input_colors, dtype=np.int64)
     delta = max(1, graph.max_degree)
@@ -119,19 +131,28 @@ def run_mother_algorithm_vectorized(
     q, k_eff, dd = params.q, params.k, params.d
     f = params.f
     coeffs = sequence_coefficients(input_colors, params)
+    ws = workspace if workspace is not None else Workspace()
 
     def eval_grid(verts: np.ndarray, xs: np.ndarray) -> np.ndarray:
-        """``p_{c(v)}(x)`` for every ``v`` in ``verts`` and ``x`` in ``xs``."""
-        acc = np.zeros((verts.size, xs.size), dtype=np.int64)
+        """``p_{c(v)}(x)`` for every ``v`` in ``verts`` and ``x`` in ``xs``.
+
+        Horner in place on a reused workspace accumulator — identical modular
+        arithmetic, zero per-chunk allocation of the accumulator.
+        """
+        acc = ws.zeros("eval_grid", verts.size * xs.size).reshape(verts.size, xs.size)
         for j in range(f, -1, -1):
-            acc = (acc * xs[None, :] + coeffs[verts, j][:, None]) % q
+            np.multiply(acc, xs[None, :], out=acc)
+            np.add(acc, coeffs[verts, j][:, None], out=acc)
+            np.mod(acc, q, out=acc)
         return acc
 
     def eval_at(verts: np.ndarray, xs: np.ndarray) -> np.ndarray:
         """``p_{c(verts[i])}(xs[i])`` — one position per vertex."""
-        acc = np.zeros(verts.size, dtype=np.int64)
+        acc = ws.zeros("eval_at", verts.size)
         for j in range(f, -1, -1):
-            acc = (acc * xs + coeffs[verts, j]) % q
+            np.multiply(acc, xs, out=acc)
+            np.add(acc, coeffs[verts, j], out=acc)
+            np.mod(acc, q, out=acc)
         return acc
 
     indices = graph.indices
@@ -155,7 +176,7 @@ def run_mother_algorithm_vectorized(
             if act.size == 0:
                 break
             positions, rows = graph.incident_csr_entries(act)
-            e_dst = indices[positions]
+            e_dst = ws.gather("e_dst", indices, positions)
             refresh = False
         rounds = batch + 1
         lo = batch * k_eff
@@ -166,10 +187,11 @@ def run_mother_algorithm_vectorized(
         # act[r], or -1.  The trial axis is chunked to bound the temporaries
         # at ~_CHUNK_CELLS edge-trial cells; rows that found their slot are
         # dropped from later chunks (their first slot is already decided).
-        dst_active = active[e_dst]
-        dst_colors = colors[e_dst]
-        first = np.full(num_active, -1, dtype=np.int64)
-        undone = np.ones(num_active, dtype=bool)
+        # All four per-batch arrays live in the workspace arena.
+        dst_active = ws.gather("dst_active", active, e_dst)
+        dst_colors = ws.gather("dst_colors", colors, e_dst)
+        first = ws.full("first", num_active, -1)
+        undone = ws.full("undone", num_active, True, dtype=bool)
         r_sub, d_sub, a_sub, c_sub = rows, e_dst, dst_active, dst_colors
         cstart = lo
         while cstart < hi:

@@ -1,0 +1,80 @@
+"""A small arena of reusable scratch buffers for the array kernels.
+
+The frontier-compacted kernels (:mod:`repro.core.vectorized`,
+:mod:`repro.core.reduce`) run many rounds, and every round needs the same
+short-lived temporaries: gathered neighbor colors, activity flags, conflict
+counters, occupancy tables.  Allocating them afresh each round is pure
+allocator churn — at ``n = 10^6`` tens of multi-megabyte allocations per call.
+:class:`Workspace` replaces that with *named, grow-only* buffers: the first
+round pays one allocation per name, every later round reuses (a view of) the
+same memory.
+
+A workspace is single-threaded scratch space: two live views of the same name
+alias each other, so a kernel must finish using (or copy out of) a named view
+before requesting that name again.  Buffers only ever grow (by doubling), so
+a sweep's steady state performs zero scratch allocations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Grow-only arena of named scratch buffers.
+
+    Usage::
+
+        ws = Workspace()
+        for _round in ...:
+            counts = ws.zeros("counts", rows * width, np.int64).reshape(rows, width)
+            nbr = ws.gather("nbr_colors", colors, positions)
+            ...
+
+    Requesting a name again returns a view of the *same* storage (regrown if
+    needed), so per-round temporaries stop hitting the allocator.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def take(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
+        """An *uninitialized* 1-D view of ``size`` elements of ``dtype``.
+
+        Reshape for multi-dimensional use; the view's contents are whatever
+        the previous round left behind.
+        """
+        size = int(size)
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if buf is None or buf.dtype != dtype or buf.size < size:
+            grown = max(size, 2 * buf.size if buf is not None and buf.dtype == dtype else 0)
+            buf = np.empty(grown, dtype=dtype)
+            self._buffers[name] = buf
+        return buf[:size]
+
+    def zeros(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
+        """Like :meth:`take` but zero-filled."""
+        out = self.take(name, size, dtype)
+        out[...] = 0
+        return out
+
+    def full(self, name: str, size: int, fill, dtype=np.int64) -> np.ndarray:
+        """Like :meth:`take` but filled with ``fill``."""
+        out = self.take(name, size, dtype)
+        out[...] = fill
+        return out
+
+    def gather(self, name: str, source: np.ndarray, index: np.ndarray) -> np.ndarray:
+        """``source[index]`` into a reused buffer (no fresh allocation)."""
+        out = self.take(name, index.size, source.dtype)
+        np.take(source, index, out=out)
+        return out
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena (for diagnostics)."""
+        return sum(buf.nbytes for buf in self._buffers.values())

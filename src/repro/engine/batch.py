@@ -348,12 +348,24 @@ class BatchRunner:
             for f, n, d, s in itertools.product(tup(families), tup(ns), tup(deltas), tup(seeds))
         ]
 
+    def _build_graph(self, spec: GraphSpec) -> Graph:
+        """The cell's graph, from the cache when present but *without* caching.
+
+        The parallel path publishes graphs to shared memory and must not pin
+        private parent-process copies alive for the whole sweep — the shared
+        segment (closed when the sweep ends) is the only copy that should
+        exist.
+        """
+        if spec in self._graphs:
+            return self._graphs[spec]
+        from repro.congest import generators
+
+        return generators.by_name(spec.family, spec.n, spec.delta, seed=spec.seed)
+
     def graph(self, spec: GraphSpec) -> Graph:
         """The (cached) graph of a cell."""
         if spec not in self._graphs:
-            from repro.congest import generators
-
-            self._graphs[spec] = generators.by_name(spec.family, spec.n, spec.delta, seed=spec.seed)
+            self._graphs[spec] = self._build_graph(spec)
         return self._graphs[spec]
 
     def workload(self, spec: GraphSpec) -> Workload:
@@ -503,34 +515,53 @@ class BatchRunner:
                     records[index] = sink.completed[cid]
         pending = [job for job in jobs if job[0] not in records]
 
-        if self.workers > 1 and len(pending) > 1:
-            if self._backend_name is None or self._parity_backend_name is None:
-                raise EngineError(
-                    "parallel execution requires backends given as registered names "
-                    "(workers rebuild their engines from the registry); pass e.g. "
-                    "backend='array' or register_engine() your engine and use its name"
+        handles: dict[GraphSpec, Any] = {}
+        try:
+            if self.workers > 1 and len(pending) > 1:
+                if self._backend_name is None or self._parity_backend_name is None:
+                    raise EngineError(
+                        "parallel execution requires backends given as registered names "
+                        "(workers rebuild their engines from the registry); pass e.g. "
+                        "backend='array' or register_engine() your engine and use its name"
+                    )
+                from repro.engine.parallel import run_cells_parallel
+
+                # The zero-copy graph plane: build each pending cell's graph
+                # ONCE in the parent, publish its CSR arrays to shared memory,
+                # and let every worker attach read-only views — instead of W
+                # workers regenerating W private copies.  Handles are closed
+                # (and the segments unlinked) as soon as the pool is drained,
+                # even on worker exceptions.  Deliberate trade-off: the parent
+                # generates serially before the pool starts and the segments
+                # live for the whole sweep, buying zero redundant generation
+                # and worker-count-independent memory; per-worker lazy
+                # regeneration would overlap generation with compute but redo
+                # it up to W (x2 with parity) times and multiply peak memory.
+                for spec in dict.fromkeys(spec for _, _, spec, _ in pending):
+                    handles[spec] = self._build_graph(spec).to_shared()
+                results = run_cells_parallel(
+                    [(index, task, spec, params) for index, _, spec, params in pending],
+                    workers=self.workers,
+                    backend=self._backend_name,
+                    parity_check=self.parity_check,
+                    parity_backend=self._parity_backend_name,
+                    worker_init=self.worker_init,
+                    start_method=self.start_method,
+                    shared_graphs=handles,
                 )
-            from repro.engine.parallel import run_cells_parallel
+            else:
+                results = (
+                    (index, self.run_cell(task, spec, params=params))
+                    for index, _, spec, params in pending
+                )
 
-            results = run_cells_parallel(
-                [(index, task, spec, params) for index, _, spec, params in pending],
-                workers=self.workers,
-                backend=self._backend_name,
-                parity_check=self.parity_check,
-                parity_backend=self._parity_backend_name,
-                worker_init=self.worker_init,
-                start_method=self.start_method,
-            )
-        else:
-            results = (
-                (index, self.run_cell(task, spec, params=params))
-                for index, _, spec, params in pending
-            )
-
-        for index, record in results:
-            records[index] = record
-            if sink is not None:
-                sink.write(ids[index], record)
+            for index, record in results:
+                records[index] = record
+                if sink is not None:
+                    sink.write(ids[index], record)
+        finally:
+            for handle in handles.values():
+                handle.close()
         return BatchResult(
             records=[records[index] for index, _, _, _ in jobs], backend=self.engine.name
         )

@@ -10,10 +10,15 @@ serial runner guarantees:
   serial order; combined with the cross-process determinism of the graph
   generators (see :func:`repro.congest.generators.canonical_rng`) a parallel
   sweep is byte-identical to the serial one modulo wall-clock fields.
-* **Per-worker workload caches** — each worker process owns a full
-  :class:`BatchRunner` (created once by the pool initializer), so graphs and
-  ``Delta^4`` colorings are built at most once per (worker, GraphSpec) and
-  the parent never pickles a graph.
+* **A zero-copy shared graph plane** — the parent builds each
+  :class:`~repro.engine.batch.GraphSpec`'s graph *once*, publishes its CSR
+  arrays through :mod:`multiprocessing.shared_memory`
+  (:meth:`repro.congest.graph.Graph.to_shared`), and the pool initializer
+  hands every worker the picklable handles; workers attach read-only views of
+  the same physical pages (:meth:`~repro.congest.graph.Graph.from_shared`)
+  instead of regenerating graphs, so sweep memory stays flat in the worker
+  count and no graph is ever pickled.  Per-worker caches keep only *derived*
+  state (the ``Delta^4`` input colorings).
 * **A parallel-safe parity oracle** — with ``parity_check=True`` every worker
   holds its *own* parity engine and re-runs its own cells on it, so the
   reference-parity guarantee is enforced shard-locally and a
@@ -50,6 +55,7 @@ def _init_worker(
     parity_check: bool,
     parity_backend: str,
     worker_init: Callable[[], None] | None,
+    shared_graphs: Mapping[Any, Any] | None = None,
 ) -> None:
     from repro.engine.batch import BatchRunner
 
@@ -59,6 +65,14 @@ def _init_worker(
     _WORKER_RUNNER = BatchRunner(
         backend=backend, parity_check=parity_check, parity_backend=parity_backend
     )
+    if shared_graphs:
+        # Attach the parent's published graphs zero-copy: the worker's graph
+        # cache is pre-seeded with read-only shared-memory views, so only
+        # derived colorings are ever built (or held) per worker.
+        from repro.congest.graph import Graph
+
+        for spec, handle in shared_graphs.items():
+            _WORKER_RUNNER._graphs[spec] = Graph.from_shared(handle)
 
 
 def _run_job(job: tuple[int, Any, Any, Mapping[str, Any]]) -> tuple[int, dict[str, Any]]:
@@ -98,6 +112,7 @@ def run_cells_parallel(
     worker_init: Callable[[], None] | None = None,
     start_method: str | None = None,
     chunksize: int = 1,
+    shared_graphs: Mapping[Any, Any] | None = None,
 ) -> Iterator[tuple[int, dict[str, Any]]]:
     """Run ``(index, task, spec, params)`` jobs on a pool; yield ``(index, record)``.
 
@@ -105,6 +120,11 @@ def run_cells_parallel(
     pool completes them, so the caller can stream each record to a sink while
     later cells are still computing.  Any exception raised in a worker —
     including :class:`~repro.engine.batch.ParityError` — re-raises here.
+
+    ``shared_graphs`` maps :class:`~repro.engine.batch.GraphSpec` to
+    :class:`repro.congest.shared.SharedGraphHandle`; every worker attaches the
+    published graphs zero-copy in its initializer.  The caller owns the
+    handles' lifetime (publish before, close after the pool is drained).
     """
     if workers < 1:
         raise EngineError(f"workers must be >= 1, got {workers}")
@@ -116,6 +136,7 @@ def run_cells_parallel(
     with ctx.Pool(
         processes,
         initializer=_init_worker,
-        initargs=(backend, parity_check, parity_backend, worker_init),
+        initargs=(backend, parity_check, parity_backend, worker_init,
+                  dict(shared_graphs) if shared_graphs else None),
     ) as pool:
         yield from pool.imap(_run_job, jobs, chunksize=max(1, chunksize))

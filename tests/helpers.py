@@ -22,6 +22,8 @@ __all__ = [
     "BrokenArrayEngine",
     "register_broken_engine",
     "scaled_n_task",
+    "shared_graph_probe_task",
+    "failing_task",
 ]
 
 
@@ -75,3 +77,23 @@ def register_broken_engine() -> None:
 def scaled_n_task(workload, engine, scale: int = 2):
     """Minimal importable custom task for pickling/parallel tests."""
     return {"value": workload.graph.n * scale}
+
+
+def shared_graph_probe_task(workload, engine):
+    """Importable task reporting how the worker's graph is backed.
+
+    ``segment`` is the shared-memory segment name when the workload graph is a
+    zero-copy attachment of the parent's published graph, or ``"private"``
+    when the worker holds its own copy — the parallel lifecycle tests assert
+    on it (segment sharing, not W x copies).
+    """
+    return {
+        "segment": workload.graph.shared_name or "private",
+        "pid": __import__("os").getpid(),
+        "n": workload.graph.n,
+    }
+
+
+def failing_task(workload, engine):
+    """Importable task that always raises (worker-exception cleanup tests)."""
+    raise RuntimeError(f"deliberate failure on n={workload.graph.n}")

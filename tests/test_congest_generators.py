@@ -62,9 +62,30 @@ class TestDeterministicFamilies:
         assert g.n == 4 + 8
         assert g.num_edges == 3 + 8
 
+    def test_crown(self):
+        g = generators.crown(4)
+        assert g.n == 8
+        assert g.num_edges == 4 * 3
+        assert set(g.degrees.tolist()) == {3}  # (n-1)-regular
+        for i in range(4):
+            assert not g.has_edge(i, 4 + i)  # the removed perfect matching
+            for j in range(4):
+                if i != j:
+                    assert g.has_edge(i, 4 + j)
+
+    def test_crown_too_small(self):
+        with pytest.raises(GraphError):
+            generators.crown(1)
+
     def test_empty(self):
         g = generators.empty_graph(5)
         assert g.num_edges == 0
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_tiny_instances(self, n):
+        assert generators.path(n).num_edges == max(n - 1, 0)
+        assert generators.star(max(n, 1)).num_edges == max(n - 1, 0)
+        assert generators.complete_graph(n).num_edges == n * (n - 1) // 2
 
 
 class TestRandomFamilies:
@@ -124,6 +145,15 @@ class TestRandomFamilies:
     def test_power_law_invalid(self):
         with pytest.raises(GraphError):
             generators.power_law_cluster(10, 0)
+
+    def test_power_law_attach_one(self):
+        # attach=1 starts from an edgeless K_1 "clique", exercising the
+        # uniform first-draw fallback; the result must still be a single tree.
+        g = generators.power_law_cluster(40, 1, seed=3)
+        assert g.n == 40
+        assert g.num_edges == 39
+        assert len(g.connected_components()) == 1
+        assert generators.power_law_cluster(40, 1, seed=3) == g
 
     def test_disjoint_union(self):
         g = generators.disjoint_union(generators.ring(4), generators.ring(5))
@@ -200,3 +230,63 @@ class TestSeedDeterminism:
         x = generators.canonical_rng(np.int32(5)).integers(0, 1 << 30, size=8)
         y = generators.canonical_rng(5).integers(0, 1 << 30, size=8)
         assert np.array_equal(x, y)
+
+
+class TestArrayNativeStreams:
+    """The array-native generators and their canonical_rng streams.
+
+    ``gnp``, ``random_bipartite`` and ``random_tree`` consume the stream in
+    the same order as the historical per-edge Python loops, so they must equal
+    a verbatim replica of the old draw pattern.  ``random_regular`` and
+    ``power_law_cluster`` draw in a new (vectorized, still seed-deterministic)
+    order; their streams are pinned by checksum here and by the golden record
+    suite.
+    """
+
+    def test_random_bipartite_stream_matches_legacy_loop(self):
+        a, b, p, seed = 13, 9, 0.3, 4
+        rng = generators.canonical_rng(seed)
+        edges = []
+        for i in range(a):  # the historical quadratic append loop, verbatim
+            mask = rng.random(b) < p
+            for j in np.nonzero(mask)[0]:
+                edges.append((i, a + int(j)))
+        from repro.congest.graph import Graph
+
+        legacy = Graph(a + b, edges)
+        assert generators.random_bipartite(a, b, p, seed=seed) == legacy
+
+    def test_random_tree_stream_matches_legacy_loop(self):
+        n, seed = 200, 11
+        rng = generators.canonical_rng(seed)
+        edges = [(i, int(rng.integers(0, i))) for i in range(1, n)]
+        from repro.congest.graph import Graph
+
+        assert generators.random_tree(n, seed=seed) == Graph(n, edges)
+
+    def test_random_bipartite_vectorized_build_is_not_quadratic_shaped(self):
+        # sanity on the single nonzero/column_stack build: side sizes where
+        # the old per-row loop produced empty rows
+        g = generators.random_bipartite(50, 3, 0.9, seed=0)
+        assert g.n == 53
+        assert all((u < 50) != (v < 50) for u, v in g.edges())
+
+    @pytest.mark.parametrize(
+        "name,build,checksum",
+        [
+            # Pinned streams of the vectorized generators.  A change in either
+            # checksum means the seed->graph mapping changed: regenerate the
+            # goldens (scripts/generate_golden_records.py) and say so loudly
+            # in the commit message.
+            ("random_regular", lambda: generators.random_regular(64, 4, seed=5), 2227000247),
+            ("power_law", lambda: generators.power_law_cluster(64, 3, seed=5), 112074324),
+        ],
+    )
+    def test_new_streams_pinned(self, name, build, checksum):
+        import zlib
+
+        g = build()
+        digest = zlib.crc32(g.indptr.tobytes() + g.indices.tobytes())
+        assert digest == checksum, (
+            f"{name} seed->graph stream changed (crc32 {digest} != pinned {checksum})"
+        )

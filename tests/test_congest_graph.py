@@ -1,10 +1,13 @@
 """Unit tests for the CSR graph substrate."""
 
+import warnings
+
 import numpy as np
 import pytest
 
-from repro.congest.graph import Graph, GraphError
 from repro.congest import generators
+from repro.congest import graph as graph_module
+from repro.congest.graph import Graph, GraphError, GraphPerformanceWarning
 
 
 class TestConstruction:
@@ -54,6 +57,42 @@ class TestConstruction:
         g = Graph.from_adjacency([[1, 2], [0], [0]])
         assert g.num_edges == 2
         assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_from_edge_array_matches_tuple_constructor(self):
+        rng = np.random.default_rng(7)
+        edges = rng.integers(0, 50, size=(400, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        assert Graph.from_edge_array(50, edges) == Graph(50, map(tuple, edges.tolist()))
+
+    def test_from_edge_array_validates_vectorized(self):
+        with pytest.raises(GraphError, match="self loop on vertex 2"):
+            Graph.from_edge_array(5, np.array([[0, 1], [2, 2]]))
+        with pytest.raises(GraphError, match=r"edge \(0, 7\) out of range"):
+            Graph.from_edge_array(5, np.array([[0, 7]]))
+        with pytest.raises(GraphError, match="out of range"):
+            Graph.from_edge_array(5, np.array([[-2, 1]]))
+
+    def test_from_edge_array_collapses_both_orientations(self):
+        g = Graph.from_edge_array(4, np.array([[0, 1], [1, 0], [3, 1], [1, 3], [1, 3]]))
+        assert g.num_edges == 2
+
+    def test_large_python_edge_list_warns_once(self, monkeypatch):
+        monkeypatch.setattr(graph_module, "PYTHON_EDGE_LIST_WARN_THRESHOLD", 10)
+        monkeypatch.setattr(graph_module, "_warned_python_edge_list", False)
+        edges = [(i, i + 1) for i in range(20)]
+        with pytest.warns(GraphPerformanceWarning, match="from_edge_array"):
+            Graph(21, edges)
+        with warnings.catch_warnings():  # one-time: the second build is silent
+            warnings.simplefilter("error")
+            Graph(21, edges)
+
+    def test_edge_array_input_never_warns(self, monkeypatch):
+        monkeypatch.setattr(graph_module, "PYTHON_EDGE_LIST_WARN_THRESHOLD", 10)
+        monkeypatch.setattr(graph_module, "_warned_python_edge_list", False)
+        i = np.arange(20, dtype=np.int64)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            Graph.from_edge_array(21, np.column_stack([i, i + 1]))
 
     def test_networkx_round_trip(self):
         nx = pytest.importorskip("networkx")
