@@ -19,7 +19,7 @@ def test_e10_kernel_beg18_baseline(benchmark):
     graph, colors, m = delta4_colored_graph("random_regular", 400, 16, seed=10)
 
     def kernel():
-        return baselines.locally_iterative_beg18(graph, colors, m, vectorized=True)
+        return baselines.locally_iterative_beg18(graph, colors, m, backend="array")
 
     result = benchmark(kernel)
     assert_proper_coloring(graph, result.colors, max_colors=graph.max_degree + 1)
@@ -27,7 +27,7 @@ def test_e10_kernel_beg18_baseline(benchmark):
 
 def test_e10_kernel_kw_reduction(benchmark):
     graph, colors, m = delta4_colored_graph("random_regular", 400, 16, seed=10)
-    start = kdelta_coloring(graph, colors, m, k=1, vectorized=True)
+    start = kdelta_coloring(graph, colors, m, k=1, backend="array")
 
     def kernel():
         return kuhn_wattenhofer_reduction(graph, start.colors, start.color_space_size)
@@ -38,7 +38,7 @@ def test_e10_kernel_kw_reduction(benchmark):
 
 def test_e10_kernel_class_removal(benchmark):
     graph, colors, m = delta4_colored_graph("random_regular", 400, 16, seed=10)
-    start = kdelta_coloring(graph, colors, m, k=1, vectorized=True)
+    start = kdelta_coloring(graph, colors, m, k=1, backend="array")
 
     def kernel():
         return remove_color_class_reduction(graph, start.colors)

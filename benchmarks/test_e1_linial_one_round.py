@@ -27,7 +27,7 @@ def test_e1_kernel_one_round_reduction(benchmark, delta):
     graph, colors, m = delta4_colored_graph("random_regular", 1000, delta, seed=1)
 
     def kernel():
-        return corollaries.linial_color_reduction(graph, colors, m, vectorized=True)
+        return corollaries.linial_color_reduction(graph, colors, m, backend="array")
 
     result = benchmark(kernel)
     assert result.rounds == 1

@@ -26,7 +26,7 @@ def test_e2_kernel_k_sweep(benchmark, k):
     graph, colors, m = delta4_colored_graph("random_regular", 800, 16, seed=2)
 
     def kernel():
-        return corollaries.kdelta_coloring(graph, colors, m, k=k, vectorized=True)
+        return corollaries.kdelta_coloring(graph, colors, m, k=k, backend="array")
 
     result = benchmark(kernel)
     assert_proper_coloring(graph, result.colors)

@@ -20,7 +20,7 @@ def test_e3_kernel(benchmark, delta):
     graph, colors, m = delta4_colored_graph("random_regular", 600, delta, seed=3)
 
     def kernel():
-        return corollaries.delta_squared_coloring(graph, colors, m, vectorized=True)
+        return corollaries.delta_squared_coloring(graph, colors, m, backend="array")
 
     result = benchmark(kernel)
     assert_proper_coloring(graph, result.colors)

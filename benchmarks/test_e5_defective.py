@@ -21,7 +21,7 @@ def test_e5_kernel_one_round(benchmark, d):
     graph, colors, m = delta4_colored_graph("random_regular", 600, 16, seed=5)
 
     def kernel():
-        return corollaries.defective_coloring_one_round(graph, colors, m, d=d, vectorized=True)
+        return corollaries.defective_coloring_one_round(graph, colors, m, d=d, backend="array")
 
     result = benchmark(kernel)
     assert result.rounds == 1

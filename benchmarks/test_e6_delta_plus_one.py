@@ -22,7 +22,7 @@ def test_e6_kernel_pipeline(benchmark, n, delta):
     graph = generators.random_regular(n, delta, seed=6)
 
     def kernel():
-        return pipelines.delta_plus_one_coloring(graph, seed=6, vectorized=True)
+        return pipelines.delta_plus_one_coloring(graph, seed=6, backend="array")
 
     result = benchmark(kernel)
     assert_proper_coloring(graph, result.colors, max_colors=graph.max_degree + 1)

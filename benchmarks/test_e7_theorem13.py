@@ -20,7 +20,7 @@ def test_e7_kernel(benchmark, epsilon):
     graph, colors, m = delta4_colored_graph("random_regular", 400, 16, seed=7)
 
     def kernel():
-        return pipelines.theorem13_coloring(graph, colors, m, epsilon=epsilon, vectorized=True)
+        return pipelines.theorem13_coloring(graph, colors, m, epsilon=epsilon, backend="array")
 
     result = benchmark(kernel)
     assert_proper_coloring(graph, result.colors)

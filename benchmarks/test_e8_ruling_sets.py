@@ -26,7 +26,7 @@ def test_e8_kernel_theorem15(benchmark, r):
     graph, colors, m = delta4_colored_graph("random_regular", 400, 16, seed=8)
 
     def kernel():
-        return ruling_sets.ruling_set_theorem15(graph, colors, m, r=r, vectorized=True)
+        return ruling_sets.ruling_set_theorem15(graph, colors, m, r=r, backend="array")
 
     result = benchmark(kernel)
     assert_ruling_set(graph, result.vertices, r=max(r, result.r))
@@ -37,7 +37,7 @@ def test_e8_kernel_sew13_baseline(benchmark, r):
     graph, colors, m = delta4_colored_graph("random_regular", 400, 16, seed=8)
 
     def kernel():
-        return ruling_sets.ruling_set_sew13_baseline(graph, colors, m, r=r, vectorized=True)
+        return ruling_sets.ruling_set_sew13_baseline(graph, colors, m, r=r, backend="array")
 
     result = benchmark(kernel)
     assert_ruling_set(graph, result.vertices, r=max(r, result.r))

@@ -24,9 +24,8 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
+from repro.api import Problem, Run, solve
 from repro.congest.graph import Graph
-from repro.congest.ids import distinct_input_coloring
-from repro.core.corollaries import kdelta_coloring
 from repro.verify.coloring import assert_proper_coloring
 
 
@@ -48,16 +47,19 @@ def main() -> None:
     delta = graph.max_degree
     print(f"deployment: {graph.n} stations, {graph.num_edges} interference pairs, Delta = {delta}")
 
-    # The stations' serial numbers act as the input coloring (unique IDs).
-    m = max(delta ** 4, graph.n)
-    serials = distinct_input_coloring(graph, m, seed=7)
+    # The interference graph is a live (measured, not generated) Graph — the
+    # declarative API takes it as-is; the stations' distinct input colors
+    # (their "serial numbers") come from the standing Delta^4 convention.
+    problem = Problem(graph=graph)
 
     print(f"{'k':>5} {'frequencies used':>18} {'frequency budget':>18} {'config rounds':>14}")
     k = 1
     while k <= 16 * max(delta, 1):
-        plan = kdelta_coloring(graph, serials, m, k=k, backend="array")
+        plan = solve(problem, Run(algorithm="kdelta", params={"k": k},
+                                  backend="array", seed=7))
         assert_proper_coloring(graph, plan.colors)
-        print(f"{k:>5} {plan.num_colors:>18} {plan.color_space_size:>18} {plan.rounds:>14}")
+        rec = plan.record
+        print(f"{k:>5} {rec['colors used']:>18} {rec['color space']:>18} {rec['rounds']:>14}")
         if plan.rounds <= 1:
             break
         k *= 2

@@ -4,9 +4,11 @@ Run with::
 
     python examples/quickstart.py
 
-The script builds a random 8-regular network, runs the full pipeline from the
-paper (unique IDs -> Linial's O(Delta^2)-coloring -> the mother algorithm with
-k = 1 -> color-class removal) and verifies the result.
+The script describes the problem declaratively (the unified solver API of
+``repro.api``): a :class:`Problem` names the graph, a :class:`Run` names the
+registered algorithm, and ``solve()`` returns a structured report — colors,
+rounds, the paper's guarantee, and full provenance.  ``repro list-algorithms``
+shows everything else that can go in ``Run(algorithm=...)``.
 """
 
 from __future__ import annotations
@@ -16,25 +18,35 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.congest import generators
-from repro.core import pipelines
+from repro.api import GraphSpec, Problem, Run, solve
 from repro.verify.coloring import assert_proper_coloring
 
 
 def main() -> None:
+    problem = Problem(graph=GraphSpec("random_regular", n=500, delta=8, seed=42))
+    report = solve(problem, Run(algorithm="delta_plus_one", backend="array"))
+
+    record = report.record
+    print(f"network: {record['n']} nodes, max degree {record['Delta']}")
+    print(f"colors used           : {report.num_colors}  (budget Delta+1 = {record['Delta'] + 1})")
+    print(f"total rounds          : {report.rounds}")
+    print(f"  Linial (log* n)     : {record['linial rounds']}")
+    print(f"  mother algorithm    : {record['mother rounds']}  (k = 1, O(Delta) colors)")
+    print(f"  color-class removal : {record['reduce rounds']}")
+    print(f"guarantee             : {report.guarantee}")
+
+    # The report carries the actual coloring; double-check it ourselves.
+    from repro.congest import generators
+
     graph = generators.random_regular(n=500, degree=8, seed=42)
-    print(f"network: {graph.n} nodes, {graph.num_edges} links, max degree {graph.max_degree}")
-
-    result = pipelines.delta_plus_one_coloring(graph, seed=42, backend="array")
-    assert_proper_coloring(graph, result.colors, max_colors=graph.max_degree + 1)
-
-    meta = result.metadata
-    print(f"colors used           : {result.num_colors}  (budget Delta+1 = {graph.max_degree + 1})")
-    print(f"total rounds          : {result.rounds}")
-    print(f"  Linial (log* n)     : {meta['linial_rounds']}")
-    print(f"  mother algorithm    : {meta['mother_rounds']}  (k = 1, O(Delta) colors)")
-    print(f"  color-class removal : {meta['reduction_rounds']}")
+    assert_proper_coloring(graph, report.colors, max_colors=graph.max_degree + 1)
     print("the coloring is proper and fits the Delta+1 budget — done.")
+
+    # The same request round-trips through JSON — save it and replay it with
+    # `python -m repro run --spec quickstart.json`:
+    spec = report.provenance["spec"]
+    print(f"replayable spec hash  : {report.provenance['spec_hash']} "
+          f"(algorithm {spec['run']['algorithm']!r})")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,12 @@ out-degree, not the full degree.
 Run with::
 
     python examples/scheduling_outdegree.py
+
+(This example deliberately stays on the expert-level ``repro.core`` API: the
+refinement step consumes the *orientation object* of Theorem 1.1 (1), which is
+richer than the tidy record surface of ``repro.api.solve``.  See
+``examples/quickstart.py`` / ``frequency_assignment.py`` /
+``ruling_set_clustering.py`` for the declarative front door.)
 """
 
 from __future__ import annotations

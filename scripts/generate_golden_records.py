@@ -25,6 +25,7 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.api.registry import algorithm_names  # noqa: E402
 from repro.engine.batch import BatchRunner  # noqa: E402
 
 #: The grid: one random-regular and one G(n, p) cell, both tiny but nontrivial.
@@ -43,6 +44,9 @@ TASK_PARAMS: dict[str, dict] = {
     "theorem13": {"epsilon": 0.5},
     "corollary14": {"k": 2},
     "ruling_set": {"r": 2},
+    # Theorem 1.6 needs the tight (k, m) pair for the cells' Delta = 4.
+    "one_round_tightness": {"k": 3, "m": 12},
+    "baseline": {"algorithm": "mother", "k": 2},
 }
 
 #: Record fields excluded from the snapshot (run-dependent by design).
@@ -52,6 +56,12 @@ VOLATILE_FIELDS = ("seconds", "backend")
 def snapshot_records() -> dict[str, list[dict]]:
     from repro.engine import GraphSpec
 
+    missing = set(algorithm_names()) - set(TASK_PARAMS)
+    if missing:
+        raise SystemExit(
+            f"registered algorithm(s) {sorted(missing)} have no TASK_PARAMS entry; "
+            "add one so the golden suite covers them"
+        )
     runner = BatchRunner(backend="array")
     cells = [GraphSpec(*cell) for cell in CELLS]
     golden: dict[str, list[dict]] = {}

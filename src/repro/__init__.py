@@ -27,18 +27,26 @@ The package is organised around four layers:
     sharding (``workers=N``) and streaming, resumable JSONL/CSV result sinks.
     Every algorithm accepts ``backend="reference" | "array"``.
 
+``repro.api``
+    The unified, declarative front door: a typed algorithm *registry*
+    (``@register_algorithm`` — the ``repro.core`` modules self-register, and
+    the CLI, batch runner and ``repro list-algorithms`` are generated from
+    it), JSON-round-trippable ``Problem``/``Run``/``JobSpec`` request objects,
+    ``solve(problem, run)`` returning a structured ``RunReport``, and
+    ``run_spec`` for saved sweeps (``repro run --spec run.json``).
+
 ``repro.verify`` / ``repro.analysis``
     Validation of colorings / orientations / partitions / ruling sets, and the
-    experiment harness that regenerates the tables in ``EXPERIMENTS.md``.
+    experiment harness that regenerates the tables in ``EXPERIMENTS.md`` —
+    every experiment also ships as a saved spec under ``specs/``.
 
 Quickstart
 ----------
 
->>> from repro.congest import generators
->>> from repro.core import pipelines
->>> g = generators.random_regular(n=200, degree=8, seed=1)
->>> result = pipelines.delta_plus_one_coloring(g, seed=1, backend="array")
->>> result.num_colors <= g.max_degree + 1
+>>> from repro.api import GraphSpec, Problem, Run, solve
+>>> report = solve(Problem(graph=GraphSpec("random_regular", 200, 8, seed=1)),
+...                Run(algorithm="delta_plus_one", backend="array"))
+>>> report.num_colors <= report.record["Delta"] + 1
 True
 """
 
@@ -53,8 +61,20 @@ from repro.engine import (
     ReferenceEngine,
     get_engine,
 )
+from repro.api import (
+    AlgorithmSpec,
+    JobSpec,
+    Problem,
+    Run,
+    RunReport,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+    run_spec,
+    solve,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Graph",
@@ -66,5 +86,15 @@ __all__ = [
     "get_engine",
     "BatchRunner",
     "GraphSpec",
+    "AlgorithmSpec",
+    "JobSpec",
+    "Problem",
+    "Run",
+    "RunReport",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
+    "run_spec",
+    "solve",
     "__version__",
 ]

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.analysis import bounds
 from repro.analysis.tables import Table
+from repro.api.registry import ParamSpec, register_algorithm
 from repro.congest import generators
 from repro.congest.graph import Graph
 from repro.congest.ids import delta4_input_coloring, random_proper_coloring
@@ -36,9 +37,10 @@ from repro.engine.base import Engine
 from repro.engine.batch import BatchRunner, GraphSpec, Workload
 from repro.verify.coloring import assert_proper_coloring
 
-__all__ = ["EXPERIMENTS", "run_experiment", "delta4_colored_graph", "make_runner"] + [
-    f"run_e{i}" for i in range(1, 11)
-]
+__all__ = [
+    "EXPERIMENTS", "run_experiment", "delta4_colored_graph", "make_runner",
+    "experiment_specs",
+] + [f"run_e{i}" for i in range(1, 11)]
 
 
 # --------------------------------------------------------------------------- #
@@ -56,6 +58,35 @@ def make_runner(
     single-cell comparisons) stay serial.  Records are identical either way.
     """
     return BatchRunner(backend=backend, parity_check=parity_check, workers=workers)
+
+
+def degree_scaled_axis(eff_delta: int, epsilons: tuple[float, ...]) -> list[int]:
+    """The ``Delta^eps``-derived parameter axis of E4/E5, clamped to ``[1, Delta-1]``.
+
+    Shared by the experiments and by :func:`experiment_specs`, so the saved
+    specs can never drift from what the experiments actually sweep.
+    """
+    return [max(1, min(eff_delta - 1, int(round(eff_delta ** eps)))) for eps in epsilons]
+
+
+def theorem16_tight_km(delta: int) -> tuple[int, int]:
+    """E9's tight pairing: the largest ``k`` Theorem 1.6 allows and its ``m``."""
+    k = min(delta - 1, (delta + 3) // 2)
+    return k, one_round.required_input_colors(delta, k)
+
+
+def doubling_k_axis(runner: BatchRunner, spec: GraphSpec, eff_delta: int):
+    """E2's data-dependent axis: yield ``(k, record)`` doubling ``k`` until the
+    round count collapses to 1 (or the Linial regime ``k > 16*Delta``)."""
+    k = 1
+    while True:
+        rec = runner.run_cell("kdelta", spec, params={"k": k})
+        yield k, rec
+        if rec["rounds"] <= 1:
+            break
+        k *= 2
+        if k > 16 * eff_delta:
+            break
 
 
 def delta4_colored_graph(
@@ -136,18 +167,11 @@ def run_e2(
     # The k axis is data-dependent (doubled until the round count collapses to
     # 1), so the sweep goes cell by cell through the runner, which still shares
     # the one cached graph/coloring across every k.
-    k = 1
-    while True:
-        rec = runner.run_cell("kdelta", spec, params={"k": k})
+    for k, rec in doubling_k_axis(runner, spec, eff):
         table.add_row(
             k, rec["rounds"], bounds.corollary12_2_rounds(eff, k), rec["colors used"],
             bounds.corollary12_2_colors(eff, k),
         )
-        if rec["rounds"] <= 1:
-            break
-        k *= 2
-        if k > 16 * eff:
-            break
     table.add_note("Rounds fall linearly in 1/k while the color budget grows linearly in k.")
     return table
 
@@ -202,7 +226,7 @@ def run_e4(
         ["beta", "rounds", "round bound O(Delta/beta)", "colors used", "color bound O(Delta/beta)",
          "max outdegree"],
     )
-    betas = [max(1, min(eff - 1, int(round(eff ** eps)))) for eps in epsilons]
+    betas = degree_scaled_axis(eff, epsilons)
     for rec in runner.run("outdegree", [spec], params_grid=[{"beta": b} for b in betas]):
         table.add_row(
             rec["beta"], rec["rounds"], bounds.corollary12_4_rounds(eff, rec["beta"]),
@@ -234,8 +258,7 @@ def run_e5(
         f"E5 — Corollary 1.2(5)/(6): d-defective O((Delta/d)^2)-colorings (Delta={eff})",
         ["variant", "d", "rounds", "colors used", "color bound O((Delta/d)^2)", "max defect"],
     )
-    for eps in epsilons:
-        d = max(1, min(eff - 1, int(round(eff ** eps))))
+    for d in degree_scaled_axis(eff, epsilons):
         one = runner.run_cell("defective_one_round", spec, params={"d": d})
         table.add_row(
             "one round (5)", d, one["rounds"], one["colors used"],
@@ -358,6 +381,17 @@ def run_e8(
 # --------------------------------------------------------------------------- #
 
 
+@register_algorithm(
+    "one_round_tightness",
+    summary="Theorem 1.6: one-round reduction of exactly k colors from a tight m-coloring",
+    guarantee="proper m-k coloring in exactly 1 round when m = k(Delta-k+3)",
+    source="Theorem 1.6 / Lemma 4.1",
+    params=[
+        ParamSpec("k", int, minimum=1, help="number of colors removed in the one round"),
+        ParamSpec("m", int, minimum=1,
+                  help="input color-space size (tight at k(Delta-k+3))"),
+    ],
+)
 def _task_one_round_tightness(w: Workload, engine: Engine, k: int, m: int) -> Mapping[str, Any]:
     """Bespoke E9 task: Theorem 1.6 needs its own tight input coloring, not Delta^4."""
     delta = w.spec.delta
@@ -395,10 +429,9 @@ def run_e9(
     )
     for delta in deltas:
         # Use the tight m for the largest k allowed by the theorem.
-        k = min(delta - 1, (delta + 3) // 2)
-        m = one_round.required_input_colors(delta, k)
+        k, m = theorem16_tight_km(delta)
         spec = GraphSpec("random_regular", n, delta, seed)
-        rec = runner.run_cell(_task_one_round_tightness, spec, params={"k": k, "m": m})
+        rec = runner.run_cell("one_round_tightness", spec, params={"k": k, "m": m})
         table.add_row(
             delta, rec["m"], rec["k"], rec["rounds"], rec["output colors space"],
             rec["m - k"], rec["proper"],
@@ -415,13 +448,27 @@ def run_e9(
 # --------------------------------------------------------------------------- #
 
 
-def _task_e10_baselines(w: Workload, engine: Engine, algorithm: str, **params) -> Mapping[str, Any]:
+@register_algorithm(
+    "baseline",
+    summary="one contender of the E10 baseline comparison",
+    guarantee="proper coloring (contender-specific color/round bounds; "
+              "'luby' is randomized, 'greedy' is centralized)",
+    source="E10 / Section 1 baselines",
+    params=[
+        ParamSpec("algorithm", str,
+                  choices=("mother", "linial", "beg18", "kw_halving", "luby", "greedy"),
+                  help="which contender to run"),
+        ParamSpec("k", int, default=1, minimum=1,
+                  help="batch size for the 'mother' contender"),
+    ],
+)
+def _task_e10_baselines(w: Workload, engine: Engine, algorithm: str, k: int = 1) -> Mapping[str, Any]:
     """One row of the E10 comparison; ``algorithm`` picks the contender."""
     from repro.core import corollaries
     from repro.core.linial import linial_coloring
 
     if algorithm == "mother":
-        res = corollaries.kdelta_coloring(w.graph, w.input_colors, w.m, k=params["k"], backend=engine)
+        res = corollaries.kdelta_coloring(w.graph, w.input_colors, w.m, k=k, backend=engine)
     elif algorithm == "linial":
         res = linial_coloring(w.graph, seed=w.spec.seed, backend=engine)
     elif algorithm == "beg18":
@@ -473,7 +520,7 @@ def run_e10(
         ("sequential greedy (centralized)", {"algorithm": "greedy"}),
     ]
     for label, params in rows:
-        rec = runner.run_cell(_task_e10_baselines, spec, params=params)
+        rec = runner.run_cell("baseline", spec, params=params)
         table.add_row(label, rec["rounds"], rec["colors used"], rec["color space"])
     table.add_note("Deterministic Delta+1 in O(Delta) rounds vs O(Delta log Delta) for KW halving; "
                    "randomized Luby needs O(log n) rounds but is not deterministic.")
@@ -503,3 +550,110 @@ def run_experiment(name: str, **kwargs) -> Table:
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
     return EXPERIMENTS[name](**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# E1-E10 as saved declarative specs
+# --------------------------------------------------------------------------- #
+
+
+def experiment_specs() -> "dict[str, JobSpec]":
+    """Every experiment's sweep, re-expressed as a declarative :class:`JobSpec`.
+
+    These are the documents ``scripts/generate_experiment_specs.py`` saves to
+    ``specs/`` and ``repro run --spec`` replays; replaying one produces the
+    exact records the corresponding ``run_eN`` function sweeps (the bound
+    columns of the rendered tables are derived, not measured).
+
+    Data-dependent axes are *frozen into the spec* at generation time, the
+    declarative analogue of what the experiment computes on the fly:
+
+    * E2's ``k`` axis doubles until the round count collapses to 1 — the spec
+      records the ks that doubling visits (discovered with a quick array-
+      backend run here);
+    * E4/E5's ``beta`` / ``d`` axes and E9's tight ``(k, m)`` pairs depend
+      only on the cell's effective Delta, computed the same way the
+      experiment computes them;
+    * E5 (two algorithm variants) and E9 (per-Delta parameter pairing) expand
+      into one spec per variant / Delta, since a spec names exactly one
+      algorithm and sweeps a pure (cells x params) grid.
+    """
+    from repro.api.spec import JobSpec, Problem, Run
+
+    def job(algorithm: str, cells: list[GraphSpec], grid=None, params=None) -> JobSpec:
+        return JobSpec(
+            run=Run(algorithm=algorithm, params=params or {}, backend="array"),
+            problems=tuple(Problem(graph=cell) for cell in cells),
+            params_grid=None if grid is None else tuple(grid),
+        )
+
+    runner = make_runner("array")
+    specs: dict[str, JobSpec] = {}
+
+    # E1 — Corollary 1.2(1): one-round reduction over two families.
+    specs["E1"] = job("linial_reduction", [
+        GraphSpec(family, 300, delta, 1)
+        for family in ("random_regular", "gnp") for delta in (4, 8, 16)
+    ])
+
+    # E2 — the k sweep; freeze the data-dependent doubling axis (the same
+    # discovery loop run_e2 drives, via the shared helper).
+    e2_cell = GraphSpec("random_regular", 400, 16, 2)
+    eff = runner.workload(e2_cell).eff_delta
+    ks = [k for k, _ in doubling_k_axis(runner, e2_cell, eff)]
+    specs["E2"] = job("kdelta", [e2_cell], grid=[{"k": k} for k in ks])
+
+    # E3 — Delta^2 colors in O(1) rounds.
+    specs["E3"] = job("delta_squared",
+                      [GraphSpec("random_regular", 400, delta, 3) for delta in (8, 16, 32)])
+
+    # E4 — beta-outdegree colorings; betas derived from the effective Delta
+    # with the same shared helper run_e4 uses.
+    e4_cell = GraphSpec("random_regular", 300, 16, 4)
+    betas = degree_scaled_axis(runner.workload(e4_cell).eff_delta, (0.25, 0.5, 0.75))
+    specs["E4"] = job("outdegree", [e4_cell], grid=[{"beta": b} for b in betas])
+
+    # E5 — defective colorings, one spec per variant.
+    e5_cell = GraphSpec("random_regular", 300, 16, 5)
+    ds = degree_scaled_axis(runner.workload(e5_cell).eff_delta, (0.25, 0.5, 0.75))
+    specs["E5_one_round"] = job("defective_one_round", [e5_cell], grid=[{"d": d} for d in ds])
+    specs["E5_multi_round"] = job("defective", [e5_cell], grid=[{"d": d} for d in ds])
+
+    # E6 — the (Delta+1) pipeline over growing n.
+    specs["E6"] = job("delta_plus_one",
+                      [GraphSpec("random_regular", n, 12, 6) for n in (100, 400, 1000)])
+
+    # E7 — Theorem 1.3 over growing Delta.
+    specs["E7"] = job("theorem13",
+                      [GraphSpec("random_regular", 300, delta, 7) for delta in (8, 16, 32)],
+                      params={"epsilon": 0.5})
+
+    # E8 — ruling sets: Theorem 1.5 vs the SEW13 baseline, per radius.
+    e8_cell = GraphSpec("random_regular", 300, 16, 8)
+    specs["E8"] = job("ruling_set", [e8_cell], grid=[
+        {"r": r, **({"baseline": True} if baseline else {})}
+        for r in (2, 3) for baseline in (False, True)
+    ])
+
+    # E9 — Theorem 1.6 tightness; (k, m) is paired per Delta (the shared
+    # helper run_e9 uses), one spec each.
+    for delta in (4, 6, 8):
+        k, m = theorem16_tight_km(delta)
+        specs[f"E9_delta{delta}"] = job(
+            "one_round_tightness", [GraphSpec("random_regular", 200, delta, 9)],
+            params={"k": k, "m": m},
+        )
+
+    # E10 — the baseline comparison as a params grid over contenders.
+    e10_cell = GraphSpec("random_regular", 300, 16, 10)
+    specs["E10"] = job("baseline", [e10_cell], grid=[
+        {"algorithm": "mother", "k": 1},
+        {"algorithm": "mother", "k": 4},
+        {"algorithm": "mother", "k": 16},
+        {"algorithm": "linial"},
+        {"algorithm": "beg18"},
+        {"algorithm": "kw_halving"},
+        {"algorithm": "luby"},
+        {"algorithm": "greedy"},
+    ])
+    return specs

@@ -1,0 +1,75 @@
+"""repro.api — the unified, declarative front door of the package.
+
+The paper's whole point is that one *mother algorithm* with different
+parameter settings yields the entire zoo of colorings.  This package mirrors
+that shape in code: every algorithm is one :class:`AlgorithmSpec` in a single
+registry, and every execution — a one-off ``solve()``, a batch sweep, a saved
+``repro run --spec run.json``, the experiment suite — is described by the same
+declarative, JSON-round-trippable request objects.
+
+* :class:`~repro.api.registry.AlgorithmSpec` + :func:`register_algorithm` —
+  the typed algorithm registry.  ``repro.core`` modules self-register their
+  algorithms at import time; third-party algorithms plug in with the same
+  decorator and immediately appear in the CLI, the batch runner, and
+  ``repro list-algorithms``.
+* :class:`~repro.api.spec.Problem` / :class:`~repro.api.spec.Run` /
+  :class:`~repro.api.spec.JobSpec` — declarative request objects with a
+  schema-versioned ``to_dict``/``from_dict``/JSON round-trip.
+* :func:`~repro.api.solve.solve` — run one algorithm on one problem and get a
+  structured :class:`~repro.api.report.RunReport` (colors, rounds, guarantee,
+  timings, provenance).
+* :func:`~repro.api.solve.run_spec` — drive a whole saved sweep (the same
+  machinery behind ``repro run --spec``); the emitted sink manifest embeds the
+  spec hash.
+
+Quickstart
+----------
+
+>>> from repro.api import GraphSpec, Problem, Run, solve
+>>> report = solve(Problem(graph=GraphSpec("random_regular", 200, 8, seed=1)),
+...                Run(algorithm="delta_plus_one", backend="array"))
+>>> report.record["colors used"] <= report.record["Delta"] + 1
+True
+"""
+
+from repro.engine.batch import GraphSpec
+from repro.api.registry import (
+    AlgorithmError,
+    AlgorithmSpec,
+    ParamSpec,
+    ParameterValueError,
+    UnknownAlgorithmError,
+    UnknownParameterError,
+    algorithm_names,
+    algorithm_specs,
+    get_algorithm,
+    register_algorithm,
+    validate_params,
+)
+from repro.api.report import RunReport
+from repro.api.spec import SCHEMA_VERSION, JobSpec, Problem, Run, SpecError, spec_hash
+from repro.api.solve import run_spec, solve
+
+__all__ = [
+    "GraphSpec",
+    "AlgorithmError",
+    "AlgorithmSpec",
+    "ParamSpec",
+    "ParameterValueError",
+    "UnknownAlgorithmError",
+    "UnknownParameterError",
+    "algorithm_names",
+    "algorithm_specs",
+    "get_algorithm",
+    "register_algorithm",
+    "validate_params",
+    "RunReport",
+    "SCHEMA_VERSION",
+    "JobSpec",
+    "Problem",
+    "Run",
+    "SpecError",
+    "spec_hash",
+    "run_spec",
+    "solve",
+]

@@ -1,0 +1,110 @@
+"""The structured result of :func:`repro.api.solve.solve`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["RunReport"]
+
+
+@dataclass
+class RunReport:
+    """Everything one solver run produced, in one structured object.
+
+    Attributes
+    ----------
+    algorithm / params / backend:
+        What ran (params exactly as validated — defaults are not injected).
+    record:
+        The tidy scalar record of the engine layer (the same record a
+        :class:`~repro.engine.batch.BatchRunner` sweep emits for this cell,
+        including ``rounds``, ``seconds`` and algorithm-specific
+        measurements), so a one-off ``solve()`` and a batch sweep are
+        directly comparable.
+    artifacts:
+        The array outputs keyed like the engine layer's parity artifacts but
+        without the underscore: ``colors`` (and ``parts`` where the algorithm
+        reports a partition, ``vertices`` for ruling sets).
+    guarantee:
+        The paper's guarantee string from the algorithm's registry spec.
+    verified:
+        Whether the registered runner's hard-invariant checks ran and passed
+        (they raise on violation, so a report only ever exists with
+        ``verified=True``; the field makes that explicit in serialized form).
+    parity_checked:
+        Whether the run was re-executed on the reference backend and matched.
+    provenance:
+        Where the result came from: package version, spec schema version, the
+        serialized ``{problem, run}`` document and its hash (when the problem
+        is serializable), and the engine name.
+    """
+
+    algorithm: str
+    params: dict[str, Any]
+    backend: str
+    record: dict[str, Any]
+    artifacts: dict[str, np.ndarray] = field(default_factory=dict)
+    guarantee: str = ""
+    output: str = "coloring"
+    verified: bool = True
+    parity_checked: bool = False
+    provenance: dict[str, Any] = field(default_factory=dict)
+
+    # -- convenience views ------------------------------------------------ #
+
+    @property
+    def colors(self) -> np.ndarray | None:
+        return self.artifacts.get("colors")
+
+    @property
+    def parts(self) -> np.ndarray | None:
+        return self.artifacts.get("parts")
+
+    @property
+    def vertices(self) -> np.ndarray | None:
+        """The ruling set, for ``output == "ruling set"`` algorithms."""
+        return self.artifacts.get("vertices")
+
+    @property
+    def rounds(self) -> int:
+        return int(self.record["rounds"])
+
+    @property
+    def num_colors(self) -> int | None:
+        value = self.record.get("colors used")
+        return None if value is None else int(value)
+
+    @property
+    def seconds(self) -> float:
+        return float(self.record.get("seconds", 0.0))
+
+    def to_dict(self, include_arrays: bool = False) -> dict[str, Any]:
+        """A JSON-serializable rendering (arrays as lists when requested)."""
+        data: dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "params": dict(self.params),
+            "backend": self.backend,
+            "record": dict(self.record),
+            "guarantee": self.guarantee,
+            "output": self.output,
+            "verified": self.verified,
+            "parity_checked": self.parity_checked,
+            "provenance": dict(self.provenance),
+        }
+        if include_arrays:
+            data["artifacts"] = {k: np.asarray(v).tolist() for k, v in self.artifacts.items()}
+        return data
+
+    def summary(self) -> str:
+        """One human-readable line (the CLI's result line)."""
+        skip = ("family", "n", "Delta", "seed", "backend", "seconds")
+        fields = ", ".join(
+            f"{key}={value}" for key, value in self.record.items()
+            if key not in skip and key not in self.params
+        )
+        status = "verified" if self.verified else "UNVERIFIED"
+        parity = ", reference-parity checked" if self.parity_checked else ""
+        return f"{self.algorithm} [{self.backend}]: {fields} — {status}{parity}"

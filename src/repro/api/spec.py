@@ -1,0 +1,301 @@
+"""Declarative request objects: ``Problem`` + ``Run`` (+ ``JobSpec`` sweeps).
+
+One spec format drives everything: :func:`repro.api.solve.solve`, the
+:class:`~repro.engine.batch.BatchRunner`, the sinks' manifests, and
+``repro run --spec run.json``.  All objects round-trip losslessly through
+``to_dict`` / ``from_dict`` and JSON, and every serialized document carries a
+``schema`` version so saved specs stay readable as the format evolves.
+
+* :class:`Problem` — *what* to solve: a graph (a :class:`~repro.engine.batch.GraphSpec`
+  naming a generator cell, or a live :class:`~repro.congest.graph.Graph`) plus
+  the input-coloring convention (``"delta4"``, the standing assumption of
+  Corollary 1.2).
+* :class:`Run` — *how* to solve it: the registered algorithm name, its
+  params, the backend, worker count, an optional seed override, and whether
+  to parity-check against the reference backend.
+* :class:`JobSpec` — a whole sweep: many problems x one run (optionally with
+  a params grid).  ``repro run --spec`` executes exactly this document, and
+  :func:`spec_hash` pins it into the result sink's manifest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+from repro.congest.graph import Graph
+from repro.engine.batch import GraphSpec
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SpecError",
+    "Problem",
+    "Run",
+    "JobSpec",
+    "canonical_json",
+    "spec_hash",
+]
+
+#: Version of the serialized spec format (bump on incompatible changes).
+SCHEMA_VERSION = 1
+
+#: Input-coloring conventions a Problem can declare.  ``"delta4"`` is the
+#: standing assumption of Corollary 1.2: the ``Delta^4`` input coloring built
+#: by :func:`repro.congest.ids.delta4_input_coloring` from the cell's seed.
+INPUT_COLORINGS = ("delta4",)
+
+
+class SpecError(ValueError):
+    """A malformed or non-serializable spec document."""
+
+
+def _check_schema(data: Mapping[str, Any], kind: str) -> None:
+    schema = data.get("schema", SCHEMA_VERSION)
+    if not isinstance(schema, int) or schema < 1 or schema > SCHEMA_VERSION:
+        raise SpecError(
+            f"cannot read {kind} spec with schema {schema!r}; "
+            f"this package reads schema <= {SCHEMA_VERSION}"
+        )
+
+
+def _reject_unknown(data: Mapping[str, Any], allowed: Sequence[str], kind: str) -> None:
+    unknown = set(data) - set(allowed) - {"schema"}
+    if unknown:
+        raise SpecError(f"unknown {kind} spec field(s) {sorted(unknown)}; allowed: {list(allowed)}")
+
+
+def _graph_to_dict(graph: GraphSpec) -> dict[str, Any]:
+    return {"family": graph.family, "n": graph.n, "delta": graph.delta, "seed": graph.seed}
+
+
+def _graph_from_dict(data: Mapping[str, Any]) -> GraphSpec:
+    _reject_unknown(data, ("family", "n", "delta", "seed"), "graph")
+    try:
+        return GraphSpec(
+            family=str(data["family"]), n=int(data["n"]), delta=int(data["delta"]),
+            seed=int(data.get("seed", 0)),
+        )
+    except KeyError as exc:
+        raise SpecError(f"graph spec is missing field {exc.args[0]!r}: {dict(data)!r}") from None
+
+
+@dataclass(frozen=True)
+class Problem:
+    """What to solve: a graph plus the input-coloring convention."""
+
+    graph: GraphSpec | Graph
+    input_coloring: str = "delta4"
+
+    def __post_init__(self):
+        if self.input_coloring not in INPUT_COLORINGS:
+            raise SpecError(
+                f"unknown input_coloring {self.input_coloring!r}; known: {list(INPUT_COLORINGS)}"
+            )
+        if not isinstance(self.graph, (GraphSpec, Graph)):
+            raise SpecError(
+                f"Problem.graph must be a GraphSpec or a Graph, got {type(self.graph).__name__}"
+            )
+
+    @property
+    def is_serializable(self) -> bool:
+        """Only generator-described graphs round-trip (a live Graph does not)."""
+        return isinstance(self.graph, GraphSpec)
+
+    def to_dict(self) -> dict[str, Any]:
+        if not self.is_serializable:
+            raise SpecError(
+                "a Problem holding a live Graph is not serializable; describe the "
+                "graph as a GraphSpec(family, n, delta, seed) to save it"
+            )
+        return {
+            "schema": SCHEMA_VERSION,
+            "graph": _graph_to_dict(self.graph),
+            "input_coloring": self.input_coloring,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Problem":
+        _check_schema(data, "problem")
+        _reject_unknown(data, ("graph", "input_coloring"), "problem")
+        if "graph" not in data:
+            raise SpecError(f"problem spec is missing 'graph': {dict(data)!r}")
+        return cls(
+            graph=_graph_from_dict(data["graph"]),
+            input_coloring=str(data.get("input_coloring", "delta4")),
+        )
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "Problem":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class Run:
+    """How to solve it: algorithm, params, backend, workers, seed, parity."""
+
+    algorithm: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    backend: str = "array"
+    workers: int = 1
+    seed: int | None = None
+    parity_check: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "params", dict(self.params))
+        if not self.algorithm or not isinstance(self.algorithm, str):
+            raise SpecError(f"Run.algorithm must be a non-empty string, got {self.algorithm!r}")
+        if int(self.workers) < 1:
+            raise SpecError(f"Run.workers must be >= 1, got {self.workers!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "algorithm": self.algorithm,
+            "params": dict(self.params),
+            "backend": self.backend,
+            "workers": self.workers,
+            "seed": self.seed,
+            "parity_check": self.parity_check,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Run":
+        _check_schema(data, "run")
+        _reject_unknown(
+            data, ("algorithm", "params", "backend", "workers", "seed", "parity_check"), "run"
+        )
+        if "algorithm" not in data:
+            raise SpecError(f"run spec is missing 'algorithm': {dict(data)!r}")
+        seed = data.get("seed")
+        return cls(
+            algorithm=str(data["algorithm"]),
+            params=dict(data.get("params") or {}),
+            backend=str(data.get("backend", "array")),
+            workers=int(data.get("workers", 1)),
+            seed=None if seed is None else int(seed),
+            parity_check=bool(data.get("parity_check", False)),
+        )
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "Run":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A whole declarative sweep: many problems x one run (x a params grid).
+
+    ``params_grid`` entries extend/override ``run.params`` per cell; without a
+    grid the sweep runs every problem once with ``run.params``.
+    """
+
+    run: Run
+    problems: tuple[Problem, ...]
+    params_grid: tuple[dict[str, Any], ...] | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "problems", tuple(self.problems))
+        if not self.problems:
+            raise SpecError("JobSpec needs at least one problem")
+        if self.params_grid is not None:
+            object.__setattr__(
+                self, "params_grid", tuple(dict(p) for p in self.params_grid)
+            )
+
+    @classmethod
+    def single(cls, problem: Problem, run: Run) -> "JobSpec":
+        return cls(run=run, problems=(problem,))
+
+    # -- execution views -------------------------------------------------- #
+
+    def cells(self) -> list[GraphSpec]:
+        """The sweep's grid cells (requires every problem to be a GraphSpec).
+
+        ``run.seed`` (when set) overrides every cell's seed — the one-off
+        override semantics of :func:`repro.api.solve.solve`.
+        """
+        cells = []
+        for problem in self.problems:
+            if not problem.is_serializable:
+                raise SpecError("batch execution needs GraphSpec-described problems")
+            g = problem.graph
+            if self.run.seed is not None and self.run.seed != g.seed:
+                g = replace(g, seed=self.run.seed)
+            cells.append(g)
+        return cells
+
+    def effective_grid(self) -> list[dict[str, Any]] | None:
+        """The params grid actually swept (``run.params`` merged under each entry)."""
+        base = dict(self.run.params)
+        if self.params_grid is not None:
+            return [{**base, **entry} for entry in self.params_grid]
+        return [base] if base else None
+
+    # -- serialization ---------------------------------------------------- #
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "problems": [p.to_dict() for p in self.problems],
+            "run": self.run.to_dict(),
+        }
+        if self.params_grid is not None:
+            data["params_grid"] = [dict(p) for p in self.params_grid]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        _check_schema(data, "job")
+        _reject_unknown(data, ("problem", "problems", "run", "params_grid"), "job")
+        if "run" not in data:
+            raise SpecError(f"job spec is missing 'run': {dict(data)!r}")
+        if "problem" in data and "problems" in data:
+            raise SpecError("job spec must have either 'problem' or 'problems', not both")
+        if "problem" in data:
+            problems = [Problem.from_dict(data["problem"])]
+        elif "problems" in data:
+            problems = [Problem.from_dict(p) for p in data["problems"]]
+        else:
+            raise SpecError(f"job spec is missing 'problem(s)': {dict(data)!r}")
+        grid = data.get("params_grid")
+        return cls(
+            run=Run.from_dict(data["run"]),
+            problems=tuple(problems),
+            params_grid=None if grid is None else tuple(dict(p) for p in grid),
+        )
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        return cls.from_dict(json.loads(text))
+
+
+# --------------------------------------------------------------------------- #
+# Canonical form and hashing
+# --------------------------------------------------------------------------- #
+
+
+def canonical_json(data: Mapping[str, Any]) -> str:
+    """The canonical (sorted-keys, compact) JSON rendering of a spec dict."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(spec: Problem | Run | JobSpec | Mapping[str, Any]) -> str:
+    """Stable hex id of a spec: SHA-256 over its canonical JSON (16-char prefix).
+
+    This is the hash :func:`repro.api.solve.run_spec` embeds in the sink's
+    :class:`~repro.engine.sink.RunManifest` (``spec_hash``), pinning a result
+    file to the exact document that produced it.
+    """
+    data = spec if isinstance(spec, Mapping) else spec.to_dict()
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()[:16]

@@ -1,64 +1,57 @@
-"""Command-line interface.
+"""Command-line interface — generated from the algorithm registry.
 
-``python -m repro <command>`` exposes the main entry points without writing any
-Python:
+``python -m repro <command>`` exposes the main entry points without writing
+any Python.  The subcommand surface is *generated* from the algorithm
+registry (:mod:`repro.api.registry`): a newly registered algorithm appears in
+``repro color``, ``repro batch --task`` and ``repro list-algorithms`` with
+zero CLI edits, and every ``--param`` is validated against the algorithm's
+typed schema.
 
-* ``color``       — color a graph from one of the built-in families with the
-  (Delta+1) pipeline or the O(k*Delta) trade-off.
-* ``defective``   — compute a d-defective or beta-outdegree coloring.
-* ``ruling-set``  — compute a (2, r)-ruling set (Theorem 1.5 or the baseline).
-* ``experiment``  — run one of the experiments E1..E10 and print its table.
-* ``batch``       — sweep a task over a (family x n x Delta x seed) grid
-  through the :class:`repro.engine.batch.BatchRunner` and print the tidy
-  records table.
+* ``list-algorithms`` — print the registry as a table (name, params with
+  defaults, output kind, guarantee) — the living docs of the solver surface.
+* ``color <algorithm>`` — solve one problem with any registered algorithm;
+  each algorithm subcommand carries typed ``--<param>`` flags generated from
+  its schema (``repro color kdelta --k 4``, ``repro color ruling_set --r 3``).
+* ``run`` — execute a saved declarative spec (``repro run --spec run.json``);
+  the emitted sink manifest embeds the exact spec hash.
+* ``experiment`` — run one of the experiments E1..E10 and print its table.
+* ``batch`` — sweep a registered algorithm over a (family x n x Delta x seed)
+  grid through the :class:`repro.engine.batch.BatchRunner`.
 
 Every command accepts ``--backend reference|array`` (default ``array``, the
-vectorized engine; ``reference`` is the per-node CONGEST simulator — identical
-results, simulator metrics, much slower).  ``batch`` additionally accepts
-``--parity-check`` to re-run every cell on the reference backend and require
-identical outputs, ``--workers N`` to shard the grid across N worker
-processes (identical records, deterministic order), ``--output results.jsonl``
-(or ``.csv``) to stream each record to a durable sink as it completes, and
-``--resume`` to skip cells already present in the output file — an
-interrupted sweep restarts where it left off.  ``experiment`` accepts
-``--workers`` as well.
+vectorized engine; ``reference`` is the per-node CONGEST simulator —
+identical results, simulator metrics, much slower) and the sweep commands
+accept ``--workers N``, ``--parity-check``, ``--output results.jsonl`` (or
+``.csv``) and ``--resume`` exactly as before.
 
-Every command prints a short report (rounds, colors, verification status) and
-exits non-zero if the produced structure fails verification, so the CLI can be
-used in scripted sanity checks.
+Every command prints a short report and exits non-zero if the produced
+structure fails verification, so the CLI can be used in scripted sanity
+checks.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.api.registry import (
+    AlgorithmError,
+    AlgorithmSpec,
+    algorithm_specs,
+    get_algorithm,
+)
+from repro.api.solve import run_spec, solve
+from repro.api.spec import JobSpec, Problem, Run, SpecError
 from repro.congest import generators
-from repro.congest.ids import distinct_input_coloring, random_proper_coloring
-from repro.core import corollaries, pipelines, ruling_sets
 from repro.engine.base import EngineError
-from repro.engine.batch import TASKS, BatchRunner, GraphSpec
+from repro.engine.batch import BatchRunner, GraphSpec
 from repro.engine.registry import available_backends
 from repro.engine.sink import SinkError, open_sink
-from repro.verify.coloring import assert_defective_coloring, assert_proper_coloring
-from repro.verify.orientation import assert_outdegree_orientation
-from repro.verify.ruling import assert_ruling_set
 
 __all__ = ["main", "build_parser"]
-
-
-def _make_graph(args) -> "generators.Graph":
-    return generators.by_name(args.family, args.nodes, args.delta, seed=args.seed)
-
-
-def _make_input_coloring(graph, seed: int):
-    delta = max(1, graph.max_degree)
-    m = max(delta + 1, delta ** 4, graph.n)
-    if m >= graph.n:
-        return distinct_input_coloring(graph, m, seed=seed), m
-    colors, m = random_proper_coloring(graph, num_colors=m, seed=seed)
-    return colors, m
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -69,10 +62,29 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
 
 
-def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--backend", default="array", choices=available_backends(),
+def _add_backend_argument(parser: argparse.ArgumentParser, default: str | None = "array") -> None:
+    parser.add_argument("--backend", default=default, choices=available_backends(),
                         help="execution engine (default: array — the vectorized twin; "
                              "'reference' is the per-node CONGEST simulator)")
+
+
+def _add_param_arguments(parser: argparse.ArgumentParser, spec: AlgorithmSpec) -> None:
+    """Generate one typed ``--<name>`` flag per schema parameter."""
+    for param in spec.params:
+        flag = f"--{param.name}"
+        help_text = param.help or param.name
+        if not param.required:
+            help_text += f" (default: {param.default!r})"
+        if param.type is bool:
+            parser.add_argument(flag, action=argparse.BooleanOptionalAction,
+                                required=param.required,
+                                default=None if param.required else param.default,
+                                help=help_text)
+        else:
+            parser.add_argument(flag, type=param.type,
+                                default=None if param.required else param.default,
+                                required=param.required, choices=param.choices,
+                                help=help_text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,24 +94,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    color = sub.add_parser("color", help="proper coloring (Delta+1 pipeline or O(k*Delta) trade-off)")
-    _add_graph_arguments(color)
-    _add_backend_argument(color)
-    color.add_argument("--k", type=int, default=None,
-                       help="batch size for the O(k*Delta) trade-off; omit for the (Delta+1) pipeline")
+    listing = sub.add_parser("list-algorithms",
+                             help="print the algorithm registry (names, params, guarantees)")
+    listing.add_argument("--json", action="store_true", dest="as_json",
+                         help="machine-readable JSON instead of the table")
 
-    defective = sub.add_parser("defective", help="d-defective or beta-outdegree coloring")
-    _add_graph_arguments(defective)
-    _add_backend_argument(defective)
-    defective.add_argument("--d", type=int, default=2, help="defect / outdegree parameter")
-    defective.add_argument("--outdegree", action="store_true",
-                           help="compute a beta-outdegree coloring instead of a defective one")
+    color = sub.add_parser(
+        "color",
+        help="solve one problem with any registered algorithm",
+        description="Pick a registered algorithm; its parameter flags are generated "
+                    "from the registry schema (see `repro list-algorithms`).",
+    )
+    # dest is "algorithm_name" (not "algorithm") so a schema parameter named
+    # "algorithm" (e.g. the baseline contender picker) cannot clobber it.
+    algorithms = color.add_subparsers(dest="algorithm_name", required=True, metavar="ALGORITHM")
+    for spec in algorithm_specs():
+        algo = algorithms.add_parser(spec.name, help=spec.summary,
+                                     description=f"{spec.summary} [{spec.source}]. "
+                                                 f"Guarantee: {spec.guarantee}")
+        _add_graph_arguments(algo)
+        _add_backend_argument(algo)
+        algo.add_argument("--parity-check", action="store_true",
+                          help="re-run on the reference backend and require identical results")
+        _add_param_arguments(algo, spec)
 
-    ruling = sub.add_parser("ruling-set", help="(2, r)-ruling set")
-    _add_graph_arguments(ruling)
-    _add_backend_argument(ruling)
-    ruling.add_argument("--r", type=int, default=2, help="domination radius r >= 2")
-    ruling.add_argument("--baseline", action="store_true", help="use the SEW13-style baseline")
+    runner = sub.add_parser("run", help="execute a saved declarative spec (run.json)")
+    runner.add_argument("--spec", required=True, metavar="PATH",
+                        help="JSON spec file: {problem(s): ..., run: ..., params_grid?: ...}")
+    _add_backend_argument(runner, default=None)
+    runner.add_argument("--workers", type=int, default=None,
+                        help="override the spec's worker count")
+    runner.add_argument("--parity-check", action="store_true", default=None,
+                        help="re-run every cell on the reference backend and require "
+                             "identical results (overrides the spec)")
+    runner.add_argument("--output", metavar="PATH", default=None,
+                        help="stream each record to PATH (.jsonl/.ndjson/.csv); the run "
+                             "manifest embeds the exact spec hash")
+    runner.add_argument("--resume", action="store_true",
+                        help="skip cells already recorded in --output")
 
     experiment = sub.add_parser("experiment", help="run one of the experiments E1..E10")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
@@ -109,9 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--workers", type=int, default=1,
                             help="worker processes the experiment's grid sweeps shard across (default: 1)")
 
-    batch = sub.add_parser("batch", help="sweep a task over a (family x n x Delta x seed) grid")
-    batch.add_argument("--task", default="delta_plus_one", choices=sorted(TASKS),
-                       help="named task to run per cell (default: delta_plus_one)")
+    batch = sub.add_parser("batch", help="sweep an algorithm over a (family x n x Delta x seed) grid")
+    batch.add_argument("--task", default="delta_plus_one",
+                       choices=[spec.name for spec in algorithm_specs()],
+                       help="registered algorithm to run per cell (default: delta_plus_one)")
     batch.add_argument("--family", default="random_regular", nargs="+",
                        choices=sorted(generators.FAMILIES), help="graph families")
     batch.add_argument("--nodes", "-n", type=int, nargs="+", default=[200], help="vertex counts")
@@ -121,7 +154,8 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--parity-check", action="store_true",
                        help="re-run every cell on the reference backend and require identical results")
     batch.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
-                       help="task parameter (repeatable), e.g. --param k=4")
+                       help="task parameter (repeatable), e.g. --param k=4; validated "
+                            "against the algorithm's schema")
     batch.add_argument("--workers", type=int, default=1,
                        help="worker processes to shard the grid across (default: 1 = serial; "
                             "records are identical and deterministically ordered either way)")
@@ -134,54 +168,94 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# --------------------------------------------------------------------------- #
+# Commands
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_list_algorithms(args) -> int:
+    specs = algorithm_specs()
+    if args.as_json:
+        payload = [
+            {
+                "name": spec.name,
+                "summary": spec.summary,
+                "source": spec.source,
+                "output": spec.output,
+                "guarantee": spec.guarantee,
+                "requires_input_coloring": spec.requires_input_coloring,
+                "params": [
+                    {"name": p.name, "type": p.type.__name__, "required": p.required,
+                     **({} if p.required else {"default": p.default}),
+                     **({"choices": list(p.choices)} if p.choices else {}),
+                     "help": p.help}
+                    for p in spec.params
+                ],
+            }
+            for spec in specs
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    from repro.analysis.tables import Table
+
+    table = Table(
+        f"registered algorithms ({len(specs)}) — backends: {', '.join(available_backends())}",
+        ["algorithm", "params", "output", "source", "guarantee"],
+    )
+    for spec in specs:
+        params = ", ".join(p.describe() for p in spec.params) or "—"
+        table.add_row(spec.name, params, spec.output, spec.source, spec.guarantee)
+    table.add_note("run one: repro color <algorithm> [--<param> ...]   "
+                   "sweep: repro batch --task <algorithm> --param KEY=VALUE")
+    table.add_note("new algorithms registered via repro.api.register_algorithm appear "
+                   "here and in every command automatically")
+    print(table.render())
+    return 0
+
+
 def _cmd_color(args) -> int:
-    graph = _make_graph(args)
-    if args.k is None:
-        result = pipelines.delta_plus_one_coloring(graph, seed=args.seed, backend=args.backend)
-        assert_proper_coloring(graph, result.colors, max_colors=graph.max_degree + 1)
-        label = "(Delta+1) pipeline"
-    else:
-        colors, m = _make_input_coloring(graph, args.seed)
-        result = corollaries.kdelta_coloring(graph, colors, m, k=args.k, backend=args.backend)
-        assert_proper_coloring(graph, result.colors)
-        label = f"O(k*Delta) trade-off with k={args.k}"
-    print(f"graph: n={graph.n} edges={graph.num_edges} Delta={graph.max_degree}")
-    print(f"{label} [{args.backend}]: {result.num_colors} colors (space {result.color_space_size}) "
-          f"in {result.rounds} rounds — verified proper")
+    spec = get_algorithm(args.algorithm_name)
+    params = {p.name: getattr(args, p.name) for p in spec.params}
+    problem = Problem(graph=GraphSpec(args.family, args.nodes, args.delta, args.seed))
+    run = Run(algorithm=spec.name, params=params, backend=args.backend,
+              parity_check=args.parity_check)
+    report = solve(problem, run)
+    record = report.record
+    print(f"graph: family={args.family} n={record['n']} Delta={record['Delta']} "
+          f"seed={record['seed']}")
+    print(report.summary())
+    print(f"guarantee: {report.guarantee}")
     return 0
 
 
-def _cmd_defective(args) -> int:
-    graph = _make_graph(args)
-    colors, m = _make_input_coloring(graph, args.seed)
-    if args.outdegree:
-        result = corollaries.outdegree_coloring(graph, colors, m, beta=args.d, backend=args.backend)
-        assert_outdegree_orientation(graph, result.colors, result.orientation, args.d)
-        kind = f"beta-outdegree (beta={args.d})"
-    else:
-        result = corollaries.defective_coloring_one_round(
-            graph, colors, m, d=args.d, backend=args.backend
-        )
-        assert_defective_coloring(graph, result.colors, d=args.d)
-        kind = f"{args.d}-defective (one round)"
-    print(f"graph: n={graph.n} edges={graph.num_edges} Delta={graph.max_degree}")
-    print(f"{kind} [{args.backend}]: {result.num_colors} colors in {result.rounds} rounds — verified")
-    return 0
-
-
-def _cmd_ruling_set(args) -> int:
-    graph = _make_graph(args)
-    colors, m = _make_input_coloring(graph, args.seed)
-    if args.baseline:
-        result = ruling_sets.ruling_set_sew13_baseline(graph, colors, m, r=args.r, backend=args.backend)
-        label = "SEW13 baseline"
-    else:
-        result = ruling_sets.ruling_set_theorem15(graph, colors, m, r=args.r, backend=args.backend)
-        label = "Theorem 1.5"
-    assert_ruling_set(graph, result.vertices, r=max(args.r, result.r))
-    print(f"graph: n={graph.n} edges={graph.num_edges} Delta={graph.max_degree}")
-    print(f"{label} [{args.backend}] (2,{args.r})-ruling set: {result.size} vertices in "
-          f"{result.rounds} rounds ({result.metadata['ruling_rounds']} in the ruling phase) — verified")
+def _cmd_run(args) -> int:
+    path = pathlib.Path(args.spec)
+    if not path.exists():
+        raise SpecError(f"spec file not found: {path}")
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"spec file {path} is not valid JSON: {exc}") from None
+    job = JobSpec.from_dict(document)
+    if args.resume and not args.output:
+        raise SystemExit("--resume requires --output (the file to resume from)")
+    sink = open_sink(args.output, resume=args.resume) if args.output else None
+    try:
+        result, digest = run_spec(job, sink=sink, backend=args.backend,
+                                  workers=args.workers, parity_check=args.parity_check)
+    finally:
+        if sink is not None:
+            sink.close()
+    columns = result.columns(exclude=("backend",))
+    title = (f"spec {path.name}: algorithm={job.run.algorithm} backend={result.backend} "
+             f"cells={len(result)}")
+    print(result.to_table(title, columns).render())
+    print(f"\nspec hash: {digest}")
+    print(f"total wall-clock: {result.total_seconds:.3f}s on backend {result.backend!r}")
+    if sink is not None:
+        skipped = len(result) - sink.written
+        print(f"wrote {sink.written} record(s) to {args.output}"
+              + (f" ({skipped} cell(s) resumed from a previous run)" if skipped else ""))
     return 0
 
 
@@ -192,21 +266,16 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-def _parse_params(pairs: list[str]) -> dict:
+def _parse_params(algorithm: str, pairs: list[str]) -> dict:
+    """Parse ``--param KEY=VALUE`` pairs, validated against the registry schema."""
+    spec = get_algorithm(algorithm)
     params = {}
     for pair in pairs:
         if "=" not in pair:
             raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
         key, _, value = pair.partition("=")
-        try:
-            parsed = int(value)
-        except ValueError:
-            try:
-                parsed = float(value)
-            except ValueError:
-                parsed = {"true": True, "false": False}.get(value.lower(), value)
-        params[key] = parsed
-    return params
+        params[key] = spec.param(key).parse(algorithm, value)  # UnknownParameterError on bad key
+    return spec.validate_params(params)
 
 
 def _cmd_batch(args) -> int:
@@ -216,7 +285,7 @@ def _cmd_batch(args) -> int:
                          workers=args.workers)
     families = args.family if isinstance(args.family, list) else [args.family]
     cells = BatchRunner.grid(families, args.nodes, args.delta, seeds=range(args.seeds))
-    params = _parse_params(args.param)
+    params = _parse_params(args.task, args.param)
     sink = open_sink(args.output, resume=args.resume) if args.output else None
     try:
         result = runner.run(args.task, cells, params_grid=[params] if params else None,
@@ -224,7 +293,7 @@ def _cmd_batch(args) -> int:
     finally:
         if sink is not None:
             sink.close()
-    columns = [c for c in result.records[0] if c != "backend"] if result.records else []
+    columns = result.columns(exclude=("backend",))
     title = (
         f"batch: task={args.task} backend={args.backend} cells={len(result)}"
         + (f" workers={args.workers}" if args.workers > 1 else "")
@@ -244,9 +313,9 @@ def _cmd_batch(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {
+        "list-algorithms": _cmd_list_algorithms,
         "color": _cmd_color,
-        "defective": _cmd_defective,
-        "ruling-set": _cmd_ruling_set,
+        "run": _cmd_run,
         "experiment": _cmd_experiment,
         "batch": _cmd_batch,
     }
@@ -255,7 +324,8 @@ def main(argv: list[str] | None = None) -> int:
     except AssertionError as exc:  # verification failure (incl. parity errors)
         print(f"VERIFICATION FAILED: {exc}", file=sys.stderr)
         return 1
-    except (SinkError, EngineError) as exc:  # unusable sink file / backend setup
+    except (SinkError, EngineError, AlgorithmError, SpecError) as exc:
+        # unusable sink file / backend setup / registry or spec mismatch
         print(f"ERROR: {exc}", file=sys.stderr)
         return 1
 

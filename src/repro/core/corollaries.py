@@ -202,3 +202,113 @@ def defective_coloring(
             "base_color_space": base.color_space_size,
         },
     )
+
+
+# --------------------------------------------------------------------------- #
+# Registry entries — every Corollary 1.2 item self-registers as a named,
+# schema'd algorithm with the engine-layer task signature
+# ``runner(workload, engine, **params)`` (see repro.api.registry).
+# --------------------------------------------------------------------------- #
+
+from repro.api.records import coloring_record  # noqa: E402
+from repro.api.registry import ParamSpec, register_algorithm  # noqa: E402
+
+
+@register_algorithm(
+    "linial_reduction",
+    summary="Linial's one-round color reduction",
+    guarantee="proper; <= 256*Delta^2 colors from a Delta^4-input coloring in exactly 1 round",
+    source="Corollary 1.2 (1)",
+)
+def _run_linial_reduction(w, engine):
+    res = linial_color_reduction(w.graph, w.input_colors, w.m, backend=engine)
+    return coloring_record(res, verify_graph=w.graph)
+
+
+@register_algorithm(
+    "kdelta",
+    summary="the O(k*Delta)-colors / O(Delta/k)-rounds trade-off",
+    guarantee="proper; <= 16*Delta*k colors in <= 16*Delta/k rounds",
+    source="Corollary 1.2 (2)",
+    params=[ParamSpec("k", int, default=1, minimum=1,
+                      help="batch size: colors grow ~k, rounds shrink ~1/k")],
+)
+def _run_kdelta(w, engine, k: int = 1):
+    res = kdelta_coloring(w.graph, w.input_colors, w.m, k=k, backend=engine)
+    return coloring_record(res, verify_graph=w.graph)
+
+
+@register_algorithm(
+    "delta_squared",
+    summary="Delta^2 colors in O(1) rounds (k = ceil(Delta/16))",
+    guarantee="proper; <= Delta^2 colors (Delta >= 16) in O(1) rounds",
+    source="Corollary 1.2 (3)",
+)
+def _run_delta_squared(w, engine):
+    res = delta_squared_coloring(w.graph, w.input_colors, w.m, backend=engine)
+    return coloring_record(res, verify_graph=w.graph)
+
+
+@register_algorithm(
+    "outdegree",
+    summary="beta-outdegree O(Delta/beta)-coloring with its orientation",
+    guarantee="proper; monochromatic edges orientable with outdegree <= beta "
+              "(hard invariant, verified per run)",
+    source="Corollary 1.2 (4)",
+    params=[ParamSpec("beta", int, default=1, minimum=1,
+                      help="outdegree budget of the orientation")],
+)
+def _run_outdegree(w, engine, beta: int = 1):
+    from repro.verify.orientation import assert_outdegree_orientation
+
+    res = outdegree_coloring(w.graph, w.input_colors, w.m, beta=beta, backend=engine)
+    assert_outdegree_orientation(w.graph, res.colors, res.orientation, beta)
+    record = coloring_record(res)
+    sources = np.fromiter((e[0] for e in res.orientation), dtype=np.int64,
+                          count=len(res.orientation))
+    record["max outdegree"] = (
+        int(np.bincount(sources, minlength=w.graph.n).max()) if sources.size else 0
+    )
+    return record
+
+
+@register_algorithm(
+    "defective_one_round",
+    summary="d-defective O((Delta/d)^2)-coloring in one round",
+    guarantee="max defect <= d (hard invariant, verified per run); "
+              "O((Delta/d)^2) colors in exactly 1 round",
+    source="Corollary 1.2 (5)",
+    params=[ParamSpec("d", int, default=1, minimum=1, help="defect tolerance")],
+)
+def _run_defective_one_round(w, engine, d: int = 1):
+    res = defective_coloring_one_round(w.graph, w.input_colors, w.m, d=d, backend=engine)
+    record = coloring_record(res)
+    record["max defect"] = _checked_defect(w.graph, res.colors, d)
+    return record
+
+
+@register_algorithm(
+    "defective",
+    summary="d-defective O((Delta/d)^2)-coloring via the (color, part) pair",
+    guarantee="max defect <= d (hard invariant, verified per run); "
+              "O((Delta/d)^2) colors in O(Delta/d) rounds",
+    source="Corollary 1.2 (6)",
+    params=[ParamSpec("d", int, default=1, minimum=1, help="defect tolerance")],
+)
+def _run_defective(w, engine, d: int = 1):
+    res = defective_coloring(w.graph, w.input_colors, w.m, d=d, backend=engine)
+    record = coloring_record(res)
+    record["max defect"] = _checked_defect(w.graph, res.colors, d)
+    return record
+
+
+def _checked_defect(graph, colors, d: int) -> int:
+    """The measured max defect, asserted against the corollary's bound ``d``."""
+    from repro.verify.coloring import max_defect
+
+    defect = int(max_defect(graph, colors))
+    if defect > d:
+        raise AssertionError(
+            f"defective coloring violated its bound: max defect {defect} > d = {d}"
+        )
+    return defect

@@ -131,3 +131,23 @@ def linial_coloring(
         graph, ids, space, target_colors=target_colors,
         backend=resolve_backend(backend, vectorized),
     )
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api.registry)
+# --------------------------------------------------------------------------- #
+
+from repro.api.records import coloring_record  # noqa: E402
+from repro.api.registry import register_algorithm  # noqa: E402
+
+
+@register_algorithm(
+    "linial",
+    summary="Linial's O(Delta^2)-coloring from unique IDs",
+    guarantee="proper; <= 256*Delta^2 colors in O(log* n) rounds",
+    source="Linial via iterated Corollary 1.2 (1)",
+    requires_input_coloring=False,
+)
+def _run_linial(w, engine):
+    res = linial_coloring(w.graph, seed=w.spec.seed, backend=engine)
+    return coloring_record(res, verify_graph=w.graph)

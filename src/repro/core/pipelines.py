@@ -231,3 +231,58 @@ def corollary14_coloring(
         graph, input_colors, m, epsilon=max(epsilon, 1e-9),
         backend=resolve_backend(backend, vectorized),
     )
+
+
+# --------------------------------------------------------------------------- #
+# Registry entries (see repro.api.registry)
+# --------------------------------------------------------------------------- #
+
+from repro.api.records import coloring_record  # noqa: E402
+from repro.api.registry import ParamSpec, register_algorithm  # noqa: E402
+
+
+@register_algorithm(
+    "delta_plus_one",
+    summary="the full (Delta+1)-coloring pipeline (IDs -> Linial -> mother -> removal)",
+    guarantee="proper with <= Delta+1 colors (hard invariant, verified per run) "
+              "in O(Delta) + log* n rounds",
+    source="Section 3.1",
+    requires_input_coloring=False,
+)
+def _run_delta_plus_one(w, engine):
+    res = delta_plus_one_coloring(w.graph, seed=w.spec.seed, backend=engine)
+    record = coloring_record(res, verify_graph=w.graph, max_colors=w.eff_delta + 1)
+    record.update(
+        {
+            "linial rounds": res.metadata["linial_rounds"],
+            "mother rounds": res.metadata["mother_rounds"],
+            "reduce rounds": res.metadata["reduction_rounds"],
+        }
+    )
+    return record
+
+
+@register_algorithm(
+    "theorem13",
+    summary="O(Delta^(1+eps))-coloring (defective split + per-class coloring)",
+    guarantee="proper; O(Delta^(1+eps)) colors, rounds follow the substituted "
+              "Theorem 3.1 bound (see DESIGN.md)",
+    source="Theorem 1.3",
+    params=[ParamSpec("epsilon", float, default=0.5,
+                      help="trade-off exponent in (0, 1]")],
+)
+def _run_theorem13(w, engine, epsilon: float = 0.5):
+    res = theorem13_coloring(w.graph, w.input_colors, w.m, epsilon=epsilon, backend=engine)
+    return coloring_record(res, verify_graph=w.graph)
+
+
+@register_algorithm(
+    "corollary14",
+    summary="O(k*Delta)-coloring via Theorem 1.3 with eps = log_Delta k",
+    guarantee="proper; O(k*Delta) colors",
+    source="Corollary 1.4",
+    params=[ParamSpec("k", int, default=1, minimum=1, help="color-budget factor")],
+)
+def _run_corollary14(w, engine, k: int = 1):
+    res = corollary14_coloring(w.graph, w.input_colors, w.m, k=k, backend=engine)
+    return coloring_record(res, verify_graph=w.graph)

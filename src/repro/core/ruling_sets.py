@@ -224,3 +224,37 @@ def ruling_set_sew13_baseline(
             "ruling_rounds": ruling.rounds,
         },
     )
+
+
+# --------------------------------------------------------------------------- #
+# Registry entry (see repro.api.registry)
+# --------------------------------------------------------------------------- #
+
+from repro.api.registry import ParamSpec, register_algorithm  # noqa: E402
+
+
+@register_algorithm(
+    "ruling_set",
+    summary="(2, r)-ruling set (Theorem 1.5, or the SEW13-style baseline)",
+    guarantee="independent and r-dominating (hard invariants, verified per run); "
+              "O(Delta^(2/(r+2))) + log* n ruling rounds (baseline: O(Delta^(2/r)))",
+    output="ruling set",
+    source="Theorem 1.5 / [SEW13]",
+    params=[
+        ParamSpec("r", int, default=2, minimum=2, help="domination radius"),
+        ParamSpec("baseline", bool, default=False,
+                  help="use the SEW13-style Delta^2 baseline instead of Theorem 1.5"),
+    ],
+)
+def _run_ruling_set(w, engine, r: int = 2, baseline: bool = False):
+    from repro.verify.ruling import assert_ruling_set
+
+    fn = ruling_set_sew13_baseline if baseline else ruling_set_theorem15
+    res = fn(w.graph, w.input_colors, w.m, r=r, backend=engine)
+    assert_ruling_set(w.graph, res.vertices, r=max(r, res.r))
+    return {
+        "rounds": int(res.rounds),
+        "ruling rounds only": int(res.metadata["ruling_rounds"]),
+        "set size": int(res.size),
+        "_vertices": res.vertices,
+    }

@@ -6,8 +6,10 @@
   ``Delta^4`` input colorings are built once per :class:`GraphSpec` and reused
   across every parameter combination and backend that touches the cell;
 * **runs named or custom tasks** — a task maps one workload to a flat record
-  of measurements (``{"rounds": 7, "colors used": 33, ...}``); the built-in
-  tasks cover every algorithm family of the paper (see :data:`TASKS`);
+  of measurements (``{"rounds": 7, "colors used": 33, ...}``); named tasks
+  resolve through the algorithm registry (:mod:`repro.api.registry`), which
+  covers every algorithm family of the paper and validates parameters against
+  each algorithm's typed schema;
 * **parity-checks against the reference backend** — with
   ``parity_check=True`` every cell is re-run on the reference engine and all
   scalar measurements plus array artifacts (colors, parts, ruling sets) must
@@ -35,6 +37,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -44,7 +47,7 @@ from repro.engine.base import Engine, EngineError
 from repro.engine.registry import get_engine
 from repro.engine.sink import ResultSink, RunManifest, cell_id, cell_key, grid_hash, task_name
 
-__all__ = ["GraphSpec", "Workload", "BatchRunner", "BatchResult", "ParityError", "TASKS"]
+__all__ = ["GraphSpec", "Workload", "BatchRunner", "BatchResult", "ParityError"]
 
 
 class ParityError(AssertionError):
@@ -66,12 +69,32 @@ class GraphSpec:
 
 @dataclass(frozen=True)
 class Workload:
-    """A materialised cell: the graph and its standing ``Delta^4`` input coloring."""
+    """A materialised cell: the graph and its standing ``Delta^4`` input coloring.
+
+    The input coloring — the assumption of Corollary 1.2 ("on any
+    Delta^4-input colored graph"): distinct colors whenever the ``Delta^4``
+    space allows it, otherwise a greedy coloring spread into the space — is
+    built *lazily* on first access, so algorithms that start from unique IDs
+    instead (registered with ``requires_input_coloring=False``, e.g.
+    ``linial`` / ``delta_plus_one``) never pay for its construction.
+    """
 
     spec: GraphSpec
     graph: Graph
-    input_colors: np.ndarray
-    m: int
+
+    @cached_property
+    def _delta4_input(self) -> tuple[np.ndarray, int]:
+        from repro.congest.ids import delta4_input_coloring
+
+        return delta4_input_coloring(self.graph, seed=self.spec.seed)
+
+    @property
+    def input_colors(self) -> np.ndarray:
+        return self._delta4_input[0]
+
+    @property
+    def m(self) -> int:
+        return int(self._delta4_input[1])
 
     @property
     def eff_delta(self) -> int:
@@ -79,153 +102,37 @@ class Workload:
 
 
 # --------------------------------------------------------------------------- #
-# Built-in tasks
+# Tasks
 #
 # A task is ``task(workload, engine, **params) -> Mapping[str, Any]``.  Keys
 # starting with "_" are artifacts (arrays used for parity checking, stripped
 # from the tidy record); everything else must be a scalar measurement.
-# Imports are local so that ``repro.engine`` never imports ``repro.core`` at
-# module load time (``repro.core`` imports the engine registry).
+#
+# Named tasks live in the algorithm registry (:mod:`repro.api.registry`):
+# every ``repro.core`` module self-registers its algorithms, so the runner
+# needs no hardcoded task table.  The registry import is local (inside the
+# resolver) so that ``repro.engine`` never imports ``repro.core`` at module
+# load time (``repro.core`` imports the engine registry).
 # --------------------------------------------------------------------------- #
 
 
-def _coloring_record(result, verify_graph=None, max_colors=None) -> dict[str, Any]:
-    if verify_graph is not None:
-        from repro.verify.coloring import assert_proper_coloring
+def __getattr__(name: str):
+    if name == "TASKS":
+        # The pre-registry task table, kept as a deprecated live view.
+        import warnings
 
-        assert_proper_coloring(verify_graph, result.colors, max_colors=max_colors)
-    record: dict[str, Any] = {
-        "rounds": int(result.rounds),
-        "colors used": int(result.num_colors),
-        "color space": int(result.color_space_size),
-        "_colors": result.colors,
-    }
-    if result.parts is not None:
-        record["_parts"] = result.parts
-    return record
+        warnings.warn(
+            "repro.engine.batch.TASKS is deprecated; use the algorithm registry "
+            "instead: repro.api.algorithm_names() lists the names, "
+            "repro.api.get_algorithm(name) returns the spec (its .runner is the "
+            "task callable)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api.registry import tasks_view
 
-
-def _task_linial_reduction(w: Workload, engine: Engine) -> dict[str, Any]:
-    from repro.core import corollaries
-
-    res = corollaries.linial_color_reduction(w.graph, w.input_colors, w.m, backend=engine)
-    return _coloring_record(res, verify_graph=w.graph)
-
-
-def _task_kdelta(w: Workload, engine: Engine, k: int = 1) -> dict[str, Any]:
-    from repro.core import corollaries
-
-    res = corollaries.kdelta_coloring(w.graph, w.input_colors, w.m, k=k, backend=engine)
-    return _coloring_record(res, verify_graph=w.graph)
-
-
-def _task_delta_squared(w: Workload, engine: Engine) -> dict[str, Any]:
-    from repro.core import corollaries
-
-    res = corollaries.delta_squared_coloring(w.graph, w.input_colors, w.m, backend=engine)
-    return _coloring_record(res, verify_graph=w.graph)
-
-
-def _task_outdegree(w: Workload, engine: Engine, beta: int = 1) -> dict[str, Any]:
-    from repro.core import corollaries
-    from repro.verify.orientation import assert_outdegree_orientation
-
-    res = corollaries.outdegree_coloring(w.graph, w.input_colors, w.m, beta=beta, backend=engine)
-    assert_outdegree_orientation(w.graph, res.colors, res.orientation, beta)
-    record = _coloring_record(res)
-    sources = np.fromiter((e[0] for e in res.orientation), dtype=np.int64,
-                          count=len(res.orientation))
-    record["max outdegree"] = (
-        int(np.bincount(sources, minlength=w.graph.n).max()) if sources.size else 0
-    )
-    return record
-
-
-def _task_defective_one_round(w: Workload, engine: Engine, d: int = 1) -> dict[str, Any]:
-    from repro.core import corollaries
-    from repro.verify.coloring import max_defect
-
-    res = corollaries.defective_coloring_one_round(w.graph, w.input_colors, w.m, d=d, backend=engine)
-    record = _coloring_record(res)
-    record["max defect"] = int(max_defect(w.graph, res.colors))
-    return record
-
-
-def _task_defective(w: Workload, engine: Engine, d: int = 1) -> dict[str, Any]:
-    from repro.core import corollaries
-    from repro.verify.coloring import max_defect
-
-    res = corollaries.defective_coloring(w.graph, w.input_colors, w.m, d=d, backend=engine)
-    record = _coloring_record(res)
-    record["max defect"] = int(max_defect(w.graph, res.colors))
-    return record
-
-
-def _task_linial(w: Workload, engine: Engine) -> dict[str, Any]:
-    from repro.core.linial import linial_coloring
-
-    res = linial_coloring(w.graph, seed=w.spec.seed, backend=engine)
-    return _coloring_record(res, verify_graph=w.graph)
-
-
-def _task_delta_plus_one(w: Workload, engine: Engine) -> dict[str, Any]:
-    from repro.core import pipelines
-
-    res = pipelines.delta_plus_one_coloring(w.graph, seed=w.spec.seed, backend=engine)
-    record = _coloring_record(res, verify_graph=w.graph, max_colors=w.eff_delta + 1)
-    record.update(
-        {
-            "linial rounds": res.metadata["linial_rounds"],
-            "mother rounds": res.metadata["mother_rounds"],
-            "reduce rounds": res.metadata["reduction_rounds"],
-        }
-    )
-    return record
-
-
-def _task_theorem13(w: Workload, engine: Engine, epsilon: float = 0.5) -> dict[str, Any]:
-    from repro.core import pipelines
-
-    res = pipelines.theorem13_coloring(w.graph, w.input_colors, w.m, epsilon=epsilon, backend=engine)
-    return _coloring_record(res, verify_graph=w.graph)
-
-
-def _task_corollary14(w: Workload, engine: Engine, k: int = 1) -> dict[str, Any]:
-    from repro.core import pipelines
-
-    res = pipelines.corollary14_coloring(w.graph, w.input_colors, w.m, k=k, backend=engine)
-    return _coloring_record(res, verify_graph=w.graph)
-
-
-def _task_ruling_set(w: Workload, engine: Engine, r: int = 2, baseline: bool = False) -> dict[str, Any]:
-    from repro.core import ruling_sets
-    from repro.verify.ruling import assert_ruling_set
-
-    fn = ruling_sets.ruling_set_sew13_baseline if baseline else ruling_sets.ruling_set_theorem15
-    res = fn(w.graph, w.input_colors, w.m, r=r, backend=engine)
-    assert_ruling_set(w.graph, res.vertices, r=max(r, res.r))
-    return {
-        "rounds": int(res.rounds),
-        "ruling rounds only": int(res.metadata["ruling_rounds"]),
-        "set size": int(res.size),
-        "_vertices": res.vertices,
-    }
-
-
-#: Named tasks usable from the CLI and the experiment harness.
-TASKS: dict[str, Callable[..., Mapping[str, Any]]] = {
-    "linial_reduction": _task_linial_reduction,
-    "kdelta": _task_kdelta,
-    "delta_squared": _task_delta_squared,
-    "outdegree": _task_outdegree,
-    "defective_one_round": _task_defective_one_round,
-    "defective": _task_defective,
-    "linial": _task_linial,
-    "delta_plus_one": _task_delta_plus_one,
-    "theorem13": _task_theorem13,
-    "corollary14": _task_corollary14,
-    "ruling_set": _task_ruling_set,
-}
+        return tasks_view()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # --------------------------------------------------------------------------- #
@@ -249,6 +156,18 @@ class BatchResult:
     def column(self, key: str) -> list[Any]:
         return [r.get(key) for r in self.records]
 
+    def columns(self, exclude: Sequence[str] = ()) -> list[str]:
+        """The union of record keys in first-seen order.
+
+        A heterogeneous params grid (e.g. ``[{"r": 2}, {"r": 2, "baseline":
+        True}]``) yields records with different key sets; taking the union —
+        not the first record's keys — keeps every measurement visible.
+        """
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.update(dict.fromkeys(record))
+        return [key for key in seen if key not in exclude]
+
     @property
     def total_seconds(self) -> float:
         return float(sum(r.get("seconds", 0.0) for r in self.records))
@@ -258,7 +177,7 @@ class BatchResult:
         from repro.analysis.tables import Table
 
         if columns is None:
-            columns = [k for k in self.records[0]] if self.records else []
+            columns = self.columns()
         table = Table(title, list(columns))
         for record in self.records:
             table.add_row(*(record.get(c, "") for c in columns))
@@ -368,19 +287,23 @@ class BatchRunner:
             self._graphs[spec] = self._build_graph(spec)
         return self._graphs[spec]
 
-    def workload(self, spec: GraphSpec) -> Workload:
-        """The (cached) graph plus its standing ``Delta^4`` input coloring.
+    def preload_graph(self, spec: GraphSpec, graph: Graph) -> None:
+        """Seed the graph cache: ``spec``'s cell runs on ``graph`` as given.
 
-        This is the assumption of Corollary 1.2 ("on any Delta^4-input colored
-        graph"): distinct colors whenever the ``Delta^4`` space allows it,
-        otherwise a greedy coloring spread into the space.
+        This is how live (non-generator) graphs enter the runner — the solver
+        API uses it for ``Problem(graph=<Graph>)``, and the parallel workers
+        use it to attach the parent's shared-memory graphs.  The derived
+        ``Delta^4`` workload is still built from the cell's seed, exactly as
+        for a generated graph.
         """
-        if spec not in self._workloads:
-            from repro.congest.ids import delta4_input_coloring
+        self._graphs[spec] = graph
+        self._workloads.pop(spec, None)
 
-            graph = self.graph(spec)
-            colors, m = delta4_input_coloring(graph, seed=spec.seed)
-            self._workloads[spec] = Workload(spec=spec, graph=graph, input_colors=colors, m=m)
+    def workload(self, spec: GraphSpec) -> Workload:
+        """The (cached) graph plus its standing ``Delta^4`` input coloring
+        (built lazily — see :class:`Workload`)."""
+        if spec not in self._workloads:
+            self._workloads[spec] = Workload(spec=spec, graph=self.graph(spec))
         return self._workloads[spec]
 
     # ------------------------------------------------------------------ #
@@ -391,10 +314,28 @@ class BatchRunner:
     def _resolve_task(task: str | Callable[..., Mapping[str, Any]]):
         if callable(task):
             return task
-        try:
-            return TASKS[task]
-        except KeyError:
-            raise KeyError(f"unknown task {task!r}; known: {sorted(TASKS)}") from None
+        from repro.api.registry import get_algorithm
+
+        return get_algorithm(task).runner  # raises UnknownAlgorithmError (a KeyError)
+
+    @staticmethod
+    def _validate_params(
+        task: str | Callable[..., Mapping[str, Any]], params: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """Registry-validate ``params`` for named tasks; custom callables pass through.
+
+        Unknown keys raise :class:`repro.api.registry.UnknownParameterError`
+        naming the algorithm and its accepted keys; ill-typed values raise
+        :class:`repro.api.registry.ParameterValueError`.  Values are returned
+        exactly as given (validation never coerces), so cell keys and records
+        are unaffected.
+        """
+        params = dict(params or {})
+        if isinstance(task, str):
+            from repro.api.registry import get_algorithm
+
+            get_algorithm(task).validate_params(params)
+        return params
 
     @staticmethod
     def _split_artifacts(raw: Mapping[str, Any]) -> tuple[dict[str, Any], dict[str, Any]]:
@@ -427,8 +368,22 @@ class BatchRunner:
         params: Mapping[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Run one (graph, seed, params) cell and return its tidy record."""
+        record, _ = self.run_cell_with_artifacts(task, spec, params=params)
+        return record
+
+    def run_cell_with_artifacts(
+        self,
+        task: str | Callable[..., Mapping[str, Any]],
+        spec: GraphSpec,
+        params: Mapping[str, Any] | None = None,
+    ) -> tuple[dict[str, Any], dict[str, Any]]:
+        """Like :meth:`run_cell`, but also return the artifacts (colors, parts, ...).
+
+        The solver API (:func:`repro.api.solve.solve`) uses this to build a
+        :class:`~repro.api.report.RunReport` carrying the actual coloring.
+        """
         task_fn = self._resolve_task(task)
-        params = dict(params or {})
+        params = self._validate_params(task, params)
         workload = self.workload(spec)
         start = time.perf_counter()
         raw = task_fn(workload, self.engine, **params)
@@ -446,7 +401,7 @@ class BatchRunner:
             "backend": self.engine.name,
             "seconds": elapsed,
         }
-        return out
+        return out, artifacts
 
     def _jobs(
         self,
@@ -460,6 +415,7 @@ class BatchRunner:
         behave identically to lists — ``params_grid`` is re-used per spec.
         """
         grids = [dict(p) for p in params_grid] if params_grid is not None else [{}]
+        grids = [self._validate_params(task, p) for p in grids]
         jobs = []
         for spec in cells:
             for params in grids:
@@ -467,7 +423,8 @@ class BatchRunner:
         return jobs
 
     def _manifest_from_jobs(
-        self, task: str | Callable[..., Mapping[str, Any]], jobs: list
+        self, task: str | Callable[..., Mapping[str, Any]], jobs: list,
+        spec_hash: str | None = None,
     ) -> RunManifest:
         from repro import __version__
 
@@ -478,6 +435,7 @@ class BatchRunner:
             cells=len(jobs),
             parity_check=self.parity_check,
             version=__version__,
+            spec_hash=spec_hash,
         )
 
     def manifest(
@@ -485,9 +443,11 @@ class BatchRunner:
         task: str | Callable[..., Mapping[str, Any]],
         cells: Iterable[GraphSpec],
         params_grid: Iterable[Mapping[str, Any]] | None = None,
+        spec_hash: str | None = None,
     ) -> RunManifest:
         """The :class:`RunManifest` describing a sweep (what sinks record/check)."""
-        return self._manifest_from_jobs(task, self._jobs(task, cells, params_grid))
+        return self._manifest_from_jobs(task, self._jobs(task, cells, params_grid),
+                                        spec_hash=spec_hash)
 
     def run(
         self,
@@ -495,6 +455,7 @@ class BatchRunner:
         cells: Iterable[GraphSpec],
         params_grid: Iterable[Mapping[str, Any]] | None = None,
         sink: ResultSink | None = None,
+        spec_hash: str | None = None,
     ) -> BatchResult:
         """Sweep ``task`` over every cell (and every params dict, if given).
 
@@ -502,14 +463,17 @@ class BatchRunner:
         :attr:`workers` processes when ``workers > 1``, streamed to ``sink``
         as they complete, and returned as a :class:`BatchResult` in grid
         order.  A sink opened with ``resume=True`` pre-loads the records of
-        already-completed cells; those cells are not re-executed.
+        already-completed cells; those cells are not re-executed.  When the
+        sweep was described by a saved spec (``repro run --spec``),
+        ``spec_hash`` is embedded in the sink's manifest so the result file
+        pins the exact spec that produced it.
         """
         self._resolve_task(task)  # fail fast on unknown task names
         jobs = self._jobs(task, cells, params_grid)
         ids = {index: cell_id(key) for index, key, _, _ in jobs}
         records: dict[int, dict[str, Any]] = {}
         if sink is not None:
-            sink.start(self._manifest_from_jobs(task, jobs))
+            sink.start(self._manifest_from_jobs(task, jobs, spec_hash=spec_hash))
             for index, cid in ids.items():
                 if cid in sink.completed:
                     records[index] = sink.completed[cid]

@@ -72,7 +72,7 @@ def _init_worker(
         from repro.congest.graph import Graph
 
         for spec, handle in shared_graphs.items():
-            _WORKER_RUNNER._graphs[spec] = Graph.from_shared(handle)
+            _WORKER_RUNNER.preload_graph(spec, Graph.from_shared(handle))
 
 
 def _run_job(job: tuple[int, Any, Any, Mapping[str, Any]]) -> tuple[int, dict[str, Any]]:

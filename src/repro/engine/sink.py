@@ -111,7 +111,13 @@ def grid_hash(keys: Iterable[str]) -> str:
 
 @dataclass(frozen=True)
 class RunManifest:
-    """What a result stream contains; written first, checked on resume."""
+    """What a result stream contains; written first, checked on resume.
+
+    ``spec_hash`` is set when the sweep was described by a saved declarative
+    spec (see :mod:`repro.api.spec`): it is the canonical hash of the exact
+    ``{problems, run, params_grid}`` document, so a result file can be traced
+    back to — and re-verified against — the spec that produced it.
+    """
 
     task: str
     backend: str
@@ -119,6 +125,7 @@ class RunManifest:
     cells: int
     parity_check: bool
     version: str
+    spec_hash: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -129,7 +136,7 @@ class RunManifest:
                                            "parity_check", "version")}
         if any(v is None for v in fields.values()):
             raise SinkError(f"incomplete run manifest: {dict(data)!r}")
-        return cls(**fields)
+        return cls(**fields, spec_hash=data.get("spec_hash"))
 
     def check_resumable(self, existing: "RunManifest", path: os.PathLike | str) -> None:
         """Refuse to resume into a file produced by a *different* run setup."""

@@ -1,0 +1,147 @@
+"""Tests for solve()/run_spec(): one front door, byte-identical to the engine layer."""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.api import GraphSpec, Problem, Run, solve
+from repro.api.registry import get_algorithm
+from repro.api.solve import run_spec
+from repro.api.spec import JobSpec, SpecError, spec_hash
+from repro.congest import generators
+from repro.engine import BatchRunner
+from repro.engine.sink import JsonlSink
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "batch_records.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+CELLS = [GraphSpec(*cell) for cell in GOLDEN["cells"]]
+VOLATILE = set(GOLDEN["volatile_fields"])
+
+
+def strip(record):
+    return {k: v for k, v in record.items() if k not in VOLATILE}
+
+
+class TestSolve:
+    @pytest.mark.parametrize("algorithm", sorted(GOLDEN["task_params"]))
+    def test_solve_matches_batch_runner_record(self, algorithm):
+        params = GOLDEN["task_params"][algorithm]
+        cell = CELLS[0]
+        report = solve(Problem(graph=cell), Run(algorithm=algorithm, params=params))
+        expected = BatchRunner(backend="array").run_cell(algorithm, cell, params=params)
+        assert strip(report.record) == strip(expected)
+
+    @pytest.mark.parametrize("algorithm", sorted(GOLDEN["task_params"]))
+    def test_solve_matches_golden(self, algorithm):
+        params = GOLDEN["task_params"][algorithm]
+        report = solve(Problem(graph=CELLS[0]), Run(algorithm=algorithm, params=params))
+        assert strip(report.record) == GOLDEN["records"][algorithm][0]
+
+    def test_report_structure(self):
+        report = solve(Problem(graph=CELLS[0]), Run(algorithm="delta_plus_one"))
+        spec = get_algorithm("delta_plus_one")
+        assert report.guarantee == spec.guarantee
+        assert report.verified is True
+        assert report.colors is not None and report.colors.shape == (40,)
+        assert report.num_colors == report.record["colors used"]
+        assert report.rounds == report.record["rounds"]
+        assert report.seconds >= 0.0
+        assert report.provenance["engine"] == "array"
+        assert report.provenance["spec_hash"] == spec_hash(
+            JobSpec.single(Problem(graph=CELLS[0]), Run(algorithm="delta_plus_one"))
+        )
+        payload = json.dumps(report.to_dict())  # JSON-safe without arrays
+        assert "delta_plus_one" in payload
+
+    def test_ruling_set_report_carries_vertices(self):
+        report = solve(Problem(graph=CELLS[0]), Run(algorithm="ruling_set", params={"r": 2}))
+        assert report.output == "ruling set"
+        assert report.vertices is not None and report.vertices.ndim == 1
+        assert report.colors is None
+
+    def test_live_graph_problem(self):
+        graph = generators.by_name("random_regular", 40, 4, seed=0)
+        report = solve(Problem(graph=graph), Run(algorithm="kdelta", params={"k": 2}))
+        # identical algorithmic record as the generated cell with the same seed
+        assert strip(report.record) == {
+            **GOLDEN["records"]["kdelta"][0], "family": "<adhoc>",
+        }
+        assert "spec_hash" not in report.provenance  # not serializable -> no spec
+
+    def test_seed_override(self):
+        base = solve(Problem(graph=GraphSpec("gnp", 40, 4, 1)),
+                     Run(algorithm="linial_reduction"))
+        overridden = solve(Problem(graph=GraphSpec("gnp", 40, 4, 0)),
+                           Run(algorithm="linial_reduction", seed=1))
+        assert strip(base.record) == strip(overridden.record)
+
+    def test_parity_check_runs(self):
+        report = solve(Problem(graph=CELLS[0]),
+                       Run(algorithm="linial_reduction", parity_check=True))
+        assert report.parity_checked is True
+
+    def test_reference_backend(self):
+        report = solve(Problem(graph=CELLS[0]),
+                       Run(algorithm="kdelta", params={"k": 2}, backend="reference"))
+        assert report.backend == "reference"
+        assert strip(report.record) == GOLDEN["records"]["kdelta"][0]
+
+    def test_unknown_algorithm_and_params_rejected(self):
+        from repro.api.registry import UnknownAlgorithmError, UnknownParameterError
+
+        with pytest.raises(UnknownAlgorithmError):
+            solve(Problem(graph=CELLS[0]), Run(algorithm="nope"))
+        with pytest.raises(UnknownParameterError):
+            solve(Problem(graph=CELLS[0]), Run(algorithm="kdelta", params={"q": 1}))
+
+
+class TestRunSpecReplay:
+    @pytest.mark.parametrize("backend", ["array", "reference"])
+    def test_saved_spec_replays_golden_records_byte_identically(self, backend):
+        # the acceptance bar: every golden task, replayed from a JSON spec,
+        # byte-identical records on both backends.
+        for algorithm, params in GOLDEN["task_params"].items():
+            job = JobSpec.from_json(json.dumps({
+                "schema": 1,
+                "problems": [
+                    {"graph": {"family": f, "n": n, "delta": d, "seed": s}}
+                    for f, n, d, s in GOLDEN["cells"]
+                ],
+                "run": {"algorithm": algorithm, "params": params, "backend": backend},
+            }))
+            result, digest = run_spec(job)
+            assert [strip(rec) for rec in result] == GOLDEN["records"][algorithm], \
+                (algorithm, backend)
+            assert digest == spec_hash(job)
+
+    def test_workers_override_produces_identical_records(self):
+        job = JobSpec(
+            run=Run(algorithm="kdelta", params={"k": 2}),
+            problems=tuple(Problem(graph=c) for c in CELLS),
+        )
+        serial, h1 = run_spec(job)
+        parallel, h2 = run_spec(job, workers=2)
+        assert h1 == h2  # execution overrides never change the spec hash
+        assert [strip(r) for r in serial] == [strip(r) for r in parallel]
+
+    def test_sink_manifest_embeds_spec_hash(self, tmp_path):
+        job = JobSpec.single(Problem(graph=CELLS[0]), Run(algorithm="kdelta", params={"k": 1}))
+        sink = JsonlSink(tmp_path / "out.jsonl")
+        with sink:
+            _, digest = run_spec(job, sink=sink)
+        manifest = json.loads((tmp_path / "out.jsonl").read_text().splitlines()[0])["manifest"]
+        assert manifest["spec_hash"] == digest == spec_hash(job)
+
+    def test_rejects_non_spec_input(self):
+        with pytest.raises(SpecError):
+            run_spec(["not", "a", "spec"])
+
+    def test_experiment_spec_replay_matches_direct_sweep(self):
+        from repro.analysis.experiments import experiment_specs
+
+        job = experiment_specs()["E1"]
+        replayed, _ = run_spec(job)
+        direct = BatchRunner(backend="array").run("linial_reduction", job.cells())
+        assert [strip(r) for r in replayed] == [strip(r) for r in direct]

@@ -1,13 +1,31 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface (generated from the algorithm registry)."""
 
 import json
 
 import pytest
 
+from repro.api.registry import algorithm_names, get_algorithm
+from repro.api.spec import JobSpec, spec_hash
 from repro.cli import build_parser, main
 
 BATCH_GRID = ["batch", "--task", "kdelta", "--family", "random_regular", "gnp",
               "-n", "50", "--delta", "4", "--seeds", "2", "--param", "k=1"]
+
+
+def write_spec(tmp_path, name="run.json", **overrides):
+    document = {
+        "schema": 1,
+        "problems": [
+            {"graph": {"family": "random_regular", "n": 50, "delta": 4, "seed": 0}},
+            {"graph": {"family": "gnp", "n": 50, "delta": 4, "seed": 1}},
+        ],
+        "run": {"algorithm": "kdelta", "backend": "array"},
+        "params_grid": [{"k": 1}, {"k": 2}],
+    }
+    document.update(overrides)
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return path, document
 
 
 class TestParser:
@@ -17,13 +35,36 @@ class TestParser:
 
     def test_unknown_family_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["color", "--family", "hypercube"])
+            build_parser().parse_args(["color", "delta_plus_one", "--family", "hypercube"])
 
-    def test_defaults(self):
-        args = build_parser().parse_args(["color"])
-        assert args.nodes == 200
-        assert args.delta == 8
-        assert args.k is None
+    def test_color_requires_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["color"])
+
+    def test_color_subcommands_generated_from_registry(self):
+        # every registered algorithm parses as a color subcommand with its
+        # schema-generated param flags — zero hand-written CLI branches.
+        for name in algorithm_names():
+            flags = []
+            for param in get_algorithm(name).params:
+                if param.required:
+                    flags += [f"--{param.name}", "3"] if param.type is not str \
+                        else [f"--{param.name}", param.choices[0]]
+            args = build_parser().parse_args(["color", name, *flags])
+            assert args.algorithm_name == name
+            assert args.nodes == 200 and args.delta == 8  # shared graph args
+
+    def test_color_param_defaults_come_from_schema(self):
+        args = build_parser().parse_args(["color", "kdelta"])
+        assert args.k == 1
+        args = build_parser().parse_args(["color", "ruling_set", "--r", "3"])
+        assert args.r == 3 and args.baseline is False
+
+    def test_batch_task_choices_come_from_registry(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--task", "nonexistent"])
+        args = build_parser().parse_args(["batch", "--task", "one_round_tightness"])
+        assert args.task == "one_round_tightness"
 
     def test_batch_defaults(self):
         args = build_parser().parse_args(["batch"])
@@ -32,35 +73,56 @@ class TestParser:
         assert args.resume is False
 
 
-class TestCommands:
-    def test_color_pipeline(self, capsys):
-        assert main(["color", "-n", "80", "--delta", "6", "--seed", "1"]) == 0
+class TestListAlgorithms:
+    def test_table_covers_registry(self, capsys):
+        assert main(["list-algorithms"]) == 0
         out = capsys.readouterr().out
-        assert "verified proper" in out
-        assert "(Delta+1) pipeline" in out
+        for name in algorithm_names():
+            assert name in out
+        assert "guarantee" in out
 
-    def test_color_trade_off(self, capsys):
-        assert main(["color", "-n", "80", "--delta", "6", "--k", "4", "--seed", "1"]) == 0
+    def test_json_listing(self, capsys):
+        assert main(["list-algorithms", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in payload} == set(algorithm_names())
+        kdelta = next(e for e in payload if e["name"] == "kdelta")
+        assert kdelta["params"][0] == {
+            "name": "k", "type": "int", "required": False, "default": 1,
+            "help": kdelta["params"][0]["help"],
+        }
+
+
+class TestColorCommand:
+    def test_delta_plus_one(self, capsys):
+        assert main(["color", "delta_plus_one", "-n", "80", "--delta", "6", "--seed", "1"]) == 0
         out = capsys.readouterr().out
-        assert "k=4" in out
+        assert "verified" in out and "guarantee:" in out
+        assert "delta_plus_one [array]" in out
+
+    def test_kdelta_param_flag(self, capsys):
+        assert main(["color", "kdelta", "-n", "80", "--delta", "6", "--k", "4",
+                     "--seed", "1"]) == 0
+        assert "kdelta [array]" in capsys.readouterr().out
 
     def test_defective(self, capsys):
-        assert main(["defective", "-n", "60", "--delta", "8", "--d", "2", "--seed", "2"]) == 0
-        assert "2-defective" in capsys.readouterr().out
+        assert main(["color", "defective_one_round", "-n", "60", "--delta", "8",
+                     "--d", "2", "--seed", "2"]) == 0
+        assert "max defect" in capsys.readouterr().out
 
     def test_outdegree(self, capsys):
-        assert main(["defective", "-n", "60", "--delta", "8", "--d", "2", "--outdegree",
+        assert main(["color", "outdegree", "-n", "60", "--delta", "8", "--beta", "2",
                      "--seed", "2"]) == 0
-        assert "beta-outdegree" in capsys.readouterr().out
-
-    def test_ruling_set(self, capsys):
-        assert main(["ruling-set", "-n", "60", "--delta", "8", "--r", "2", "--seed", "3"]) == 0
-        assert "ruling set" in capsys.readouterr().out
+        assert "max outdegree" in capsys.readouterr().out
 
     def test_ruling_set_baseline(self, capsys):
-        assert main(["ruling-set", "-n", "60", "--delta", "8", "--r", "2", "--baseline",
-                     "--seed", "3"]) == 0
-        assert "SEW13" in capsys.readouterr().out
+        assert main(["color", "ruling_set", "-n", "60", "--delta", "8", "--r", "2",
+                     "--baseline", "--seed", "3"]) == 0
+        assert "set size" in capsys.readouterr().out
+
+    def test_parity_check(self, capsys):
+        assert main(["color", "linial_reduction", "-n", "50", "--delta", "4",
+                     "--parity-check"]) == 0
+        assert "reference-parity checked" in capsys.readouterr().out
 
     def test_experiment(self, capsys):
         assert main(["experiment", "E9"]) == 0
@@ -68,8 +130,53 @@ class TestCommands:
 
     @pytest.mark.parametrize("family", ["ring", "grid", "tree", "gnp", "power_law"])
     def test_color_all_families(self, family, capsys):
-        assert main(["color", "--family", family, "-n", "50", "--delta", "4", "--seed", "4"]) == 0
-        assert "verified proper" in capsys.readouterr().out
+        assert main(["color", "delta_plus_one", "--family", family, "-n", "50",
+                     "--delta", "4", "--seed", "4"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+
+class TestRunSpecCommand:
+    def test_run_spec(self, tmp_path, capsys):
+        path, document = write_spec(tmp_path)
+        assert main(["run", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cells=4" in out
+        # the hash pins the *canonical* (normalized) form of the document
+        assert f"spec hash: {spec_hash(JobSpec.from_dict(document))}" in out
+
+    def test_run_spec_manifest_embeds_spec_hash(self, tmp_path, capsys):
+        path, document = write_spec(tmp_path)
+        out_file = tmp_path / "replay.jsonl"
+        assert main(["run", "--spec", str(path), "--workers", "2",
+                     "--output", str(out_file)]) == 0
+        manifest = json.loads(out_file.read_text().splitlines()[0])["manifest"]
+        assert manifest["spec_hash"] == spec_hash(JobSpec.from_dict(document))
+        assert manifest["task"] == "kdelta" and manifest["cells"] == 4
+
+    def test_run_spec_missing_file(self, tmp_path, capsys):
+        assert main(["run", "--spec", str(tmp_path / "nope.json")]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_run_spec_malformed_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["run", "--spec", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_run_spec_unknown_algorithm(self, tmp_path, capsys):
+        path, _ = write_spec(tmp_path, run={"algorithm": "no_such", "backend": "array"},
+                             params_grid=None)
+        assert main(["run", "--spec", str(path)]) == 1
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_run_spec_single_problem_form(self, tmp_path, capsys):
+        path = tmp_path / "single.json"
+        path.write_text(json.dumps({
+            "problem": {"graph": {"family": "ring", "n": 24, "delta": 2, "seed": 0}},
+            "run": {"algorithm": "delta_plus_one"},
+        }))
+        assert main(["run", "--spec", str(path), "--parity-check"]) == 0
+        assert "cells=1" in capsys.readouterr().out
 
 
 class TestBatchCommand:
@@ -82,6 +189,27 @@ class TestBatchCommand:
         assert main(BATCH_GRID + ["--workers", "2"]) == 0
         out = capsys.readouterr().out
         assert "workers=2" in out and "across 2 workers" in out
+
+    def test_batch_unknown_param_rejected(self, capsys):
+        bad = [a if a != "k=1" else "q=1" for a in BATCH_GRID]
+        assert main(bad) == 1
+        err = capsys.readouterr().err
+        assert "unknown parameter" in err and "'kdelta'" in err and "['k']" in err
+
+    def test_batch_ill_typed_param_rejected(self, capsys):
+        bad = [a if a != "k=1" else "k=fast" for a in BATCH_GRID]
+        assert main(bad) == 1
+        assert "expects int" in capsys.readouterr().err
+
+    def test_batch_out_of_range_param_rejected(self, capsys):
+        bad = [a if a != "k=1" else "k=0" for a in BATCH_GRID]
+        assert main(bad) == 1
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_batch_missing_required_param_rejected(self, capsys):
+        assert main(["batch", "--task", "one_round_tightness", "-n", "30",
+                     "--delta", "4"]) == 1
+        assert "required parameter" in capsys.readouterr().err
 
     def test_batch_output_jsonl(self, tmp_path, capsys):
         out_file = tmp_path / "run.jsonl"
@@ -133,6 +261,8 @@ class TestBatchCommand:
         out_file = tmp_path / "run.jsonl"
         assert main(BATCH_GRID + ["--output", str(out_file)]) == 0
         different = [a if a != "kdelta" else "linial" for a in BATCH_GRID]
+        different.remove("--param")
+        different.remove("k=1")
         assert main(different + ["--output", str(out_file), "--resume"]) == 1
         assert "different sweep" in capsys.readouterr().err
 

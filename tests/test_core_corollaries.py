@@ -29,7 +29,7 @@ class TestLinialOneRound:
     def test_vectorized_agrees(self, workload):
         graph, colors, m = workload
         a = corollaries.linial_color_reduction(graph, colors, m)
-        b = corollaries.linial_color_reduction(graph, colors, m, vectorized=True)
+        b = corollaries.linial_color_reduction(graph, colors, m, backend="array")
         assert np.array_equal(a.colors, b.colors)
 
 
@@ -45,7 +45,7 @@ class TestKDeltaColoring:
 
     def test_rounds_monotone_in_k(self, workload):
         graph, colors, m = workload
-        rounds = [corollaries.kdelta_coloring(graph, colors, m, k=k, vectorized=True).rounds
+        rounds = [corollaries.kdelta_coloring(graph, colors, m, k=k, backend="array").rounds
                   for k in (1, 2, 4, 8)]
         assert all(a >= b for a, b in zip(rounds, rounds[1:]))
 
@@ -112,3 +112,16 @@ class TestDefectiveColorings:
         colors, m = make_input_coloring(g, seed=3)
         res = corollaries.defective_coloring_one_round(g, colors, m, d=2)
         assert 0 <= max_defect(g, res.colors) <= 2
+
+
+class TestRegisteredRunnerGuarantees:
+    def test_defect_bound_is_enforced_not_just_recorded(self):
+        # the registered runners' guarantee strings promise a *hard* invariant;
+        # a violating coloring must raise, not ship as a record.
+        from repro.core.corollaries import _checked_defect
+
+        ring = generators.ring(6)
+        monochrome = np.zeros(ring.n, dtype=np.int64)  # defect 2 on a ring
+        with pytest.raises(AssertionError, match="max defect"):
+            _checked_defect(ring, monochrome, 1)
+        assert _checked_defect(ring, monochrome, 2) == 2

@@ -63,6 +63,6 @@ class TestIteratedReduction:
     def test_vectorized_path(self):
         g = generators.random_regular(100, 6, seed=9)
         a = linial_coloring(g, seed=9, id_space=10 ** 6)
-        b = linial_coloring(g, seed=9, id_space=10 ** 6, vectorized=True)
+        b = linial_coloring(g, seed=9, id_space=10 ** 6, backend="array")
         assert np.array_equal(a.colors, b.colors)
         assert a.rounds == b.rounds

@@ -29,8 +29,8 @@ class TestDeltaPlusOnePipeline:
     def test_rounds_scale_with_delta_not_n(self):
         small = generators.random_regular(64, 6, seed=5)
         large = generators.random_regular(512, 6, seed=5)
-        r_small = pipelines.delta_plus_one_coloring(small, seed=5, vectorized=True).rounds
-        r_large = pipelines.delta_plus_one_coloring(large, seed=5, vectorized=True).rounds
+        r_small = pipelines.delta_plus_one_coloring(small, seed=5, backend="array").rounds
+        r_large = pipelines.delta_plus_one_coloring(large, seed=5, backend="array").rounds
         # an 8x larger graph with the same Delta should cost at most ~2x the
         # rounds (the dependence on n is only through log* and through how many
         # of the O(Delta) color values actually occur)
@@ -57,7 +57,7 @@ class TestTheorem13:
     def test_proper_and_color_bound(self, epsilon):
         graph = generators.random_regular(90, 16, seed=8)
         colors, m = make_input_coloring(graph, seed=8)
-        res = pipelines.theorem13_coloring(graph, colors, m, epsilon=epsilon, vectorized=True)
+        res = pipelines.theorem13_coloring(graph, colors, m, epsilon=epsilon, backend="array")
         assert_proper_coloring(graph, res.colors)
         delta = graph.max_degree
         # the O(.) constant: (4f)^2-ish for the defective step times O(d); we

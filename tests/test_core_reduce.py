@@ -14,7 +14,7 @@ from repro.verify.coloring import assert_proper_coloring
 def colored_graph():
     graph = generators.random_regular(90, 6, seed=21)
     colors, m = make_input_coloring(graph, seed=21)
-    start = kdelta_coloring(graph, colors, m, k=1, vectorized=True)
+    start = kdelta_coloring(graph, colors, m, k=1, backend="array")
     return graph, start
 
 

@@ -107,6 +107,6 @@ class TestTheorem15AndBaseline:
         # smaller base B and hence fewer ruling-phase rounds for the same r.
         g = generators.random_regular(120, 16, seed=7)
         colors, m = make_input_coloring(g, seed=7)
-        ours = ruling_sets.ruling_set_theorem15(g, colors, m, r=2, vectorized=True)
-        base = ruling_sets.ruling_set_sew13_baseline(g, colors, m, r=2, vectorized=True)
+        ours = ruling_sets.ruling_set_theorem15(g, colors, m, r=2, backend="array")
+        base = ruling_sets.ruling_set_sew13_baseline(g, colors, m, r=2, backend="array")
         assert ours.metadata["ruling_rounds"] < base.metadata["ruling_rounds"]

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.api.registry import algorithm_names
 from repro.engine import BatchRunner, GraphSpec, ParityError, get_engine
-from repro.engine.batch import TASKS, Workload
+from repro.engine.batch import Workload
 
 
 class TestGrid:
@@ -64,10 +65,28 @@ class TestRun:
             "corollary14": {"k": 2},
             "ruling_set": {"r": 2},
             "kdelta": {"k": 2},
+            "one_round_tightness": {"k": 3, "m": 12},
+            "baseline": {"algorithm": "greedy"},
         }
-        for name in TASKS:
+        for name in algorithm_names():
             rec = runner.run_cell(name, spec, params=params.get(name))
             assert rec["rounds"] >= 0, name
+
+    def test_preloaded_graph_honored_serial_and_parallel(self):
+        # preload_graph pins a live graph under a spec; both the serial path
+        # and the parallel shared-memory publish must use it, never regenerate
+        # from the family name.
+        from repro.congest import generators
+
+        spec = GraphSpec("random_regular", 40, 4, 0)
+        for workers in (1, 2):
+            runner = BatchRunner(backend="array", workers=workers)
+            runner.preload_graph(spec, generators.ring(40))
+            result = runner.run("kdelta", [spec, GraphSpec("gnp", 40, 4, 1)],
+                                params_grid=[{"k": 1}, {"k": 2}])
+            # the ring (Delta=2), not a regenerated 4-regular graph
+            assert result.records[0]["Delta"] == 2, workers
+            assert result.records[1]["Delta"] == 2, workers
 
     def test_custom_callable_task(self):
         def task(w: Workload, engine, scale: int = 1):

@@ -78,7 +78,7 @@ class TestChainedAlgorithms:
 
         graph = generators.random_regular(100, 8, seed=5)
         colors, m = make_input_coloring(graph, seed=5)
-        col = pipelines.theorem13_coloring(graph, colors, m, epsilon=0.5, vectorized=True)
+        col = pipelines.theorem13_coloring(graph, colors, m, epsilon=0.5, backend="array")
         rs = ruling_set_from_coloring(graph, col.colors, col.color_space_size, base=4)
         assert_ruling_set(graph, rs.vertices, r=rs.r)
 
