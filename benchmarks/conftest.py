@@ -61,10 +61,14 @@ def record_json():
     The B-series benchmarks write one JSON file each (cells/sec, speedup,
     instance sizes, machine cores) so the perf trajectory can be tracked
     across commits by tooling, not just by humans reading the markdown tables.
+    Every record carries a ``backend`` field (default ``"array"``) so
+    trajectory comparisons never mix execution paths; callers override it via
+    the ``backend=`` argument or an explicit key in ``payload``.
     """
 
-    def _record(name: str, payload: dict) -> None:
+    def _record(name: str, payload: dict, backend: str = "array") -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
+        payload.setdefault("backend", backend)
         path = RESULTS_DIR / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 

@@ -149,6 +149,11 @@ class Run:
         object.__setattr__(self, "params", dict(self.params))
         if not self.algorithm or not isinstance(self.algorithm, str):
             raise SpecError(f"Run.algorithm must be a non-empty string, got {self.algorithm!r}")
+        if not self.backend or not isinstance(self.backend, str):
+            raise SpecError(f"Run.backend must be a non-empty string, got {self.backend!r}")
+        from repro.engine.registry import ensure_known_backend
+
+        ensure_known_backend(self.backend, context="Run.backend")
         if int(self.workers) < 1:
             raise SpecError(f"Run.workers must be >= 1, got {self.workers!r}")
 

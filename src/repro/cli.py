@@ -9,6 +9,8 @@ typed schema.
 
 * ``list-algorithms`` — print the registry as a table (name, params with
   defaults, output kind, guarantee) — the living docs of the solver surface.
+* ``list-backends`` — print the engine backends with availability, kernel
+  tier, versions, and thread counts (``--json`` for machines).
 * ``color <algorithm>`` — solve one problem with any registered algorithm;
   each algorithm subcommand carries typed ``--<param>`` flags generated from
   its schema (``repro color kdelta --k 4``, ``repro color ruling_set --r 3``).
@@ -65,7 +67,8 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
 def _add_backend_argument(parser: argparse.ArgumentParser, default: str | None = "array") -> None:
     parser.add_argument("--backend", default=default, choices=available_backends(),
                         help="execution engine (default: array — the vectorized twin; "
-                             "'reference' is the per-node CONGEST simulator)")
+                             "'reference' is the per-node CONGEST simulator; 'jit' the "
+                             "compiled multi-threaded kernels — see `repro list-backends`)")
 
 
 def _add_param_arguments(parser: argparse.ArgumentParser, spec: AlgorithmSpec) -> None:
@@ -98,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print the algorithm registry (names, params, guarantees)")
     listing.add_argument("--json", action="store_true", dest="as_json",
                          help="machine-readable JSON instead of the table")
+
+    backends = sub.add_parser(
+        "list-backends",
+        help="print the engine backends (availability, kernel tier, versions, threads)")
+    backends.add_argument("--json", action="store_true", dest="as_json",
+                          help="machine-readable JSON instead of the table")
 
     color = sub.add_parser(
         "color",
@@ -213,6 +222,42 @@ def _cmd_list_algorithms(args) -> int:
     return 0
 
 
+def _cmd_list_backends(args) -> int:
+    from repro.engine.registry import describe_backends
+
+    infos = describe_backends()
+    if args.as_json:
+        print(json.dumps(infos, indent=2))
+        return 0
+    from repro.analysis.tables import Table
+
+    table = Table(
+        f"engine backends ({len(infos)})",
+        ["backend", "available", "kernel", "threads", "versions", "notes"],
+    )
+    for info in infos:
+        versions = ", ".join(f"{k} {v}" for k, v in sorted(info["versions"].items()))
+        notes = []
+        if info.get("fallback"):
+            notes.append(f"falls back to {info['fallback']}")
+        if info.get("detail", {}).get("openmp"):
+            notes.append("openmp")
+        table.add_row(
+            info["backend"],
+            "yes" if info["available"] else "no",
+            info.get("kernel") or "—",
+            str(info.get("threads", 1)),
+            versions,
+            "; ".join(notes) or "—",
+        )
+    table.add_note("select one: --backend <name> on color/run/batch, or "
+                   "Run(..., backend=<name>) in a spec")
+    table.add_note("jit threads are capped by REPRO_NUM_THREADS; "
+                   "REPRO_JIT_DISABLE=numba,cc forces the array fallback")
+    print(table.render())
+    return 0
+
+
 def _cmd_color(args) -> int:
     spec = get_algorithm(args.algorithm_name)
     params = {p.name: getattr(args, p.name) for p in spec.params}
@@ -314,6 +359,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {
         "list-algorithms": _cmd_list_algorithms,
+        "list-backends": _cmd_list_backends,
         "color": _cmd_color,
         "run": _cmd_run,
         "experiment": _cmd_experiment,

@@ -29,17 +29,31 @@ CSR entries incident to the round's affected vertices
 (:meth:`repro.congest.graph.Graph.incident_csr_entries`), so a round costs
 ``O(affected degree)`` instead of a full ``2|E|`` scan — over a whole
 reduction that is ``O(|E|)`` total work rather than ``O(color classes x |E|)``.
+
+``backend="jit"`` keeps the exact same per-round structure but hands each
+round to a compiled kernel (:mod:`repro.core.kernels_jit`: numba or the C
+tier) that fuses the gather + occupancy scan into one pass per affected
+vertex; when no compiled tier is available it silently runs the array path
+(same results).  The optional ``kernels=`` parameter overrides the
+process-wide kernel provider — the jit engine threads its own provider
+through, and tests inject the pure-Python tier.
 """
 
 from __future__ import annotations
+
+import functools
 
 import numpy as np
 
 from repro.congest.graph import Graph
 from repro.core.results import ColoringResult
 from repro.core.workspace import Workspace
+from repro.engine.base import UnknownBackendError
 
 __all__ = ["remove_color_class_reduction", "kuhn_wattenhofer_reduction"]
+
+#: Backend names the reduction dispatchers accept.
+_REDUCTION_BACKENDS = ("reference", "array", "jit")
 
 
 def _neighbor_color_sets(graph: Graph, colors: np.ndarray, vertices: np.ndarray) -> list[set[int]]:
@@ -117,11 +131,41 @@ def _remove_color_class_array(
     return colors, rounds
 
 
+def _remove_color_class_jit(
+    graph: Graph, colors: np.ndarray, target_colors: int, kernels
+) -> tuple[np.ndarray, int]:
+    """Compiled-kernel twin of :func:`_remove_color_class_array`.
+
+    Identical bucketing (one stable argsort, classes processed in strictly
+    decreasing color order); each class round is one fused kernel call that
+    walks every affected vertex's CSR range, marks sub-``target`` neighbor
+    colors in its own scratch row and adopts the first free column — the
+    same deterministic choice as the array path's ``argmax``, so colors and
+    round counts are bit-identical.
+    """
+    rounds = 0
+    if colors.size == 0 or int(colors.max()) < target_colors:
+        return colors, rounds
+    indptr, indices = graph.indptr, graph.indices
+    ws = Workspace()
+    order = np.argsort(colors, kind="stable")
+    sorted_colors = colors[order]
+    start = int(np.searchsorted(sorted_colors, target_colors, side="left"))
+    high = order[start:]
+    boundaries = np.nonzero(np.diff(sorted_colors[start:]))[0] + 1
+    for vertices in reversed(np.split(high, boundaries)):
+        used = ws.take("used", vertices.size * target_colors, np.uint8)
+        kernels.remove_class(vertices, indptr, indices, colors, target_colors, used)
+        rounds += 1
+    return colors, rounds
+
+
 def remove_color_class_reduction(
     graph: Graph,
     colors: np.ndarray,
     target_colors: int | None = None,
     backend: str | object = "reference",
+    kernels=None,
 ) -> ColoringResult:
     """Reduce a proper coloring to ``target_colors`` (default ``Delta + 1``) colors.
 
@@ -135,21 +179,31 @@ def remove_color_class_reduction(
     Rounds: one per color value above ``target_colors`` that actually occurs.
 
     ``backend`` selects the execution path: ``"reference"`` (per-vertex Python
-    sets) or ``"array"`` (whole-graph CSR scatter); both produce identical
-    colors and round counts.  An :class:`repro.engine.base.Engine` instance is
-    also accepted (its ``name`` selects the path).
+    sets), ``"array"`` (whole-graph CSR scatter) or ``"jit"`` (compiled
+    kernels; the array path when no compiled tier exists); all produce
+    identical colors and round counts.  An :class:`repro.engine.base.Engine`
+    instance is also accepted (its ``name`` selects the path).  ``kernels``
+    optionally overrides the jit tier's kernel provider.
     """
     colors = np.asarray(colors, dtype=np.int64).copy()
     target_colors = _validated_target(graph, target_colors)
     backend_name = getattr(backend, "name", backend)
-    if backend_name == "array":
+    if backend_name == "jit":
+        if kernels is None:
+            from repro.core.kernels_jit import get_provider
+
+            kernels = get_provider()
+        if kernels is None:
+            colors, rounds = _remove_color_class_array(graph, colors, target_colors)
+        else:
+            colors, rounds = _remove_color_class_jit(graph, colors, target_colors, kernels)
+    elif backend_name == "array":
         colors, rounds = _remove_color_class_array(graph, colors, target_colors)
     elif backend_name == "reference":
         colors, rounds = _remove_color_class_reference(graph, colors, target_colors)
     else:
-        raise ValueError(
-            f"unknown backend {backend_name!r} for remove_color_class_reduction; "
-            "expected 'reference' or 'array'"
+        raise UnknownBackendError(
+            backend_name, _REDUCTION_BACKENDS, context="remove_color_class_reduction"
         )
     return ColoringResult(
         colors=colors,
@@ -214,7 +268,35 @@ def _kw_round_array(
     colors[affected] = block_of * block + np.argmax(used, axis=1)
 
 
-_KW_ROUNDS = {"reference": _kw_round_reference, "array": _kw_round_array}
+def _kw_round_jit(
+    graph: Graph, colors: np.ndarray, affected: np.ndarray, block: int, target_colors: int,
+    ws: Workspace | None = None, kernels=None,
+) -> None:
+    """One KW round on the compiled kernels (array path when none available).
+
+    The kernel fuses the gather + same-block occupancy scan of
+    :func:`_kw_round_array` into one pass per affected vertex; the smallest
+    free slot within the block's lower ``target_colors`` colors is the same
+    deterministic choice, so colors are bit-identical.
+    """
+    if kernels is None:
+        from repro.core.kernels_jit import get_provider
+
+        kernels = get_provider()
+    if kernels is None:
+        return _kw_round_array(graph, colors, affected, block, target_colors, ws)
+    if ws is None:
+        ws = Workspace()
+    used = ws.take("jit_used", affected.size * target_colors, np.uint8)
+    kernels.kw_round(affected, graph.indptr, graph.indices, colors, block,
+                     target_colors, used)
+
+
+_KW_ROUNDS = {
+    "reference": _kw_round_reference,
+    "array": _kw_round_array,
+    "jit": _kw_round_jit,
+}
 
 
 def kuhn_wattenhofer_reduction(
@@ -223,6 +305,7 @@ def kuhn_wattenhofer_reduction(
     m: int,
     target_colors: int | None = None,
     backend: str | object = "reference",
+    kernels=None,
 ) -> ColoringResult:
     """Block-halving reduction from an ``m``-coloring to ``Delta + 1`` colors.
 
@@ -236,10 +319,12 @@ def kuhn_wattenhofer_reduction(
     ``O(Delta)``-round algorithms improve upon.
 
     ``backend`` selects the per-round execution path: ``"reference"``
-    (per-vertex Python sets) or ``"array"`` (compacted CSR gather + occupancy
-    scatter); both produce identical colors, round and phase counts.  An
+    (per-vertex Python sets), ``"array"`` (compacted CSR gather + occupancy
+    scatter), or ``"jit"`` (compiled kernels, array path when unavailable);
+    all produce identical colors, round and phase counts.  An
     :class:`repro.engine.base.Engine` instance is also accepted (its ``name``
-    selects the path).
+    selects the path).  ``kernels`` optionally pins the compiled provider used
+    by the ``"jit"`` path (resolved lazily otherwise).
     """
     colors = np.asarray(colors, dtype=np.int64).copy()
     delta = graph.max_degree
@@ -255,10 +340,11 @@ def kuhn_wattenhofer_reduction(
     try:
         kw_round = _KW_ROUNDS[backend_name]
     except KeyError:
-        raise ValueError(
-            f"unknown backend {backend_name!r} for kuhn_wattenhofer_reduction; "
-            "expected 'reference' or 'array'"
+        raise UnknownBackendError(
+            backend_name, _REDUCTION_BACKENDS, context="kuhn_wattenhofer_reduction"
         ) from None
+    if backend_name == "jit" and kernels is not None:
+        kw_round = functools.partial(_kw_round_jit, kernels=kernels)
 
     block = 2 * target_colors
     space = int(m)

@@ -1,11 +1,15 @@
 """repro.engine — the pluggable execution-engine layer.
 
-One backend API, two interchangeable implementations:
+One backend API, three interchangeable implementations:
 
 * :class:`ReferenceEngine` (``backend="reference"``) — the model-faithful
   per-node LOCAL/CONGEST scheduler with round/message/bandwidth metrics;
 * :class:`ArrayEngine` (``backend="array"``) — the whole-graph NumPy twin
-  over the CSR adjacency, bit-identical outputs, orders of magnitude faster.
+  over the CSR adjacency, bit-identical outputs, orders of magnitude faster;
+* :class:`JitEngine` (``backend="jit"``) — compiled multi-threaded kernels
+  (numba, or an OpenMP C extension when numba is absent), bit-identical to
+  the array twin; degrades to the array backend with one warning when no
+  compiled tier is available.
 
 Every algorithm in :mod:`repro.core` accepts ``backend=`` and routes its
 primitive steps (mother-algorithm invocations and color-class removal)
@@ -17,8 +21,9 @@ See ARCHITECTURE.md for the backend contract and parity guarantees.
 """
 
 from repro.engine.array import ArrayEngine
-from repro.engine.base import Engine, EngineError
+from repro.engine.base import Engine, EngineError, UnknownBackendError
 from repro.engine.batch import BatchResult, BatchRunner, GraphSpec, ParityError
+from repro.engine.jit import JitEngine
 from repro.engine.reference import ReferenceEngine
 from repro.engine.sink import (
     CsvSink,
@@ -30,6 +35,8 @@ from repro.engine.sink import (
 )
 from repro.engine.registry import (
     available_backends,
+    describe_backends,
+    ensure_known_backend,
     get_engine,
     register_engine,
     resolve_backend,
@@ -38,11 +45,15 @@ from repro.engine.registry import (
 __all__ = [
     "Engine",
     "EngineError",
+    "UnknownBackendError",
     "ReferenceEngine",
     "ArrayEngine",
+    "JitEngine",
     "get_engine",
     "register_engine",
     "available_backends",
+    "describe_backends",
+    "ensure_known_backend",
     "resolve_backend",
     "BatchRunner",
     "BatchResult",

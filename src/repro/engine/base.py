@@ -40,11 +40,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.params import MotherParameters
     from repro.core.results import ColoringResult
 
-__all__ = ["Engine", "EngineError"]
+__all__ = ["Engine", "EngineError", "UnknownBackendError"]
 
 
 class EngineError(RuntimeError):
     """Raised for unknown backends or invalid engine configurations."""
+
+
+class UnknownBackendError(EngineError, ValueError):
+    """An unregistered backend name was requested.
+
+    Typed (and carrying ``backend`` and ``available``) so every resolution
+    path — :func:`repro.engine.registry.get_engine`, the reduction
+    dispatchers in :mod:`repro.core.reduce`, and ``Run.backend`` validation
+    in :mod:`repro.api.spec` — fails the same way, naming the accepted
+    backends instead of surfacing a bare ``KeyError``/``ValueError``.
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    call sites keep working.
+    """
+
+    def __init__(self, backend: object, available: "list[str] | tuple[str, ...]",
+                 context: str | None = None):
+        self.backend = backend
+        self.available = sorted(available)
+        where = f" for {context}" if context else ""
+        super().__init__(
+            f"unknown backend {backend!r}{where}; "
+            f"available backends: {', '.join(self.available)}"
+        )
 
 
 class Engine(abc.ABC):
@@ -107,8 +130,36 @@ class Engine(abc.ABC):
         )
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def warmup(self) -> None:
+        """Pay one-time setup cost (JIT compilation, library loads) now.
+
+        A no-op by default.  :class:`~repro.engine.jit.JitEngine` overrides it
+        to compile/load its kernels on tiny inputs so the cost is never timed
+        into a sweep's first cell; :class:`~repro.engine.batch.BatchRunner`
+        and the parallel worker initializer call it for every engine.
+        """
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+
+    def describe(self) -> dict:
+        """Availability/version/threads metadata for ``repro list-backends``.
+
+        Subclasses extend the returned dict; ``available`` means "runs its
+        own execution path" (the jit engine reports ``False`` — plus its
+        fallback — when no compiled tier exists).
+        """
+        return {
+            "backend": self.name,
+            "available": True,
+            "implementation": type(self).__name__,
+            "versions": {"numpy": np.__version__},
+            "threads": 1,
+        }
 
     @property
     def collects_message_metrics(self) -> bool:

@@ -239,6 +239,9 @@ class BatchRunner:
             raise EngineError(f"workers must be >= 1, got {workers}")
         self.worker_init = worker_init
         self.start_method = start_method
+        # Pay one-time backend setup (JIT compilation) before any cell is
+        # timed; a no-op for the reference/array engines.
+        self.engine.warmup()
         # Registry names survive the trip to a worker process; live Engine
         # instances do not, so remember which kind we were given.
         self._backend_name = backend if isinstance(backend, str) else None

@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.engine.array import ArrayEngine
-from repro.engine.base import Engine, EngineError
+from repro.engine.base import Engine, EngineError, UnknownBackendError
+from repro.engine.jit import JitEngine
 from repro.engine.reference import ReferenceEngine
 
 __all__ = [
@@ -19,6 +20,8 @@ __all__ = [
     "get_engine",
     "register_engine",
     "available_backends",
+    "describe_backends",
+    "ensure_known_backend",
     "resolve_backend",
 ]
 
@@ -26,6 +29,7 @@ __all__ = [
 BACKENDS: dict[str, Callable[[], Engine]] = {
     "reference": ReferenceEngine,
     "array": ArrayEngine,
+    "jit": JitEngine,
 }
 
 # Default instances are shared: engines are stateless apart from their
@@ -46,6 +50,29 @@ def available_backends() -> list[str]:
     return sorted(BACKENDS)
 
 
+def ensure_known_backend(name: object, context: str | None = None) -> str:
+    """Validate a backend *name* without instantiating its engine.
+
+    Raises :class:`UnknownBackendError` (naming the accepted backends) for
+    unregistered names; used by ``Run.backend`` validation in
+    :mod:`repro.api.spec` so spec errors match engine-resolution errors.
+    """
+    if not isinstance(name, str) or name not in BACKENDS:
+        raise UnknownBackendError(name, available_backends(), context=context)
+    return name
+
+
+def describe_backends() -> list[dict]:
+    """Availability/version/thread metadata for every registered backend.
+
+    One :meth:`Engine.describe` dict per backend, sorted by name — the data
+    behind ``repro list-backends``.  Engines are instantiated (shared default
+    instances) and the jit engine resolves its kernel provider (availability
+    is the point of the report); the C tier's one-time build is disk-cached.
+    """
+    return [get_engine(name).describe() for name in available_backends()]
+
+
 def get_engine(backend: str | Engine = "reference") -> Engine:
     """Resolve a backend specifier to an :class:`Engine` instance.
 
@@ -61,9 +88,7 @@ def get_engine(backend: str | Engine = "reference") -> Engine:
     try:
         factory = BACKENDS[backend]
     except KeyError:
-        raise EngineError(
-            f"unknown backend {backend!r}; available: {available_backends()}"
-        ) from None
+        raise UnknownBackendError(backend, available_backends()) from None
     if backend not in _DEFAULT_INSTANCES:
         _DEFAULT_INSTANCES[backend] = factory()
     return _DEFAULT_INSTANCES[backend]

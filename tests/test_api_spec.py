@@ -111,6 +111,20 @@ class TestRunRoundTrip:
         with pytest.raises(SpecError, match="missing 'algorithm'"):
             Run.from_dict({"backend": "array"})
 
+    def test_unknown_backend_rejected_with_typed_error(self):
+        from repro.engine import UnknownBackendError, available_backends
+
+        with pytest.raises(UnknownBackendError, match="Run.backend") as excinfo:
+            Run(algorithm="kdelta", backend="bogus")
+        assert excinfo.value.backend == "bogus"
+        assert excinfo.value.available == available_backends()
+        with pytest.raises(SpecError):
+            Run(algorithm="kdelta", backend="")
+
+    def test_jit_backend_accepted(self):
+        run = roundtrip(Run(algorithm="kdelta", backend="jit"))
+        assert run.backend == "jit"
+
 
 class TestJobSpecRoundTrip:
     def job(self, **overrides):

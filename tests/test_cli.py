@@ -92,6 +92,32 @@ class TestListAlgorithms:
         }
 
 
+class TestListBackends:
+    def test_table_covers_registry(self, capsys):
+        from repro.engine import available_backends
+
+        assert main(["list-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in available_backends():
+            assert name in out
+        assert "REPRO_NUM_THREADS" in out
+
+    def test_json_listing(self, capsys):
+        from repro.engine import available_backends
+
+        assert main(["list-backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["backend"] for entry in payload] == available_backends()
+        jit = next(e for e in payload if e["backend"] == "jit")
+        assert {"available", "versions", "threads"} <= set(jit)
+
+    def test_backend_flag_accepts_jit(self):
+        args = build_parser().parse_args(["color", "delta_plus_one", "--backend", "jit"])
+        assert args.backend == "jit"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["color", "delta_plus_one", "--backend", "gpu"])
+
+
 class TestColorCommand:
     def test_delta_plus_one(self, capsys):
         assert main(["color", "delta_plus_one", "-n", "80", "--delta", "6", "--seed", "1"]) == 0
