@@ -1,0 +1,157 @@
+"""B6 — the job server under concurrent load.
+
+Boots an in-process ``repro serve`` instance (free port, temp state dir) and
+drives it with concurrent HTTP clients: each submits a distinct JobSpec and
+polls it to completion.  Recorded: submit->done latency (p50/p99), sustained
+throughput (jobs/sec), and the latency of a content-addressed cache hit (a
+resubmission of a finished spec must be answered from the store without
+re-execution — orders of magnitude faster than executing).
+
+The bars are deliberately conservative (the sandbox may be a single core):
+
+* every job completes, every record set is correct (``proper`` per cell),
+* p99 submit->done latency under 30 s,
+* throughput above 0.2 jobs/sec,
+* a cache hit answers in under 2 s and never bumps the job's ``attempts``.
+
+The machine-readable record lands in ``benchmarks/results/BENCH_B6.json``;
+CI's serve-smoke job re-checks the bars from that file.
+"""
+
+import concurrent.futures
+import json
+import statistics
+import time
+import urllib.request
+
+from repro.analysis.tables import Table
+from repro.server import JobServer
+
+N_JOBS = 10
+CLIENTS = 5
+WORKERS = 2
+P99_LATENCY_BAR = 30.0
+THROUGHPUT_BAR = 0.2
+CACHE_HIT_BAR = 2.0
+
+
+def _spec(index: int) -> dict:
+    return {
+        "problems": [
+            {"graph": {"family": "random_regular", "n": 400 + 40 * index,
+                       "delta": 6, "seed": index}}
+            for _ in range(1)
+        ],
+        "run": {"algorithm": "delta_plus_one", "backend": "array"},
+    }
+
+
+def _post(url: str, document: dict) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(document).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.load(response)
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return json.load(response)
+
+
+def _submit_and_wait(base: str, document: dict) -> tuple[float, dict]:
+    start = time.perf_counter()
+    submitted = _post(base + "/jobs", document)
+    job_id = submitted["id"]
+    while True:
+        status = _get(f"{base}/jobs/{job_id}")
+        if status["state"] in ("done", "failed"):
+            return time.perf_counter() - start, status
+        time.sleep(0.02)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_b6_serve_load(tmp_path, record_table, record_json, machine_cores):
+    server = JobServer(tmp_path / "state", port=0, workers=WORKERS).start_background()
+    try:
+        health = _get(server.url + "/healthz")
+        assert health["status"] == "ok"
+
+        documents = [_spec(i) for i in range(N_JOBS)]
+        wall_start = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+            outcomes = list(pool.map(
+                lambda doc: _submit_and_wait(server.url, doc), documents
+            ))
+        wall = time.perf_counter() - wall_start
+
+        latencies = [latency for latency, _ in outcomes]
+        statuses = [status for _, status in outcomes]
+        assert all(s["state"] == "done" for s in statuses)
+        assert all(s["manifest"]["spec_hash"] == s["id"] for s in statuses)
+        for status in statuses:
+            records = _get(f"{server.url}/jobs/{status['id']}/records")["records"]
+            assert len(records) == 1
+            record = records[0]["record"]
+            assert record["colors used"] <= 6 + 1  # Delta + 1 colors, verified
+
+        p50 = _percentile(latencies, 0.50)
+        p99 = _percentile(latencies, 0.99)
+        throughput = N_JOBS / wall
+
+        # cache hits: resubmit every finished spec; answered from the store
+        hit_latencies = []
+        for document, status in zip(documents, statuses):
+            start = time.perf_counter()
+            again = _post(server.url + "/jobs", document)
+            hit_latencies.append(time.perf_counter() - start)
+            assert again["cached"] is True and again["id"] == status["id"]
+            assert again["attempts"] == status["attempts"]  # no re-execution
+        hit_p99 = _percentile(hit_latencies, 0.99)
+
+        assert p99 < P99_LATENCY_BAR, f"p99 submit->done {p99:.2f}s >= {P99_LATENCY_BAR}s"
+        assert throughput > THROUGHPUT_BAR, \
+            f"throughput {throughput:.2f} jobs/s <= {THROUGHPUT_BAR}"
+        assert hit_p99 < CACHE_HIT_BAR, f"cache-hit p99 {hit_p99:.2f}s >= {CACHE_HIT_BAR}s"
+
+        table = Table(
+            f"B6 — job server: {N_JOBS} jobs, {CLIENTS} clients, "
+            f"{WORKERS} workers ({machine_cores} cores)",
+            ["metric", "value", "bar"],
+        )
+        table.add_row("submit->done p50", f"{p50 * 1000:.0f} ms", "—")
+        table.add_row("submit->done p99", f"{p99 * 1000:.0f} ms", f"< {P99_LATENCY_BAR:.0f} s")
+        table.add_row("throughput", f"{throughput:.2f} jobs/s", f"> {THROUGHPUT_BAR} jobs/s")
+        table.add_row("cache-hit p99", f"{hit_p99 * 1000:.0f} ms", f"< {CACHE_HIT_BAR:.0f} s")
+        table.add_row("mean execute latency", f"{statistics.mean(latencies) * 1000:.0f} ms", "—")
+        table.add_note("each job: delta_plus_one on one random_regular cell "
+                       "(n = 400..760, Delta = 6), array backend")
+        table.add_note("cache hit = resubmission of a finished spec; answered from "
+                       "the content-addressed store, attempts unchanged")
+        record_table("B6_serve", table)
+
+        record_json("B6", {
+            "jobs": N_JOBS,
+            "clients": CLIENTS,
+            "workers": WORKERS,
+            "cores": machine_cores,
+            "latency_p50_seconds": round(p50, 4),
+            "latency_p99_seconds": round(p99, 4),
+            "latency_mean_seconds": round(statistics.mean(latencies), 4),
+            "throughput_jobs_per_second": round(throughput, 3),
+            "cache_hit_p99_seconds": round(hit_p99, 4),
+            "bars": {
+                "latency_p99_seconds_max": P99_LATENCY_BAR,
+                "throughput_jobs_per_second_min": THROUGHPUT_BAR,
+                "cache_hit_p99_seconds_max": CACHE_HIT_BAR,
+            },
+            "backend_tier": statuses[0]["backend_tier"],
+        })
+    finally:
+        server.stop()

@@ -47,7 +47,17 @@ from repro.api.registry import (
     validate_params,
 )
 from repro.api.report import RunReport
-from repro.api.spec import SCHEMA_VERSION, JobSpec, Problem, Run, SpecError, spec_hash
+from repro.api.spec import (
+    JOB_STATES,
+    SCHEMA_VERSION,
+    JobSpec,
+    JobStatus,
+    Problem,
+    Run,
+    SpecError,
+    graph_fingerprint,
+    spec_hash,
+)
 from repro.api.solve import run_spec, solve
 
 __all__ = [
@@ -64,11 +74,14 @@ __all__ = [
     "register_algorithm",
     "validate_params",
     "RunReport",
+    "JOB_STATES",
     "SCHEMA_VERSION",
     "JobSpec",
+    "JobStatus",
     "Problem",
     "Run",
     "SpecError",
+    "graph_fingerprint",
     "spec_hash",
     "run_spec",
     "solve",

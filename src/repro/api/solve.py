@@ -61,6 +61,7 @@ def solve(problem: Problem, run: Run) -> RunReport:
         "package_version": _package_version(),
         "schema": SCHEMA_VERSION,
         "engine": runner.engine.name,
+        "backend_tier": runner.engine.active_tier(),
     }
     if problem.is_serializable:
         document = JobSpec.single(problem, run).to_dict()
@@ -87,6 +88,7 @@ def run_spec(
     backend: str | None = None,
     workers: int | None = None,
     parity_check: bool | None = None,
+    progress=None,
 ) -> tuple[BatchResult, str]:
     """Execute a saved sweep spec; return its records and the spec's hash.
 
@@ -95,6 +97,8 @@ def run_spec(
     given* — the ``backend`` / ``workers`` / ``parity_check`` execution
     overrides (the CLI's flags) never change it — and is embedded in the
     sink's manifest, so the result file pins the exact spec it came from.
+    ``progress`` is forwarded to :meth:`~repro.engine.batch.BatchRunner.run`
+    (per-cell completion callbacks — what the job server streams over SSE).
     """
     if isinstance(job, Mapping):
         job = JobSpec.from_dict(job)
@@ -120,7 +124,7 @@ def run_spec(
     )
     result = runner.run(
         run.algorithm, job.cells(), params_grid=job.effective_grid(),
-        sink=sink, spec_hash=digest,
+        sink=sink, spec_hash=digest, progress=progress,
     )
     return result, digest
 

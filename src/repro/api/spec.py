@@ -25,16 +25,21 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.congest.graph import Graph
 from repro.engine.batch import GraphSpec
 
 __all__ = [
     "SCHEMA_VERSION",
+    "JOB_STATES",
     "SpecError",
     "Problem",
     "Run",
     "JobSpec",
+    "JobStatus",
     "canonical_json",
+    "graph_fingerprint",
     "spec_hash",
 ]
 
@@ -102,6 +107,31 @@ class Problem:
     def is_serializable(self) -> bool:
         """Only generator-described graphs round-trip (a live Graph does not)."""
         return isinstance(self.graph, GraphSpec)
+
+    def canonical_dict(self) -> dict[str, Any]:
+        """The dict :func:`spec_hash` hashes — defined for *every* Problem.
+
+        A GraphSpec-described problem hashes its ``to_dict`` form.  A problem
+        holding a live :class:`~repro.congest.graph.Graph` cannot round-trip
+        through JSON (``to_dict`` raises), but it still has a canonical
+        identity: the content of its frozen CSR triplet.  Hashing that —
+        rather than failing, or hashing unstable object state like ``id()`` —
+        makes dedupe over live-graph submissions well defined: two
+        structurally identical graphs produce the same hash, two different
+        graphs never collide by construction.
+        """
+        if self.is_serializable:
+            return self.to_dict()
+        return {
+            "schema": SCHEMA_VERSION,
+            "graph": {
+                "live": True,
+                "n": self.graph.n,
+                "delta": self.graph.max_degree,
+                "csr_sha256": graph_fingerprint(self.graph),
+            },
+            "input_coloring": self.input_coloring,
+        }
 
     def to_dict(self) -> dict[str, Any]:
         if not self.is_serializable:
@@ -244,12 +274,29 @@ class JobSpec:
             return [{**base, **entry} for entry in self.params_grid]
         return [base] if base else None
 
+    def num_cells(self) -> int:
+        """How many (problem x params) cells the sweep executes."""
+        grid = self.effective_grid()
+        return len(self.problems) * (len(grid) if grid else 1)
+
     # -- serialization ---------------------------------------------------- #
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {
             "schema": SCHEMA_VERSION,
             "problems": [p.to_dict() for p in self.problems],
+            "run": self.run.to_dict(),
+        }
+        if self.params_grid is not None:
+            data["params_grid"] = [dict(p) for p in self.params_grid]
+        return data
+
+    def canonical_dict(self) -> dict[str, Any]:
+        """Like :meth:`to_dict`, but defined for live-graph problems too
+        (each problem contributes its :meth:`Problem.canonical_dict`)."""
+        data: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "problems": [p.canonical_dict() for p in self.problems],
             "run": self.run.to_dict(),
         }
         if self.params_grid is not None:
@@ -295,12 +342,124 @@ def canonical_json(data: Mapping[str, Any]) -> str:
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
+def graph_fingerprint(graph: Graph) -> str:
+    """Content hash of a live graph: SHA-256 over its frozen CSR triplet.
+
+    Hashes ``n`` plus the exact bytes of ``indptr`` and ``indices`` (which
+    together determine the adjacency; ``src_index`` is derived), so the
+    fingerprint depends only on graph structure — never on object identity,
+    memory layout of a shared segment, or construction order of an equal
+    graph.
+    """
+    if not isinstance(graph, Graph):
+        raise SpecError(f"graph_fingerprint expects a Graph, got {type(graph).__name__}")
+    digest = hashlib.sha256()
+    digest.update(f"csr:{graph.n}:".encode("ascii"))
+    digest.update(np.ascontiguousarray(graph.indptr, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.indices, dtype=np.int64).tobytes())
+    return digest.hexdigest()[:16]
+
+
 def spec_hash(spec: Problem | Run | JobSpec | Mapping[str, Any]) -> str:
     """Stable hex id of a spec: SHA-256 over its canonical JSON (16-char prefix).
 
     This is the hash :func:`repro.api.solve.run_spec` embeds in the sink's
-    :class:`~repro.engine.sink.RunManifest` (``spec_hash``), pinning a result
-    file to the exact document that produced it.
+    :class:`~repro.engine.sink.RunManifest` (``spec_hash``) and the job server
+    dedupes submissions by, pinning a result file to the exact document that
+    produced it.  Problems holding a live :class:`Graph` hash canonically via
+    the graph's CSR content (:func:`graph_fingerprint`) — see
+    :meth:`Problem.canonical_dict`.
     """
-    data = spec if isinstance(spec, Mapping) else spec.to_dict()
+    if isinstance(spec, Mapping):
+        data = spec
+    elif isinstance(spec, (Problem, JobSpec)):
+        data = spec.canonical_dict()
+    else:
+        data = spec.to_dict()
     return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------- #
+# Job-level status (the serialized state of one server-side job)
+# --------------------------------------------------------------------------- #
+
+#: Lifecycle states of a submitted job.  ``queued`` and ``running`` are the
+#: *incomplete* states a restarted server re-queues; ``done`` / ``failed``
+#: are terminal.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class JobStatus:
+    """The serialized status of one job: what ``GET /jobs/<id>`` returns.
+
+    ``id`` is the job's :func:`spec_hash` — jobs are content-addressed, so a
+    resubmission of the same document *is* the same job.  ``cells_total`` /
+    ``cells_done`` carry per-cell progress (mirrored from the sink), and
+    ``backend_tier`` surfaces which execution tier actually ran the job
+    (e.g. ``jit:numba`` vs ``jit:fallback-array``) — the per-job answer to
+    "did the compiled path degrade?", which a one-time process warning cannot
+    give a long-running server.
+    """
+
+    id: str
+    spec: dict[str, Any]
+    state: str = "queued"
+    cells_total: int = 0
+    cells_done: int = 0
+    error: str | None = None
+    backend_tier: str | None = None
+    submitted_at: float | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+
+    def __post_init__(self):
+        if self.state not in JOB_STATES:
+            raise SpecError(f"unknown job state {self.state!r}; known: {list(JOB_STATES)}")
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "id": self.id,
+            "spec": dict(self.spec),
+            "state": self.state,
+            "cells_total": self.cells_total,
+            "cells_done": self.cells_done,
+            "error": self.error,
+            "backend_tier": self.backend_tier,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobStatus":
+        _check_schema(data, "job status")
+        if "id" not in data or "spec" not in data:
+            raise SpecError(f"job status is missing 'id'/'spec': {dict(data)!r}")
+        return cls(
+            id=str(data["id"]),
+            spec=dict(data["spec"]),
+            state=str(data.get("state", "queued")),
+            cells_total=int(data.get("cells_total", 0)),
+            cells_done=int(data.get("cells_done", 0)),
+            error=data.get("error"),
+            backend_tier=data.get("backend_tier"),
+            submitted_at=data.get("submitted_at"),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            attempts=int(data.get("attempts", 0)),
+        )
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobStatus":
+        return cls.from_dict(json.loads(text))

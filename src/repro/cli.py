@@ -174,6 +174,25 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--resume", action="store_true",
                        help="skip cells already recorded in --output (restart an interrupted sweep)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the job server: JobSpec JSON over HTTP, dedupe by spec hash",
+        description="Long-running coloring service: POST a JobSpec document to "
+                    "/jobs, poll /jobs/<id>, stream per-cell progress from "
+                    "/jobs/<id>/events (SSE), check /healthz.  Jobs are "
+                    "content-addressed by spec hash (duplicates are cache "
+                    "hits) and survive restarts via the resumable sinks in "
+                    "--state-dir.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (default: 8765; 0 picks a free port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrently executing jobs (default: 2)")
+    serve.add_argument("--state-dir", default="repro-jobs", metavar="DIR",
+                       help="durable job state directory (default: ./repro-jobs); "
+                            "reuse it across restarts to recover incomplete jobs")
+
     return parser
 
 
@@ -355,6 +374,33 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.server import JobServer
+
+    server = JobServer(args.state_dir, host=args.host, port=args.port,
+                       workers=args.workers)
+
+    async def _serve() -> int:
+        await server.start()
+        recovered = server.queue.pending()
+        print(f"repro serve: listening on {server.url}")
+        print(f"  state dir : {server.store.root}")
+        print(f"  workers   : {server.workers}")
+        if recovered:
+            print(f"  recovered : {recovered} incomplete job(s) re-queued")
+        print("  routes    : POST /jobs   GET /jobs[/<id>[/records|/events]]   GET /healthz")
+        await server.serve_forever()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nrepro serve: shutting down (incomplete jobs resume on restart)")
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {
@@ -364,6 +410,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
     }
     try:
         return commands[args.command](args)

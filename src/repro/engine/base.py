@@ -161,6 +161,18 @@ class Engine(abc.ABC):
             "threads": 1,
         }
 
+    def active_tier(self) -> str:
+        """The execution tier actually running this engine's primitives.
+
+        For single-path engines this is just the backend name.  Tiered
+        engines (the jit backend) override it to report which tier resolved
+        — e.g. ``"jit:numba"``, ``"jit:cc"`` or ``"jit:fallback-array"`` —
+        so per-job metadata (RunReport provenance, sink manifests, the job
+        server's ``/healthz``) can surface silent degradation instead of
+        relying on a once-per-process warning.
+        """
+        return self.name
+
     @property
     def collects_message_metrics(self) -> bool:
         """Whether results carry per-message simulator metrics."""

@@ -439,6 +439,7 @@ class BatchRunner:
             parity_check=self.parity_check,
             version=__version__,
             spec_hash=spec_hash,
+            backend_tier=self.engine.active_tier(),
         )
 
     def manifest(
@@ -459,6 +460,7 @@ class BatchRunner:
         params_grid: Iterable[Mapping[str, Any]] | None = None,
         sink: ResultSink | None = None,
         spec_hash: str | None = None,
+        progress: Callable[[int, int, str | None, Mapping[str, Any] | None], None] | None = None,
     ) -> BatchResult:
         """Sweep ``task`` over every cell (and every params dict, if given).
 
@@ -470,6 +472,12 @@ class BatchRunner:
         sweep was described by a saved spec (``repro run --spec``),
         ``spec_hash`` is embedded in the sink's manifest so the result file
         pins the exact spec that produced it.
+
+        ``progress(done, total, cell_id, record)`` — when given — is called
+        once up front with the resumed-cell count (``cell_id=None``) and then
+        after every completed cell (after the sink write, so a reported cell
+        is always durable).  This is the hook the job server's SSE stream and
+        live status counters hang off.
         """
         self._resolve_task(task)  # fail fast on unknown task names
         jobs = self._jobs(task, cells, params_grid)
@@ -481,6 +489,8 @@ class BatchRunner:
                 if cid in sink.completed:
                     records[index] = sink.completed[cid]
         pending = [job for job in jobs if job[0] not in records]
+        if progress is not None:
+            progress(len(records), len(jobs), None, None)
 
         handles: dict[GraphSpec, Any] = {}
         try:
@@ -526,6 +536,8 @@ class BatchRunner:
                 records[index] = record
                 if sink is not None:
                     sink.write(ids[index], record)
+                if progress is not None:
+                    progress(len(records), len(jobs), ids[index], record)
         finally:
             for handle in handles.values():
                 handle.close()

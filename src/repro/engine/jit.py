@@ -184,6 +184,16 @@ class JitEngine(Engine):
         self.remove_color_class(ring, colors, target_colors=3)
         self.kuhn_wattenhofer(ring, colors, m=4)
 
+    def active_tier(self) -> str:
+        """``"jit:numba"`` / ``"jit:cc"``, or ``"jit:fallback-array"``.
+
+        Resolving the provider is what answers the question, so the first
+        call may trigger the one-time tier resolution (and the fallback
+        warning); every later call is a cheap attribute read.
+        """
+        kind = self.provider_kind
+        return f"jit:{kind}" if kind is not None else "jit:fallback-array"
+
     def describe(self) -> dict:
         info = super().describe()
         provider = self._resolve()

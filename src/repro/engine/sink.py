@@ -117,6 +117,14 @@ class RunManifest:
     spec (see :mod:`repro.api.spec`): it is the canonical hash of the exact
     ``{problems, run, params_grid}`` document, so a result file can be traced
     back to — and re-verified against — the spec that produced it.
+
+    ``backend_tier`` records the execution tier that actually ran (see
+    :meth:`repro.engine.base.Engine.active_tier` — e.g. ``"jit:numba"`` vs
+    ``"jit:fallback-array"``), so a result file also answers *how* its
+    backend executed.  The tier is informational provenance, not identity:
+    resume does **not** compare it (results are bit-identical across tiers
+    by the parity guarantee, and a restart may legitimately resolve a
+    different tier).
     """
 
     task: str
@@ -126,6 +134,7 @@ class RunManifest:
     parity_check: bool
     version: str
     spec_hash: str | None = None
+    backend_tier: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -136,7 +145,8 @@ class RunManifest:
                                            "parity_check", "version")}
         if any(v is None for v in fields.values()):
             raise SinkError(f"incomplete run manifest: {dict(data)!r}")
-        return cls(**fields, spec_hash=data.get("spec_hash"))
+        return cls(**fields, spec_hash=data.get("spec_hash"),
+                   backend_tier=data.get("backend_tier"))
 
     def check_resumable(self, existing: "RunManifest", path: os.PathLike | str) -> None:
         """Refuse to resume into a file produced by a *different* run setup."""
@@ -172,8 +182,22 @@ class ResultSink:
         self.resume = bool(resume)
         self.completed = {}
         self.written = 0
+        self._listeners: list[Callable[[str, Mapping[str, Any]], None]] = []
 
     # -- interface ------------------------------------------------------- #
+
+    def add_listener(self, listener: Callable[[str, Mapping[str, Any]], None]) -> None:
+        """Register ``listener(cell_id, record)``, called after each durable write.
+
+        The sink-layer progress hook: listeners fire only once the record has
+        been flushed to the file, so anything built on them (the job server's
+        SSE stream) never reports a cell the sink could still lose.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, cell: str, record: Mapping[str, Any]) -> None:
+        for listener in self._listeners:
+            listener(cell, record)
 
     def start(self, manifest: RunManifest) -> None:
         raise NotImplementedError
@@ -249,6 +273,7 @@ class JsonlSink(ResultSink):
     def write(self, cell: str, record: Mapping[str, Any]) -> None:
         self._emit({"cell": cell, "record": dict(record)})
         self.written += 1
+        self._notify(cell, record)
 
     def close(self) -> None:
         if self._file is not None:
@@ -257,7 +282,12 @@ class JsonlSink(ResultSink):
 
 
 def _csv_scalar(value: str) -> Any:
-    """Best-effort re-typing of a CSV cell (CSV itself stores only strings)."""
+    """Legacy best-effort re-typing of a CSV cell (pre-schema sidecars only).
+
+    Kept for resuming files whose sidecar predates the typed column schema;
+    it is *lossy* (the string ``"42"`` comes back as the int ``42``), which is
+    exactly the bug the schema fixes.
+    """
     if value == "True":
         return True
     if value == "False":
@@ -268,12 +298,90 @@ def _csv_scalar(value: str) -> Any:
         return value
 
 
+#: Column type tags of the CSV schema (stored in the manifest sidecar under
+#: ``"columns"``).  One tag per column, frozen by the first record.
+_CSV_TAGS = ("int", "float", "bool", "str", "none", "json")
+
+
+def _csv_tag(value: Any) -> str:
+    """The schema tag of one record value (numpy scalars unwrap first)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        value = item()
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if value is None:
+        return "none"
+    return "json"
+
+
+def _csv_encode(value: Any, tag: str) -> str:
+    """Render ``value`` as the CSV cell text its ``tag`` decodes exactly."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        value = item()
+    if tag == "json":
+        return json.dumps(value, sort_keys=True, separators=(",", ":"), default=_jsonable)
+    if tag == "none":
+        return ""
+    if isinstance(value, str) and ("\n" in value or "\r" in value):
+        # The torn-tail detector uses the newline as the row-completion
+        # marker; a multi-line quoted field would defeat it.
+        raise SinkError(
+            "CSV sinks cannot store strings containing newlines; use a JSONL sink"
+        )
+    return str(value)
+
+
+def _csv_decode(text: str, tag: str | None) -> Any:
+    """Re-type one CSV cell from its column tag — the exact inverse of
+    :func:`_csv_encode` (so CSV resume round-trips like JSONL).
+
+    ``tag=None`` means a pre-schema sidecar: fall back to the legacy lossy
+    heuristic.  The empty string is the "column absent in this record"
+    marker for every tag except ``str`` (where it is a genuine empty string)
+    and ``none`` (where it is ``None``).
+    """
+    if tag is None:
+        return _csv_scalar(text)
+    if tag == "str":
+        return text
+    if tag == "none":
+        return None
+    if text == "":
+        return ""
+    if tag == "int":
+        return int(text)
+    if tag == "float":
+        return float(text)
+    if tag == "bool":
+        return text == "True"
+    if tag == "json":
+        return json.loads(text)
+    raise SinkError(f"unknown CSV column tag {tag!r}; known: {list(_CSV_TAGS)}")
+
+
 class CsvSink(ResultSink):
     """Streaming CSV with a leading ``cell`` id column and a manifest sidecar.
 
     The column set is frozen by the first record written (or by the header of
     the file being resumed); a record with unknown keys raises
     :class:`SinkError` rather than silently dropping measurements.
+
+    Cells are plain spreadsheet-friendly text, but each column's Python type
+    is recorded in the sidecar (``"columns": {name: tag}``) when the header
+    freezes, and resume re-types every value from that schema — so a resumed
+    CSV sweep returns records identical to the ones originally written
+    (the string ``"42"`` stays a string, ``True`` stays a bool), exactly
+    like JSONL.  A record whose value type disagrees with the column's
+    frozen tag raises :class:`SinkError` (a lossless round-trip needs
+    homogeneous column types; mixed-type sweeps belong in JSONL).
     """
 
     def __init__(self, path: os.PathLike | str, resume: bool = False):
@@ -281,6 +389,8 @@ class CsvSink(ResultSink):
         self._file = None
         self._writer = None
         self._columns: list[str] | None = None
+        self._column_types: dict[str, str] | None = None
+        self._manifest_doc: dict[str, Any] | None = None
 
     @property
     def manifest_path(self) -> pathlib.Path:
@@ -293,10 +403,16 @@ class CsvSink(ResultSink):
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._file = self.path.open("w", encoding="utf-8", newline="")
-            self.manifest_path.write_text(
-                json.dumps(manifest.to_dict(), indent=2, default=_jsonable) + "\n",
-                encoding="utf-8",
-            )
+            self._manifest_doc = manifest.to_dict()
+            self._write_sidecar()
+
+    def _write_sidecar(self) -> None:
+        doc = dict(self._manifest_doc or {})
+        if self._column_types is not None:
+            doc["columns"] = dict(self._column_types)
+        self.manifest_path.write_text(
+            json.dumps(doc, indent=2, default=_jsonable) + "\n", encoding="utf-8"
+        )
 
     def _load_existing(self, manifest: RunManifest) -> None:
         if not self.manifest_path.exists():
@@ -304,18 +420,20 @@ class CsvSink(ResultSink):
                 f"cannot resume from {self.path}: missing sidecar {self.manifest_path.name}"
             )
         try:
-            existing = RunManifest.from_dict(
-                json.loads(self.manifest_path.read_text(encoding="utf-8"))
-            )
+            sidecar = json.loads(self.manifest_path.read_text(encoding="utf-8"))
         except json.JSONDecodeError as exc:
             raise SinkError(f"cannot resume from {self.manifest_path}: {exc}") from None
+        existing = RunManifest.from_dict(sidecar)
         manifest.check_resumable(existing, self.path)
+        types = sidecar.get("columns")
+        self._manifest_doc = {k: v for k, v in sidecar.items() if k != "columns"}
         text = self.path.read_text(encoding="utf-8")
         # A trailing chunk without a newline is a row the previous run did not
         # survive mid-write.  Field counting cannot detect a row truncated
         # *inside* its last field, so the newline is the completion marker —
-        # exactly as in the JSONL sink.  (Record values are scalars; embedded
-        # newlines cannot occur.)
+        # exactly as in the JSONL sink.  (Record values are scalars and
+        # newline-free strings — enforced on write — so embedded newlines
+        # cannot occur.)
         torn_tail = None
         if text and not text.endswith("\n"):
             head, _, torn_tail = text.rpartition("\n")
@@ -324,14 +442,23 @@ class CsvSink(ResultSink):
         if not rows or not rows[0] or rows[0][0] != "cell":
             raise SinkError(f"cannot resume from {self.path}: missing 'cell' header column")
         self._columns = rows[0][1:]
+        if types is not None:
+            if set(types) != set(self._columns):
+                raise SinkError(
+                    f"cannot resume from {self.path}: sidecar column schema "
+                    f"{sorted(types)} disagrees with the CSV header {self._columns}"
+                )
+            self._column_types = {col: str(types[col]) for col in self._columns}
         for lineno, row in enumerate(rows[1:], start=2):
             if len(row) != len(rows[0]):
                 raise SinkError(
                     f"cannot resume from {self.path}: row {lineno} has {len(row)} fields, "
                     f"expected {len(rows[0])}"
                 )
+            tags = self._column_types
             self.completed[row[0]] = {
-                col: _csv_scalar(val) for col, val in zip(self._columns, row[1:])
+                col: _csv_decode(val, None if tags is None else tags[col])
+                for col, val in zip(self._columns, row[1:])
             }
         if torn_tail is not None:
             self.path.write_text(text, encoding="utf-8")
@@ -339,18 +466,39 @@ class CsvSink(ResultSink):
     def write(self, cell: str, record: Mapping[str, Any]) -> None:
         if self._columns is None:
             self._columns = list(record)
+            self._column_types = {col: _csv_tag(record[col]) for col in self._columns}
             csv.writer(self._file).writerow(["cell", *self._columns])
+            # The sidecar is rewritten (not appended) so the schema lands in
+            # the same document the manifest check reads on resume.
+            self._write_sidecar()
         unknown = set(record) - set(self._columns)
         if unknown:
             raise SinkError(
                 f"record has columns {sorted(unknown)} not in the CSV header "
                 f"{self._columns} — CSV sinks need a fixed column set per sweep"
             )
-        csv.writer(self._file).writerow(
-            [cell, *(record.get(col, "") for col in self._columns)]
-        )
+        row = [cell]
+        for col in self._columns:
+            if col not in record:
+                row.append("")
+                continue
+            value = record[col]
+            if self._column_types is not None:
+                tag = _csv_tag(value)
+                if tag != self._column_types[col]:
+                    raise SinkError(
+                        f"column {col!r} holds {self._column_types[col]} values but this "
+                        f"record carries a {tag} ({value!r}) — a lossless CSV round-trip "
+                        "needs homogeneous column types; use a JSONL sink for mixed types"
+                    )
+                row.append(_csv_encode(value, tag))
+            else:
+                # Pre-schema file being resumed: keep the legacy rendering.
+                row.append("" if value is None else str(value))
+        csv.writer(self._file).writerow(row)
         self._file.flush()
         self.written += 1
+        self._notify(cell, record)
 
     def close(self) -> None:
         if self._file is not None:

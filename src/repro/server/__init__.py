@@ -1,0 +1,26 @@
+"""repro.server — coloring-as-a-service: a job server over :class:`JobSpec`.
+
+The declarative spec layer (:mod:`repro.api.spec`), the content-addressed
+``spec_hash``, and the resumable sinks (:mod:`repro.engine.sink`) are exactly
+the ingredients of a service API; this package assembles them into a
+long-running HTTP server (``repro serve``):
+
+* :class:`~repro.server.store.JobStore` — the durable state directory: one
+  content-addressed directory per job (``jobs/<spec_hash>/``) holding the
+  job's status document and its resumable JSONL record sink.
+* :class:`~repro.server.queue.JobQueue` — a bounded worker pool executing
+  jobs through :func:`repro.api.solve.run_spec` (the exact same machinery as
+  ``repro run --spec``, so a served job's records are byte-identical to a
+  local run), with per-cell progress callbacks.
+* :class:`~repro.server.app.JobServer` — the asyncio HTTP front end: POST a
+  JobSpec, poll ``GET /jobs/<id>``, stream per-cell progress over SSE, check
+  ``GET /healthz``.  Duplicate submissions dedupe by ``spec_hash`` into the
+  store (a finished job is a cache hit — no re-execution), and a restarted
+  server re-queues incomplete jobs, whose sinks resume where they left off.
+"""
+
+from repro.server.app import JobServer
+from repro.server.queue import JobQueue
+from repro.server.store import JobStore
+
+__all__ = ["JobServer", "JobQueue", "JobStore"]

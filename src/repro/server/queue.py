@@ -1,0 +1,168 @@
+"""Bounded-worker job execution for the job server.
+
+Jobs execute through :func:`repro.api.solve.run_spec` — the exact machinery
+behind ``repro run --spec`` — against the store's resumable JSONL sink, so a
+served job's records are byte-identical to a local replay of the same spec
+(modulo wall-clock fields), restart recovery is the sink's ``resume=True``
+path, and the manifest pins the spec hash the job is addressed by.
+
+The pool is a :class:`~concurrent.futures.ThreadPoolExecutor`: the hot loops
+are NumPy/compiled kernels that release the GIL, a spec may itself request
+process-pool sharding (``run.workers > 1``), and threads can share the
+process-wide engine instances (and their warmed-up JIT kernels) for free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.server.store import JobStore
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Execute stored jobs on a bounded worker pool with progress events.
+
+    ``on_event(job_id, event)`` — when given — is called from worker threads
+    for every lifecycle transition and completed cell; the HTTP layer bridges
+    these onto the asyncio loop for SSE.  Event shapes::
+
+        {"type": "status", "state": "running", "attempts": n}
+        {"type": "progress", "done": d, "total": t, "resumed": d}   # on start
+        {"type": "cell", "cell": id, "done": d, "total": t, "record": {...}}
+        {"type": "done", "cells_done": d, "cells_total": t, "backend_tier": ...}
+        {"type": "failed", "error": "..."}
+    """
+
+    #: Test seam: called as ``hook(job_id, done, total)`` after every cell's
+    #: status update.  Tests raise a BaseException from it to simulate the
+    #: process dying mid-job (the job is left ``running`` on disk, exactly
+    #: like a SIGKILL — *not* marked failed).
+    _test_cell_hook: Callable[[str, int, int], None] | None = None
+
+    def __init__(
+        self,
+        store: JobStore,
+        workers: int = 2,
+        on_event: Callable[[str, dict[str, Any]], None] | None = None,
+    ):
+        if int(workers) < 1:
+            raise ValueError(f"JobQueue workers must be >= 1, got {workers!r}")
+        self.store = store
+        self.workers = int(workers)
+        self.on_event = on_event
+        self._pool = ThreadPoolExecutor(max_workers=self.workers,
+                                        thread_name_prefix="repro-job")
+        self._futures: dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Submission / recovery
+    # ------------------------------------------------------------------ #
+
+    def submit(self, job_id: str) -> Future:
+        """Queue one stored job for execution (idempotent while in flight)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("JobQueue is shut down")
+            future = self._futures.get(job_id)
+            if future is not None and not future.done():
+                return future
+            future = self._pool.submit(self._execute, job_id)
+            self._futures[job_id] = future
+            return future
+
+    def recover(self) -> list[str]:
+        """Re-queue every incomplete (queued/running) job in the store.
+
+        This is the restart path: jobs the previous process died under go
+        back on the pool, and their sinks resume — completed cells are loaded
+        from ``records.jsonl``, never recomputed.
+        """
+        incomplete = self.store.incomplete_job_ids()
+        for job_id in incomplete:
+            self.store.update(job_id, state="queued")
+            self.submit(job_id)
+        return incomplete
+
+    def pending(self) -> int:
+        with self._lock:
+            return sum(1 for f in self._futures.values() if not f.done())
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool.  ``wait=False`` abandons queued jobs (they stay
+        ``queued``/``running`` on disk and are recovered on restart)."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait, cancel_futures=not wait)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, job_id: str, event: dict[str, Any]) -> None:
+        if self.on_event is not None:
+            self.on_event(job_id, event)
+
+    def _execute(self, job_id: str) -> None:
+        from repro.api.solve import run_spec
+        from repro.engine.sink import JsonlSink
+
+        status = self.store.load(job_id)
+        if status is None or status.terminal:
+            return  # deleted or already finished (e.g. duplicate recovery)
+        status = self.store.update(
+            job_id, state="running", started_at=time.time(),
+            attempts=status.attempts + 1, error=None,
+        )
+        self._emit(job_id, {"type": "status", "state": "running",
+                            "attempts": status.attempts})
+
+        def progress(done: int, total: int, cell: str | None, record) -> None:
+            changes: dict[str, Any] = {"cells_done": done, "cells_total": total}
+            if cell is None:
+                # First callback: the sink has started, so the manifest (and
+                # the backend tier that will run the job) is durable already.
+                manifest = self.store.manifest(job_id)
+                if manifest is not None:
+                    changes["backend_tier"] = manifest.get("backend_tier")
+                self.store.update(job_id, **changes)
+                self._emit(job_id, {"type": "progress", "done": done,
+                                    "total": total, "resumed": done})
+            else:
+                self.store.update(job_id, **changes)
+                self._emit(job_id, {"type": "cell", "cell": cell, "done": done,
+                                    "total": total, "record": dict(record)})
+            hook = type(self)._test_cell_hook
+            if hook is not None and cell is not None:
+                hook(job_id, done, total)
+
+        sink = JsonlSink(self.store.records_path(job_id), resume=True)
+        try:
+            try:
+                run_spec(status.spec, sink=sink, progress=progress)
+            finally:
+                sink.close()
+        except Exception as exc:  # noqa: BLE001 — any job failure is recorded
+            status = self.store.update(
+                job_id, state="failed", finished_at=time.time(),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self._emit(job_id, {"type": "failed", "error": status.error})
+            return
+        manifest = self.store.manifest(job_id) or {}
+        status = self.store.update(
+            job_id, state="done", finished_at=time.time(),
+            backend_tier=manifest.get("backend_tier"),
+        )
+        self._emit(job_id, {
+            "type": "done",
+            "cells_done": status.cells_done,
+            "cells_total": status.cells_total,
+            "backend_tier": status.backend_tier,
+        })

@@ -49,6 +49,7 @@ class TestSolve:
         assert report.rounds == report.record["rounds"]
         assert report.seconds >= 0.0
         assert report.provenance["engine"] == "array"
+        assert report.provenance["backend_tier"] == "array"  # which tier ran
         assert report.provenance["spec_hash"] == spec_hash(
             JobSpec.single(Problem(graph=CELLS[0]), Run(algorithm="delta_plus_one"))
         )

@@ -190,6 +190,106 @@ class TestSpecHash:
         assert spec_hash(a) != spec_hash(b)
 
 
+class TestLiveGraphHashing:
+    """Regression: ``spec_hash`` over a Problem holding a live Graph used to
+    die inside ``to_dict`` (SpecError: not serializable), making dedupe over
+    programmatic submissions undefined.  Live graphs now hash canonically via
+    the content of their CSR triplet."""
+
+    def test_fingerprint_is_content_based(self):
+        from repro.api.spec import graph_fingerprint
+
+        a = generators.random_regular(60, 4, seed=7)
+        b = generators.random_regular(60, 4, seed=7)  # same content, new object
+        c = generators.random_regular(60, 4, seed=8)
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+        assert graph_fingerprint(a) != graph_fingerprint(c)
+        assert len(graph_fingerprint(a)) == 16
+
+    def test_fingerprint_survives_shared_memory_round_trip(self):
+        from repro.api.spec import graph_fingerprint
+        from repro.congest.graph import Graph
+        from repro.congest.shared import release
+
+        graph = generators.random_regular(60, 4, seed=3)
+        handle = graph.to_shared()
+        try:
+            attached = Graph.from_shared(handle)
+            assert graph_fingerprint(attached) == graph_fingerprint(graph)
+        finally:
+            handle.close()
+            release(handle.name)
+
+    def test_fingerprint_rejects_non_graphs(self):
+        from repro.api.spec import graph_fingerprint
+
+        with pytest.raises(SpecError, match="expects a Graph"):
+            graph_fingerprint({"n": 3})
+
+    def test_spec_hash_over_live_graph_problem(self):
+        live = Problem(graph=generators.ring(24))
+        assert not live.is_serializable
+        digest = spec_hash(live)  # no raise — the regression
+        assert digest == spec_hash(Problem(graph=generators.ring(24)))
+        assert digest != spec_hash(Problem(graph=generators.ring(26)))
+        # canonical dict marks the graph as live and embeds the fingerprint
+        doc = live.canonical_dict()
+        assert doc["graph"]["live"] is True and "csr_sha256" in doc["graph"]
+
+    def test_spec_hash_over_live_graph_jobspec(self):
+        run = Run(algorithm="delta_plus_one")
+        a = JobSpec.single(Problem(graph=generators.ring(24)), run)
+        b = JobSpec.single(Problem(graph=generators.ring(24)), run)
+        assert spec_hash(a) == spec_hash(b)
+
+    def test_live_and_spec_described_problems_never_collide(self):
+        live = Problem(graph=generators.ring(24))
+        described = Problem(graph=GraphSpec("ring", 24, 2, 0))
+        assert spec_hash(live) != spec_hash(described)
+
+    def test_to_dict_still_refuses_live_graphs(self):
+        # hashing is canonical; *serialization* is still an explicit error
+        with pytest.raises(SpecError, match="live Graph"):
+            Problem(graph=generators.ring(8)).to_dict()
+        with pytest.raises(SpecError, match="live Graph"):
+            JobSpec.single(Problem(graph=generators.ring(8)),
+                           Run(algorithm="kdelta")).to_dict()
+
+
+class TestJobStatus:
+    def make(self, **overrides):
+        from repro.api.spec import JobStatus
+
+        base = dict(id="ab12", spec={"run": {"algorithm": "kdelta"}})
+        base.update(overrides)
+        return JobStatus(**base)
+
+    def test_round_trip(self):
+        from repro.api.spec import JobStatus
+
+        status = self.make(state="running", cells_total=4, cells_done=2,
+                           backend_tier="jit:numba", submitted_at=12.5, attempts=1)
+        assert JobStatus.from_json(status.to_json()) == status
+
+    def test_terminal_states(self):
+        from repro.api.spec import JOB_STATES
+
+        assert JOB_STATES == ("queued", "running", "done", "failed")
+        for state, terminal in (("queued", False), ("running", False),
+                                ("done", True), ("failed", True)):
+            assert self.make(state=state).terminal is terminal
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(SpecError, match="unknown job state"):
+            self.make(state="paused")
+
+    def test_missing_fields_rejected(self):
+        from repro.api.spec import JobStatus
+
+        with pytest.raises(SpecError, match="missing"):
+            JobStatus.from_dict({"state": "queued"})
+
+
 class TestExperimentSpecs:
     def test_all_experiments_expressed_and_roundtrip(self):
         from repro.analysis.experiments import experiment_specs

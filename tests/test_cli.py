@@ -60,6 +60,14 @@ class TestParser:
         args = build_parser().parse_args(["color", "ruling_set", "--r", "3"])
         assert args.r == 3 and args.baseline is False
 
+    def test_serve_defaults_and_overrides(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port, args.workers) == ("127.0.0.1", 8765, 2)
+        assert args.state_dir == "repro-jobs"
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4", "--state-dir", "/tmp/j"])
+        assert args.port == 0 and args.workers == 4 and args.state_dir == "/tmp/j"
+
     def test_batch_task_choices_come_from_registry(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["batch", "--task", "nonexistent"])

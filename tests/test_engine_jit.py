@@ -336,3 +336,18 @@ class TestFallback:
         monkeypatch.setenv("REPRO_JIT_DISABLE", "numba,cc")
         reset_provider_cache()
         assert get_provider() is None
+
+    def test_active_tier_names_the_fallback(self, monkeypatch, pristine_provider):
+        # The queryable per-job answer to the once-per-process warning: a
+        # long-running server surfaces this in every manifest and /healthz.
+        self._force_fallback(monkeypatch)
+        engine = JitEngine()
+        with pytest.warns(RuntimeWarning):
+            assert engine.active_tier() == "jit:fallback-array"
+
+    def test_active_tier_names_the_compiled_tier(self):
+        engine = JitEngine()
+        if engine.available:
+            assert engine.active_tier() == f"jit:{engine.provider_kind}"
+        assert get_engine("array").active_tier() == "array"
+        assert get_engine("reference").active_tier() == "reference"

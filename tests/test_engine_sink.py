@@ -244,6 +244,187 @@ class TestCsvSink:
                 sink.write("c1", {**RECORDS[1], "surprise": 1})
 
 
+class TestCsvTypedSchema:
+    """Regression: CSV resume used to re-type values heuristically (lossy —
+    the string ``"42"`` came back as the int ``42``).  The manifest sidecar
+    now carries a per-column type schema making resume an exact inverse."""
+
+    TRICKY = {"label": "42", "flag": "True", "count": 42, "ratio": 1.0,
+              "ok": True, "note": "", "extra": None}
+
+    def test_sidecar_records_column_schema(self, tmp_path):
+        path = tmp_path / "run.csv"
+        with CsvSink(path) as sink:
+            sink.start(manifest())
+            sink.write("c0", self.TRICKY)
+        sidecar = json.loads(sink.manifest_path.read_text())
+        assert sidecar["columns"] == {
+            "label": "str", "flag": "str", "count": "int", "ratio": "float",
+            "ok": "bool", "note": "str", "extra": "none",
+        }
+        # the schema rides along the manifest, not instead of it
+        assert RunManifest.from_dict(sidecar) == manifest()
+
+    def test_resume_round_trip_is_exact(self, tmp_path):
+        # the lossy cases: numeric-looking and bool-looking *strings*
+        path = tmp_path / "run.csv"
+        with CsvSink(path) as sink:
+            sink.start(manifest())
+            sink.write("c0", self.TRICKY)
+        with CsvSink(path, resume=True) as resumed:
+            resumed.start(manifest())
+            assert resumed.completed["c0"] == self.TRICKY
+            rec = resumed.completed["c0"]
+            assert rec["label"] == "42" and isinstance(rec["label"], str)
+            assert rec["flag"] == "True" and isinstance(rec["flag"], str)
+            assert rec["ok"] is True and rec["count"] == 42
+            assert rec["note"] == "" and rec["extra"] is None
+
+    def test_resume_round_trips_like_jsonl(self, tmp_path):
+        # the same records through both sinks resume to identical dicts
+        jsonl, csv_path = tmp_path / "run.jsonl", tmp_path / "run.csv"
+        other = {**self.TRICKY, "label": "7", "count": 7, "ok": False}
+        for cls, path in ((JsonlSink, jsonl), (CsvSink, csv_path)):
+            with cls(path) as sink:
+                sink.start(manifest())
+                sink.write("c0", self.TRICKY)
+                sink.write("c1", other)
+        with JsonlSink(jsonl, resume=True) as a, CsvSink(csv_path, resume=True) as b:
+            a.start(manifest())
+            b.start(manifest())
+            assert a.completed == b.completed
+
+    def test_float_column_stays_float(self, tmp_path):
+        # 1.0 must not collapse to the int 1 on resume
+        path = tmp_path / "run.csv"
+        with CsvSink(path) as sink:
+            sink.start(manifest())
+            sink.write("c0", {"x": 1.0})
+        with CsvSink(path, resume=True) as resumed:
+            resumed.start(manifest())
+            assert isinstance(resumed.completed["c0"]["x"], float)
+
+    def test_numpy_scalars_tag_as_plain_types(self, tmp_path):
+        path = tmp_path / "run.csv"
+        with CsvSink(path) as sink:
+            sink.start(manifest())
+            sink.write("c0", {"n": np.int64(3), "t": np.float64(0.5), "p": np.bool_(True)})
+        with CsvSink(path, resume=True) as resumed:
+            resumed.start(manifest())
+            assert resumed.completed["c0"] == {"n": 3, "t": 0.5, "p": True}
+
+    def test_mixed_type_column_rejected(self, tmp_path):
+        path = tmp_path / "run.csv"
+        with CsvSink(path) as sink:
+            sink.start(manifest())
+            sink.write("c0", {"x": 1})
+            with pytest.raises(SinkError, match="holds int values"):
+                sink.write("c1", {"x": "one"})
+
+    def test_newline_in_string_rejected(self, tmp_path):
+        # a quoted multi-line field would defeat the torn-tail detector
+        path = tmp_path / "run.csv"
+        with CsvSink(path) as sink:
+            sink.start(manifest())
+            with pytest.raises(SinkError, match="newline"):
+                sink.write("c0", {"x": "two\nlines"})
+
+    def test_legacy_sidecar_still_resumes(self, tmp_path):
+        # files written before the schema (no "columns" key) keep the old
+        # best-effort behavior instead of being rejected
+        path = tmp_path / "run.csv"
+        with CsvSink(path) as sink:
+            sink.start(manifest())
+            sink.write("c0", RECORDS[0])
+        sidecar = json.loads(sink.manifest_path.read_text())
+        del sidecar["columns"]
+        sink.manifest_path.write_text(json.dumps(sidecar))
+        with CsvSink(path, resume=True) as resumed:
+            resumed.start(manifest())
+            rec = resumed.completed["c0"]
+            assert rec["rounds"] == 2 and rec["proper"] is True  # heuristic still works
+
+    def test_schema_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "run.csv"
+        with CsvSink(path) as sink:
+            sink.start(manifest())
+            sink.write("c0", RECORDS[0])
+        sidecar = json.loads(sink.manifest_path.read_text())
+        sidecar["columns"] = {"other": "int"}
+        sink.manifest_path.write_text(json.dumps(sidecar))
+        with pytest.raises(SinkError, match="column schema"):
+            CsvSink(path, resume=True).start(manifest())
+
+
+class TestSinkListeners:
+    def test_listener_fires_after_each_durable_write(self, tmp_path):
+        seen = []
+        with JsonlSink(tmp_path / "run.jsonl") as sink:
+            sink.add_listener(lambda cell, record: seen.append((cell, dict(record))))
+            sink.start(manifest())
+            sink.write("c0", RECORDS[0])
+            sink.write("c1", RECORDS[1])
+        assert seen == [("c0", RECORDS[0]), ("c1", RECORDS[1])]
+
+    def test_csv_sink_notifies_too(self, tmp_path):
+        seen = []
+        with CsvSink(tmp_path / "run.csv") as sink:
+            sink.add_listener(lambda cell, record: seen.append(cell))
+            sink.start(manifest())
+            sink.write("c0", RECORDS[0])
+        assert seen == ["c0"]
+
+
+class TestBackendTier:
+    def test_runner_manifest_carries_active_tier(self):
+        runner = BatchRunner(backend="array")
+        cells = BatchRunner.grid("gnp", 30, 4, seeds=(0,))
+        assert runner.manifest("kdelta", cells).backend_tier == "array"
+
+    def test_jit_tier_is_kind_or_fallback(self):
+        from repro.engine.registry import get_engine
+
+        tier = get_engine("jit").active_tier()
+        assert tier in ("jit:numba", "jit:cc", "jit:fallback-array")
+
+    def test_tier_mismatch_does_not_block_resume(self, tmp_path):
+        # the tier is provenance, not identity: a restart may resolve a
+        # different tier (e.g. numba missing after an env change) and must
+        # still resume the same sweep
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.start(manifest(backend_tier="jit:numba"))
+            sink.write("c0", RECORDS[0])
+        with JsonlSink(path, resume=True) as resumed:
+            resumed.start(manifest(backend_tier="jit:fallback-array"))  # no raise
+            assert set(resumed.completed) == {"c0"}
+
+    def test_progress_callback_reports_each_cell(self, tmp_path):
+        calls = []
+        runner = BatchRunner(backend="array")
+        cells = BatchRunner.grid("gnp", 30, 4, seeds=(0, 1))
+        with JsonlSink(tmp_path / "run.jsonl") as sink:
+            runner.run("kdelta", cells, sink=sink,
+                       progress=lambda done, total, cell, rec: calls.append((done, total, cell)))
+        assert calls[0] == (0, 2, None)  # the resume-baseline call
+        assert [c[0] for c in calls[1:]] == [1, 2]
+        assert all(c[1] == 2 for c in calls)
+        assert all(c[2] is not None for c in calls[1:])
+
+    def test_progress_reports_resumed_cells_up_front(self, tmp_path):
+        runner = BatchRunner(backend="array")
+        cells = BatchRunner.grid("gnp", 30, 4, seeds=(0, 1))
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            runner.run("kdelta", cells, sink=sink)
+        calls = []
+        with JsonlSink(path, resume=True) as sink:
+            runner.run("kdelta", cells, sink=sink,
+                       progress=lambda done, total, cell, rec: calls.append((done, total)))
+        assert calls[0] == (2, 2)  # every cell already durable before any work
+        assert calls[-1] == (2, 2)
+
+
 class TestOpenSink:
     def test_suffix_dispatch(self, tmp_path):
         assert isinstance(open_sink(tmp_path / "a.jsonl"), JsonlSink)

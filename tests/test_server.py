@@ -1,0 +1,338 @@
+"""Job-server tests: HTTP round trips, dedupe, SSE, and restart recovery.
+
+Each server runs in-process on a background thread (``start_background``)
+bound to a free port; clients are plain ``urllib`` over the loopback.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.solve import run_spec
+from repro.api.spec import JobSpec, spec_hash
+from repro.engine.sink import JsonlSink
+from repro.server import JobQueue, JobServer, JobStore
+from repro.server.store import JobStoreError
+
+SPEC = {
+    "problems": [
+        {"graph": {"family": "random_regular", "n": n, "delta": 6}}
+        for n in (80, 120, 160)
+    ],
+    "run": {"algorithm": "delta_plus_one", "backend": "array"},
+}
+
+
+# --------------------------------------------------------------------------- #
+# HTTP helpers
+# --------------------------------------------------------------------------- #
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.load(response)
+
+
+def post(url: str, document) -> tuple[int, dict]:
+    body = document if isinstance(document, bytes) else json.dumps(document).encode()
+    request = urllib.request.Request(url, data=body, method="POST",
+                                     headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.load(response)
+
+
+def http_error(callable_):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        callable_()
+    payload = json.load(excinfo.value)
+    return excinfo.value.code, payload
+
+
+def wait_terminal(url: str, job_id: str, timeout: float = 120.0) -> dict:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        _, status = get(f"{url}/jobs/{job_id}")
+        if status["state"] in ("done", "failed"):
+            return status
+        time.sleep(0.1)
+    raise AssertionError(f"job {job_id} still {status['state']} after {timeout}s")
+
+
+def sse_events(url: str, job_id: str, timeout: float = 120.0) -> list[tuple[str, dict]]:
+    """Read the job's SSE stream until its terminal event."""
+    events, kind = [], None
+    with urllib.request.urlopen(f"{url}/jobs/{job_id}/events", timeout=timeout) as stream:
+        for raw in stream:
+            line = raw.decode("utf-8").rstrip("\n")
+            if line.startswith("event: "):
+                kind = line[len("event: "):]
+            elif line.startswith("data: "):
+                events.append((kind, json.loads(line[len("data: "):])))
+                if kind in ("done", "failed"):
+                    break
+    return events
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = JobServer(tmp_path / "state", port=0, workers=2).start_background()
+    yield instance
+    instance.stop()
+
+
+# --------------------------------------------------------------------------- #
+# The store
+# --------------------------------------------------------------------------- #
+
+
+class TestJobStore:
+    def test_create_is_content_addressed(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.create("abc123", {"k": 1})
+        again = store.create("abc123", {"k": 1})
+        assert first == again and store.job_ids() == ["abc123"]
+
+    def test_update_round_trips_atomically(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create("abc123", {})
+        store.update("abc123", state="running", cells_total=5)
+        status = store.load("abc123")
+        assert (status.state, status.cells_total) == ("running", 5)
+        assert not list(store.job_dir("abc123").glob("*.tmp"))  # replace, not leave
+
+    def test_malformed_ids_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        for bad in ("", "../escape", "ABC", "a/b"):
+            with pytest.raises(JobStoreError, match="malformed job id"):
+                store.job_dir(bad)
+
+    def test_unknown_fields_and_states_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create("abc", {})
+        with pytest.raises(JobStoreError, match="no field"):
+            store.update("abc", nope=1)
+        with pytest.raises(JobStoreError, match="unknown job state"):
+            store.update("abc", state="exploded")
+
+    def test_incomplete_ids_are_queued_and_running(self, tmp_path):
+        store = JobStore(tmp_path)
+        for job_id, state in (("aa", "queued"), ("bb", "running"),
+                              ("cc", "done"), ("dd", "failed")):
+            store.create(job_id, {})
+            store.update(job_id, state=state)
+        assert store.incomplete_job_ids() == ["aa", "bb"]
+        assert store.counts() == {"queued": 1, "running": 1, "done": 1, "failed": 1}
+
+    def test_records_skip_manifest_and_torn_tail(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create("ab", {})
+        path = store.records_path("ab")
+        with JsonlSink(path) as sink:
+            from test_engine_sink import manifest
+
+            sink.start(manifest())
+            sink.write("c1", {"rounds": 2})
+        with path.open("a") as handle:
+            handle.write('{"cell": "c2", "rec')  # torn: the write never finished
+        assert [obj["cell"] for obj in store.records("ab")] == ["c1"]
+        assert store.manifest("ab")["task"] == "kdelta"
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end over HTTP
+# --------------------------------------------------------------------------- #
+
+
+class TestSubmitAndPoll:
+    def test_job_runs_to_done_with_manifest_parity(self, server, tmp_path):
+        code, submitted = post(server.url + "/jobs", SPEC)
+        assert code == 201 and submitted["cached"] is False
+        job_id = submitted["id"]
+        assert job_id == spec_hash(JobSpec.from_dict(SPEC))  # content address
+
+        status = wait_terminal(server.url, job_id)
+        assert status["state"] == "done"
+        assert status["cells_done"] == status["cells_total"] == 3
+        assert status["manifest"]["spec_hash"] == job_id
+        assert status["backend_tier"] == "array"
+
+        # records match a local run of the very same spec, byte for byte
+        # (modulo the wall-clock seconds field)
+        _, served = get(f"{server.url}/jobs/{job_id}/records")
+        local = run_spec(SPEC, sink=JsonlSink(tmp_path / "local.jsonl"))[0]
+        assert len(served["records"]) == 3
+        for obj, record in zip(served["records"], local.records):
+            expected = {k: v for k, v in record.items() if k != "seconds"}
+            got = {k: v for k, v in obj["record"].items() if k != "seconds"}
+            assert got == expected
+
+    def test_resubmission_is_a_cache_hit(self, server):
+        _, first = post(server.url + "/jobs", SPEC)
+        wait_terminal(server.url, first["id"])
+        executed = server.store.load(first["id"])
+        code, again = post(server.url + "/jobs", SPEC)
+        assert code == 200 and again["cached"] is True
+        assert again["id"] == first["id"] and again["state"] == "done"
+        # no re-execution: the attempt counter did not move
+        assert server.store.load(first["id"]).attempts == executed.attempts == 1
+
+    def test_dedupe_ignores_key_order_and_default_fields(self, server):
+        _, first = post(server.url + "/jobs", SPEC)
+        reordered = {"run": {**SPEC["run"], "workers": 1}, "problems": SPEC["problems"]}
+        code, again = post(server.url + "/jobs", reordered)
+        assert code == 200 and again["id"] == first["id"] and again["cached"]
+
+    def test_jobs_listing(self, server):
+        _, submitted = post(server.url + "/jobs", SPEC)
+        _, listing = get(server.url + "/jobs")
+        assert [job["id"] for job in listing["jobs"]] == [submitted["id"]]
+
+    def test_healthz_reports_backends_and_tiers(self, server):
+        from repro import __version__
+
+        _, health = get(server.url + "/healthz")
+        assert health["status"] == "ok" and health["version"] == __version__
+        assert {info["backend"] for info in health["backends"]} >= {"reference", "array", "jit"}
+        assert health["backend_tiers"]["array"] == "array"
+        assert health["backend_tiers"]["jit"].startswith("jit:")
+        assert set(health["jobs"]) == {"queued", "running", "done", "failed"}
+
+
+class TestValidation:
+    def test_bad_json_is_400(self, server):
+        code, payload = http_error(lambda: post(server.url + "/jobs", b"{not json"))
+        assert code == 400 and "JSON" in payload["error"]
+
+    def test_unknown_algorithm_is_422(self, server):
+        bad = {**SPEC, "run": {"algorithm": "quantum_rainbow"}}
+        code, payload = http_error(lambda: post(server.url + "/jobs", bad))
+        assert code == 422 and "quantum_rainbow" in payload["error"]
+
+    def test_bad_params_are_422(self, server):
+        bad = {**SPEC, "run": {"algorithm": "kdelta", "params": {"k": -3}}}
+        code, _ = http_error(lambda: post(server.url + "/jobs", bad))
+        assert code == 422
+
+    def test_unknown_backend_is_422(self, server):
+        bad = {**SPEC, "run": {**SPEC["run"], "backend": "gpu9000"}}
+        code, payload = http_error(lambda: post(server.url + "/jobs", bad))
+        assert code == 422 and "gpu9000" in payload["error"]
+
+    def test_unknown_graph_family_is_422(self, server):
+        bad = {**SPEC, "problems": [{"graph": {"family": "nope", "n": 10, "delta": 3}}]}
+        code, payload = http_error(lambda: post(server.url + "/jobs", bad))
+        assert code == 422 and "nope" in payload["error"]
+        # validation rejected it before it became a job
+        assert server.store.job_ids() == []
+
+    def test_unknown_job_is_404(self, server):
+        code, _ = http_error(lambda: get(server.url + "/jobs/abcdef0123456789"))
+        assert code == 404
+
+    def test_unknown_route_is_404_and_wrong_method_405(self, server):
+        assert http_error(lambda: get(server.url + "/nope"))[0] == 404
+        assert http_error(lambda: post(server.url + "/healthz", {}))[0] == 405
+
+
+class TestEvents:
+    def test_sse_streams_every_cell_then_done(self, server):
+        _, submitted = post(server.url + "/jobs", SPEC)
+        events = sse_events(server.url, submitted["id"])
+        kinds = [kind for kind, _ in events]
+        assert kinds[-1] == "done"
+        cells = [data for kind, data in events if kind == "cell"]
+        assert len(cells) == 3 and len({c["cell"] for c in cells}) == 3
+        assert [c["done"] for c in cells] == [1, 2, 3]
+        assert all(c["total"] == 3 for c in cells)
+        assert all("rounds" in c["record"] for c in cells)
+
+    def test_sse_on_finished_job_replays_history(self, server):
+        _, submitted = post(server.url + "/jobs", SPEC)
+        wait_terminal(server.url, submitted["id"])
+        events = sse_events(server.url, submitted["id"])
+        kinds = [kind for kind, _ in events]
+        assert kinds == ["cell", "cell", "cell", "done"]
+        assert events[-1][1]["state"] == "done"
+
+
+# --------------------------------------------------------------------------- #
+# Restart recovery
+# --------------------------------------------------------------------------- #
+
+
+class TestRestartRecovery:
+    def test_killed_job_resumes_and_matches_uninterrupted_run(self, tmp_path):
+        state_dir = tmp_path / "state"
+        died = threading.Event()
+
+        def die_after_two(job_id, done, total):
+            if done >= 2:
+                died.set()
+                # BaseException: escapes the queue's `except Exception`, so the
+                # job stays `running` on disk — exactly a SIGKILL mid-cell.
+                raise SystemExit("simulated kill")
+
+        JobQueue._test_cell_hook = staticmethod(die_after_two)
+        try:
+            first = JobServer(state_dir, port=0, workers=1).start_background()
+            _, submitted = post(first.url + "/jobs", SPEC)
+            job_id = submitted["id"]
+            assert died.wait(timeout=120)
+            time.sleep(0.3)  # let the dying worker settle
+            first.stop(abort=True)
+        finally:
+            JobQueue._test_cell_hook = None
+
+        # the crash left the job incomplete — not failed — with durable cells
+        crashed = JobStore(state_dir).load(job_id)
+        assert crashed.state == "running"
+        partial = JobStore(state_dir).records(job_id)
+        assert 0 < len(partial) < 3
+        partial_cells = {obj["cell"] for obj in partial}
+
+        second = JobServer(state_dir, port=0, workers=1).start_background()
+        try:
+            status = wait_terminal(second.url, job_id)
+            assert status["state"] == "done"
+            assert status["cells_done"] == status["cells_total"] == 3
+            assert status["attempts"] == 2
+
+            # byte-identical to an uninterrupted run: resumed cells untouched,
+            # re-run cells equal modulo the wall-clock seconds field
+            _, served = get(f"{second.url}/jobs/{job_id}/records")
+            clean = run_spec(SPEC, sink=JsonlSink(tmp_path / "clean.jsonl"))[0]
+            assert len(served["records"]) == 3
+            for obj, record in zip(served["records"], clean.records):
+                expected = {k: v for k, v in record.items() if k != "seconds"}
+                got = {k: v for k, v in obj["record"].items() if k != "seconds"}
+                assert got == expected
+            by_cell = {obj["cell"]: obj["record"] for obj in served["records"]}
+            for cell, record in ((o["cell"], o["record"]) for o in partial):
+                assert by_cell[cell] == record  # resumed exactly, never re-run
+
+            # ... and the finished job is now a cache hit
+            code, again = post(second.url + "/jobs", SPEC)
+            assert code == 200 and again["cached"] is True
+            assert len(partial_cells) < 3  # the kill really was mid-job
+        finally:
+            second.stop()
+
+    def test_failed_job_reports_error_and_retries_on_resubmit(self, server):
+        # valid as a document, impossible as a graph (degree >= n): the
+        # generator raises at execution time, after the job was accepted
+        doomed = {
+            "problems": [{"graph": {"family": "random_regular", "n": 5, "delta": 10}}],
+            "run": {"algorithm": "delta_plus_one", "backend": "array"},
+        }
+        _, submitted = post(server.url + "/jobs", doomed)
+        status = wait_terminal(server.url, submitted["id"])
+        assert status["state"] == "failed" and status["error"]
+        # a resubmission of a failed job retries instead of caching the failure
+        code, again = post(server.url + "/jobs", doomed)
+        assert code == 201 and again["cached"] is False
+        status = wait_terminal(server.url, submitted["id"])
+        assert status["state"] == "failed" and status["attempts"] == 2
