@@ -70,6 +70,31 @@ parts of E2/E5/E8/E9/E10 stay serial by construction; the grid sweeps of
 E1/E3/E6/E7 and all `repro batch` runs shard.  B2 below records the measured
 serial-vs-parallel wall-clock.
 
+### Fault-tolerant sweeps
+
+Long sweeps survive infrastructure failures instead of discarding hours of
+completed cells (see "Fault tolerance & degradation" in ARCHITECTURE.md):
+
+```
+python -m repro batch --task delta_plus_one \\
+    --family random_regular gnp -n 300 --delta 8 16 --seeds 5 \\
+    --workers 4 --retries 2 --cell-timeout 600 --on-error record \\
+    --output sweep.jsonl
+```
+
+`--retries N` re-runs a failing cell up to N extra times (with deterministic,
+seed-pinned backoff when configured); `--cell-timeout S` kills and retries a
+worker stuck past the deadline; `--on-error record` writes a structured
+CellError record (error kind, exception type, traceback digest, attempt
+count) in the failed cell's grid slot and keeps sweeping — the CLI then
+prints a failure summary and exits non-zero.  Worker crashes are always
+re-dispatched once even without flags, a failing `jit` cell gets one attempt
+on the bit-identical `array` backend before giving up (the downgrade is
+recorded in the events journal), and `--resume` re-runs exactly the failed
+cells.  The chaos suite (`tests/test_faults.py`, CI job `chaos-smoke`)
+asserts sweeps interrupted by injected worker kills, hangs and sink failures
+converge to records byte-identical to an uninterrupted run.
+
 ### Saved specs (`specs/`)
 
 Every experiment's sweep is also saved as a declarative spec (the unified

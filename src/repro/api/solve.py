@@ -88,17 +88,21 @@ def run_spec(
     backend: str | None = None,
     workers: int | None = None,
     parity_check: bool | None = None,
+    retry=None,
     progress=None,
 ) -> tuple[BatchResult, str]:
     """Execute a saved sweep spec; return its records and the spec's hash.
 
     ``job`` may be a :class:`~repro.api.spec.JobSpec` or its dict form (the
     content of a ``run.json``).  The hash is computed over the document *as
-    given* — the ``backend`` / ``workers`` / ``parity_check`` execution
-    overrides (the CLI's flags) never change it — and is embedded in the
-    sink's manifest, so the result file pins the exact spec it came from.
-    ``progress`` is forwarded to :meth:`~repro.engine.batch.BatchRunner.run`
-    (per-cell completion callbacks — what the job server streams over SSE).
+    given* — the ``backend`` / ``workers`` / ``parity_check`` / ``retry``
+    execution overrides (the CLI's flags) never change it — and is embedded
+    in the sink's manifest, so the result file pins the exact spec it came
+    from.  ``progress`` is forwarded to
+    :meth:`~repro.engine.batch.BatchRunner.run` (per-cell completion
+    callbacks — what the job server streams over SSE); the spec's declared
+    :class:`~repro.engine.retry.RetryPolicy` (``run.retry``) governs failing
+    cells unless ``retry`` overrides it.
     """
     if isinstance(job, Mapping):
         job = JobSpec.from_dict(job)
@@ -113,6 +117,8 @@ def run_spec(
         run = replace(run, workers=workers)
     if parity_check is not None:
         run = replace(run, parity_check=parity_check)
+    if retry is not None:
+        run = replace(run, retry=retry)
     job = replace(job, run=run)
 
     algorithm = get_algorithm(run.algorithm)
@@ -120,7 +126,8 @@ def run_spec(
         algorithm.validate_params(grid_entry)
 
     runner = BatchRunner(
-        backend=run.backend, parity_check=run.parity_check, workers=run.workers
+        backend=run.backend, parity_check=run.parity_check, workers=run.workers,
+        retry=run.retry,
     )
     result = runner.run(
         run.algorithm, job.cells(), params_grid=job.effective_grid(),

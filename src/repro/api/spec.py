@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.congest.graph import Graph
 from repro.engine.batch import GraphSpec
+from repro.engine.retry import RetryPolicy
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -166,7 +167,15 @@ class Problem:
 
 @dataclass(frozen=True)
 class Run:
-    """How to solve it: algorithm, params, backend, workers, seed, parity."""
+    """How to solve it: algorithm, params, backend, workers, seed, parity, retry.
+
+    ``retry`` is the :class:`~repro.engine.retry.RetryPolicy` governing
+    failing cells (attempts, per-cell timeout, backoff, record-vs-raise).
+    It is part of the spec — a non-default policy serializes under the
+    ``"retry"`` key and is hashed into the spec hash; the default policy is
+    *omitted* from the serialized form, so every pre-existing spec document
+    and spec hash is unchanged.
+    """
 
     algorithm: str
     params: Mapping[str, Any] = field(default_factory=dict)
@@ -174,6 +183,7 @@ class Run:
     workers: int = 1
     seed: int | None = None
     parity_check: bool = False
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self):
         object.__setattr__(self, "params", dict(self.params))
@@ -186,9 +196,13 @@ class Run:
         ensure_known_backend(self.backend, context="Run.backend")
         if int(self.workers) < 1:
             raise SpecError(f"Run.workers must be >= 1, got {self.workers!r}")
+        if not isinstance(self.retry, RetryPolicy):
+            raise SpecError(
+                f"Run.retry must be a RetryPolicy, got {type(self.retry).__name__}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "schema": SCHEMA_VERSION,
             "algorithm": self.algorithm,
             "params": dict(self.params),
@@ -197,16 +211,26 @@ class Run:
             "seed": self.seed,
             "parity_check": self.parity_check,
         }
+        if not self.retry.is_default:
+            data["retry"] = self.retry.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Run":
         _check_schema(data, "run")
         _reject_unknown(
-            data, ("algorithm", "params", "backend", "workers", "seed", "parity_check"), "run"
+            data,
+            ("algorithm", "params", "backend", "workers", "seed", "parity_check", "retry"),
+            "run",
         )
         if "algorithm" not in data:
             raise SpecError(f"run spec is missing 'algorithm': {dict(data)!r}")
         seed = data.get("seed")
+        retry = data.get("retry")
+        try:
+            policy = RetryPolicy() if retry is None else RetryPolicy.from_dict(retry)
+        except ValueError as exc:
+            raise SpecError(f"bad run spec 'retry' field: {exc}") from None
         return cls(
             algorithm=str(data["algorithm"]),
             params=dict(data.get("params") or {}),
@@ -214,6 +238,7 @@ class Run:
             workers=int(data.get("workers", 1)),
             seed=None if seed is None else int(seed),
             parity_check=bool(data.get("parity_check", False)),
+            retry=policy,
         )
 
     def to_json(self) -> str:
@@ -400,6 +425,11 @@ class JobStatus:
     (e.g. ``jit:numba`` vs ``jit:fallback-array``) — the per-job answer to
     "did the compiled path degrade?", which a one-time process warning cannot
     give a long-running server.
+
+    ``error`` is the structured error object of a failed job (see
+    :func:`repro.engine.retry.describe_error`: kind / type / message /
+    traceback digest / attempts); plain strings written by older servers
+    still round-trip.
     """
 
     id: str
@@ -407,7 +437,7 @@ class JobStatus:
     state: str = "queued"
     cells_total: int = 0
     cells_done: int = 0
-    error: str | None = None
+    error: str | dict[str, Any] | None = None
     backend_tier: str | None = None
     submitted_at: float | None = None
     started_at: float | None = None

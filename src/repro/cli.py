@@ -71,6 +71,62 @@ def _add_backend_argument(parser: argparse.ArgumentParser, default: str | None =
                              "compiled multi-threaded kernels — see `repro list-backends`)")
 
 
+def _add_retry_arguments(parser: argparse.ArgumentParser, with_on_error: bool = True) -> None:
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retry each failing cell up to N times (total attempts = N+1; "
+                             "default: no retries — worker crashes still re-dispatch once)")
+    parser.add_argument("--cell-timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-cell deadline; parallel workers breaching it are killed "
+                             "and the cell is retried/recorded per the retry policy")
+    if with_on_error:
+        parser.add_argument("--on-error", choices=("raise", "record"), default=None,
+                            help="when a cell exhausts its attempts with a plain exception: "
+                                 "'raise' aborts the sweep (default), 'record' writes a "
+                                 "structured CellError record and continues")
+
+
+def _retry_from_args(args):
+    """The RetryPolicy the CLI flags describe, or None (keep spec/default)."""
+    retries = getattr(args, "retries", None)
+    cell_timeout = getattr(args, "cell_timeout", None)
+    on_error = getattr(args, "on_error", None)
+    if retries is None and cell_timeout is None and on_error is None:
+        return None
+    from repro.engine.retry import RetryPolicy
+
+    try:
+        return RetryPolicy(
+            max_attempts=1 + (retries or 0),
+            cell_timeout=cell_timeout,
+            on_error=on_error or "raise",
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad retry options: {exc}") from None
+
+
+def _report_faults(result) -> int:
+    """Print the sweep's fault-tolerance summary; non-zero when cells failed."""
+    degraded = sum(1 for e in result.events if e.get("event") == "degrade")
+    retried = sum(1 for e in result.events if e.get("event") == "retry")
+    if retried:
+        print(f"retried {retried} failing attempt(s)")
+    if degraded:
+        print(f"downgraded {degraded} cell(s) from the jit tier to backend 'array'")
+    failures = result.failures
+    if failures:
+        print(f"FAILED CELLS: {len(failures)} cell(s) exhausted their attempts "
+              "(structured CellError records were written in their grid slots):",
+              file=sys.stderr)
+        for record in failures:
+            err = record.get("error", {})
+            print(f"  - family={record.get('family')} n={record.get('n')} "
+                  f"seed={record.get('seed')}: [{err.get('kind')}] "
+                  f"{err.get('type')}: {err.get('message')} "
+                  f"(attempts={err.get('attempts')})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_param_arguments(parser: argparse.ArgumentParser, spec: AlgorithmSpec) -> None:
     """Generate one typed ``--<name>`` flag per schema parameter."""
     for param in spec.params:
@@ -141,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "manifest embeds the exact spec hash")
     runner.add_argument("--resume", action="store_true",
                         help="skip cells already recorded in --output")
+    _add_retry_arguments(runner)
 
     experiment = sub.add_parser("experiment", help="run one of the experiments E1..E10")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
@@ -173,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "a run manifest is recorded alongside the records")
     batch.add_argument("--resume", action="store_true",
                        help="skip cells already recorded in --output (restart an interrupted sweep)")
+    _add_retry_arguments(batch)
 
     serve = sub.add_parser(
         "serve",
@@ -192,6 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--state-dir", default="repro-jobs", metavar="DIR",
                        help="durable job state directory (default: ./repro-jobs); "
                             "reuse it across restarts to recover incomplete jobs")
+    serve.add_argument("--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+                       help="on SIGTERM/SIGINT, wait this long for running jobs to "
+                            "finish before forcing exit (default: 30; they resume "
+                            "on restart either way)")
+    _add_retry_arguments(serve, with_on_error=False)
 
     return parser
 
@@ -306,7 +369,8 @@ def _cmd_run(args) -> int:
     sink = open_sink(args.output, resume=args.resume) if args.output else None
     try:
         result, digest = run_spec(job, sink=sink, backend=args.backend,
-                                  workers=args.workers, parity_check=args.parity_check)
+                                  workers=args.workers, parity_check=args.parity_check,
+                                  retry=_retry_from_args(args))
     finally:
         if sink is not None:
             sink.close()
@@ -320,7 +384,7 @@ def _cmd_run(args) -> int:
         skipped = len(result) - sink.written
         print(f"wrote {sink.written} record(s) to {args.output}"
               + (f" ({skipped} cell(s) resumed from a previous run)" if skipped else ""))
-    return 0
+    return _report_faults(result)
 
 
 def _cmd_experiment(args) -> int:
@@ -346,7 +410,7 @@ def _cmd_batch(args) -> int:
     if args.resume and not args.output:
         raise SystemExit("--resume requires --output (the file to resume from)")
     runner = BatchRunner(backend=args.backend, parity_check=args.parity_check,
-                         workers=args.workers)
+                         workers=args.workers, retry=_retry_from_args(args))
     families = args.family if isinstance(args.family, list) else [args.family]
     cells = BatchRunner.grid(families, args.nodes, args.delta, seeds=range(args.seeds))
     params = _parse_params(args.task, args.param)
@@ -371,19 +435,27 @@ def _cmd_batch(args) -> int:
         skipped = len(result) - sink.written
         print(f"wrote {sink.written} record(s) to {args.output}"
               + (f" ({skipped} cell(s) resumed from a previous run)" if skipped else ""))
-    return 0
+    return _report_faults(result)
 
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import signal
 
     from repro.server import JobServer
 
     server = JobServer(args.state_dir, host=args.host, port=args.port,
-                       workers=args.workers)
+                       workers=args.workers, drain_timeout=args.drain_timeout,
+                       default_retry=_retry_from_args(args))
 
     async def _serve() -> int:
         await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platform without loop signal handlers; Ctrl-C still works
         recovered = server.queue.pending()
         print(f"repro serve: listening on {server.url}")
         print(f"  state dir : {server.store.root}")
@@ -395,10 +467,22 @@ def _cmd_serve(args) -> int:
         return 0
 
     try:
-        return asyncio.run(_serve())
+        code = asyncio.run(_serve())
     except KeyboardInterrupt:
         print("\nrepro serve: shutting down (incomplete jobs resume on restart)")
         return 0
+    if server.drained_clean:
+        print("repro serve: drained cleanly (running jobs finished, state persisted)")
+        return code
+    # A job outlived --drain-timeout; its executor thread is non-daemon and
+    # would block interpreter exit, so force it.  The job stays `running` on
+    # disk and resumes from its sink on restart.
+    print(f"repro serve: drain timed out after {args.drain_timeout:g}s; forcing "
+          "exit (incomplete jobs resume on restart)", file=sys.stderr)
+    sys.stdout.flush()
+    sys.stderr.flush()
+    import os
+    os._exit(1)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -41,6 +41,15 @@ from repro.engine.registry import (
     register_engine,
     resolve_backend,
 )
+from repro.engine.retry import (
+    CellExecutionError,
+    CellTimeoutError,
+    RetryPolicy,
+    WorkerCrashError,
+    cell_error_record,
+    classify_error,
+    describe_error,
+)
 
 __all__ = [
     "Engine",
@@ -65,4 +74,11 @@ __all__ = [
     "RunManifest",
     "SinkError",
     "open_sink",
+    "RetryPolicy",
+    "CellTimeoutError",
+    "WorkerCrashError",
+    "CellExecutionError",
+    "classify_error",
+    "describe_error",
+    "cell_error_record",
 ]

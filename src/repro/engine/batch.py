@@ -45,7 +45,15 @@ import numpy as np
 from repro.congest.graph import Graph
 from repro.engine.base import Engine, EngineError
 from repro.engine.registry import get_engine
+from repro.engine.retry import (
+    RetryPolicy,
+    call_with_deadline,
+    cell_error_record,
+    classify_error,
+    describe_error,
+)
 from repro.engine.sink import ResultSink, RunManifest, cell_id, cell_key, grid_hash, task_name
+from repro.testing import faults
 
 __all__ = ["GraphSpec", "Workload", "BatchRunner", "BatchResult", "ParityError"]
 
@@ -142,10 +150,23 @@ def __getattr__(name: str):
 
 @dataclass
 class BatchResult:
-    """Tidy records produced by a sweep (one dict per cell)."""
+    """Tidy records produced by a sweep (one dict per cell).
+
+    ``records`` holds one dict per cell in grid order; a cell that exhausted
+    its retry budget contributes a *CellError record* (its ``"error"`` key
+    carries the structured failure — see :attr:`failures`) so partial results
+    keep their grid shape.  ``events`` is the fault-tolerance provenance
+    stream: one entry per retry / jit->array downgrade / recorded failure.
+    """
 
     records: list[dict[str, Any]] = field(default_factory=list)
     backend: str = "array"
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[dict[str, Any]]:
+        """The CellError records of the sweep (cells that exhausted retries)."""
+        return [r for r in self.records if "error" in r]
 
     def __len__(self) -> int:
         return len(self.records)
@@ -215,6 +236,12 @@ class BatchRunner:
     start_method:
         ``multiprocessing`` start method for the pool; default ``"fork"``
         where available, else ``"spawn"``.
+    retry:
+        The :class:`~repro.engine.retry.RetryPolicy` governing failing cells
+        in :meth:`run` (attempts, per-cell timeout, backoff, record-vs-raise
+        on exhaustion).  The default policy keeps today's fail-fast behavior
+        for plain exceptions while still containing worker crashes and
+        downgrading failing jit cells to ``"array"``.
 
     Graphs and input colorings are cached per :class:`GraphSpec`, so a sweep
     over many parameter settings of the same graphs pays the generation and
@@ -230,6 +257,7 @@ class BatchRunner:
         workers: int = 1,
         worker_init: Callable[[], None] | None = None,
         start_method: str | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.engine = get_engine(backend)
         self.parity_check = bool(parity_check)
@@ -239,6 +267,10 @@ class BatchRunner:
             raise EngineError(f"workers must be >= 1, got {workers}")
         self.worker_init = worker_init
         self.start_method = start_method
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise EngineError(f"retry must be a RetryPolicy or None, got {retry!r}")
+        self.retry = retry or RetryPolicy()
+        self._downgrade_engine: Engine | None = None
         # Pay one-time backend setup (JIT compilation) before any cell is
         # timed; a no-op for the reference/array engines.
         self.engine.warmup()
@@ -347,7 +379,9 @@ class BatchRunner:
         return record, artifacts
 
     def _check_parity(self, task_fn, workload: Workload, params: Mapping[str, Any],
-                      record: Mapping[str, Any], artifacts: Mapping[str, Any]) -> None:
+                      record: Mapping[str, Any], artifacts: Mapping[str, Any],
+                      engine: Engine | None = None) -> None:
+        engine = engine or self.engine
         ref_raw = task_fn(workload, self.parity_engine, **params)
         ref_record, ref_artifacts = self._split_artifacts(ref_raw)
         cell = f"{workload.spec.label()} params={dict(params)}"
@@ -355,13 +389,13 @@ class BatchRunner:
             if record.get(key) != value:
                 raise ParityError(
                     f"parity mismatch on {cell}: field {key!r} is {record.get(key)!r} on "
-                    f"backend {self.engine.name!r} but {value!r} on {self.parity_engine.name!r}"
+                    f"backend {engine.name!r} but {value!r} on {self.parity_engine.name!r}"
                 )
         for key, value in ref_artifacts.items():
             if key not in artifacts or not np.array_equal(artifacts[key], value):
                 raise ParityError(
                     f"parity mismatch on {cell}: artifact {key!r} differs between "
-                    f"backends {self.engine.name!r} and {self.parity_engine.name!r}"
+                    f"backends {engine.name!r} and {self.parity_engine.name!r}"
                 )
 
     def run_cell(
@@ -379,21 +413,26 @@ class BatchRunner:
         task: str | Callable[..., Mapping[str, Any]],
         spec: GraphSpec,
         params: Mapping[str, Any] | None = None,
+        _engine: Engine | None = None,
     ) -> tuple[dict[str, Any], dict[str, Any]]:
         """Like :meth:`run_cell`, but also return the artifacts (colors, parts, ...).
 
         The solver API (:func:`repro.api.solve.solve`) uses this to build a
         :class:`~repro.api.report.RunReport` carrying the actual coloring.
+        ``_engine`` overrides the runner's engine for this one call — the
+        retry ladder's jit->array downgrade path; the record's ``"backend"``
+        field reports the engine that actually produced it.
         """
         task_fn = self._resolve_task(task)
         params = self._validate_params(task, params)
+        engine = _engine or self.engine
         workload = self.workload(spec)
         start = time.perf_counter()
-        raw = task_fn(workload, self.engine, **params)
+        raw = task_fn(workload, engine, **params)
         elapsed = time.perf_counter() - start
         record, artifacts = self._split_artifacts(raw)
         if self.parity_check:
-            self._check_parity(task_fn, workload, params, record, artifacts)
+            self._check_parity(task_fn, workload, params, record, artifacts, engine=engine)
         out: dict[str, Any] = {
             "family": spec.family,
             "n": workload.graph.n,
@@ -401,10 +440,105 @@ class BatchRunner:
             "seed": spec.seed,
             **params,
             **record,
-            "backend": self.engine.name,
+            "backend": engine.name,
             "seconds": elapsed,
         }
         return out, artifacts
+
+    # ------------------------------------------------------------------ #
+    # Fault-tolerant execution (the retry ladder)
+    # ------------------------------------------------------------------ #
+
+    def _attempt_cell(
+        self,
+        task: str | Callable[..., Mapping[str, Any]],
+        spec: GraphSpec,
+        params: Mapping[str, Any] | None = None,
+        attempt: int = 1,
+        engine: Engine | None = None,
+    ) -> dict[str, Any]:
+        """One attempt of one cell (the unit the retry ladder retries).
+
+        This is also where the ``"cell"`` fault-injection site fires — before
+        any work, with the cell's identity and attempt number as match
+        context — and it is the method pool workers invoke, so an injected
+        kill/hang lands inside the worker process exactly like a real one.
+        """
+        faults.fire(
+            "cell",
+            family=spec.family, n=spec.n, delta=spec.delta, seed=spec.seed,
+            attempt=attempt, backend=(engine or self.engine).name,
+        )
+        record, _ = self.run_cell_with_artifacts(task, spec, params=params, _engine=engine)
+        return record
+
+    def _array_engine(self) -> Engine:
+        """The lazily-built downgrade target for failing jit cells."""
+        if self._downgrade_engine is None:
+            self._downgrade_engine = get_engine("array")
+            self._downgrade_engine.warmup()
+        return self._downgrade_engine
+
+    def _run_cell_guarded(
+        self,
+        task: str | Callable[..., Mapping[str, Any]],
+        spec: GraphSpec,
+        params: Mapping[str, Any],
+        key: str,
+        on_event: Callable[[dict[str, Any]], None],
+    ) -> dict[str, Any]:
+        """Run one cell under :attr:`retry` (the serial arm of the ladder).
+
+        Mirrors the parallel scheduler's failure handling exactly —
+        :meth:`RetryPolicy.next_action` is the single shared state machine —
+        except that deadlines are enforced by abandoning the hung thread
+        (:func:`~repro.engine.retry.call_with_deadline`) rather than killing
+        a worker process.
+        """
+        policy = self.retry
+        backend = self._backend_name or self.engine.name
+        attempt, downgraded = 1, False
+        engine: Engine | None = None  # None = the runner's own engine
+        while True:
+            try:
+                if policy.cell_timeout is not None:
+                    return call_with_deadline(
+                        lambda: self._attempt_cell(task, spec, params,
+                                                   attempt=attempt, engine=engine),
+                        policy.cell_timeout, key,
+                    )
+                return self._attempt_cell(task, spec, params, attempt=attempt, engine=engine)
+            except BaseException as exc:  # noqa: BLE001 — classified; fatal kinds re-raise
+                kind = classify_error(exc)
+                action = policy.next_action(kind, attempt, backend=backend,
+                                            downgraded=downgraded)
+                tier = None
+                try:
+                    tier = (engine or self.engine).active_tier()
+                except Exception:  # noqa: BLE001 — tier is provenance only
+                    pass
+                err = describe_error(exc, kind=kind, attempts=attempt, tier=tier)
+                if action == "retry":
+                    on_event({"event": "retry", "kind": kind,
+                              "attempt": attempt, "error": err})
+                    delay = policy.delay(key, attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                elif action == "downgrade":
+                    on_event({"event": "degrade", "from": backend, "to": "array",
+                              "kind": kind, "attempt": attempt, "error": err})
+                    engine = self._array_engine()
+                    downgraded = True
+                    attempt += 1
+                elif action == "record":
+                    on_event({"event": "cell-error", "error": err})
+                    return cell_error_record(
+                        spec, params,
+                        backend="array" if downgraded else backend, error=err,
+                    )
+                else:  # "raise" — fatal, or exhausted under on_error="raise"
+                    raise
 
     def _jobs(
         self,
@@ -478,6 +612,15 @@ class BatchRunner:
         after every completed cell (after the sink write, so a reported cell
         is always durable).  This is the hook the job server's SSE stream and
         live status counters hang off.
+
+        Failing cells follow :attr:`retry` (see
+        :mod:`repro.engine.retry`): transient failures are retried with
+        deterministic backoff, worker crashes re-dispatch only the lost
+        cells, failing jit cells get one attempt on ``"array"`` (the
+        downgrade is recorded in the event stream and the record's backend
+        field), and exhausted cells yield CellError records in their grid
+        slot instead of aborting the sweep.  A resumed sink re-runs cells
+        whose stored record is a CellError — failure is never "completed".
         """
         self._resolve_task(task)  # fail fast on unknown task names
         jobs = self._jobs(task, cells, params_grid)
@@ -486,11 +629,20 @@ class BatchRunner:
         if sink is not None:
             sink.start(self._manifest_from_jobs(task, jobs, spec_hash=spec_hash))
             for index, cid in ids.items():
-                if cid in sink.completed:
-                    records[index] = sink.completed[cid]
+                done = sink.completed.get(cid)
+                if done is not None and "error" not in done:
+                    records[index] = done
         pending = [job for job in jobs if job[0] not in records]
         if progress is not None:
             progress(len(records), len(jobs), None, None)
+
+        events: list[dict[str, Any]] = []
+
+        def on_event(index: int, event: dict[str, Any]) -> None:
+            entry = {"cell": ids[index], **event}
+            events.append(entry)
+            if sink is not None:
+                sink.note(entry)
 
         handles: dict[GraphSpec, Any] = {}
         try:
@@ -525,22 +677,31 @@ class BatchRunner:
                     worker_init=self.worker_init,
                     start_method=self.start_method,
                     shared_graphs=handles,
+                    retry=self.retry,
+                    on_event=on_event,
                 )
             else:
                 results = (
-                    (index, self.run_cell(task, spec, params=params))
-                    for index, _, spec, params in pending
+                    (index,
+                     self._run_cell_guarded(task, spec, params, key,
+                                            lambda e, i=index: on_event(i, e)))
+                    for index, key, spec, params in pending
                 )
 
             for index, record in results:
                 records[index] = record
                 if sink is not None:
-                    sink.write(ids[index], record)
+                    if "error" in record:
+                        sink.write_failure(ids[index], record)
+                    else:
+                        sink.write(ids[index], record)
                 if progress is not None:
                     progress(len(records), len(jobs), ids[index], record)
         finally:
             for handle in handles.values():
                 handle.close()
         return BatchResult(
-            records=[records[index] for index, _, _, _ in jobs], backend=self.engine.name
+            records=[records[index] for index, _, _, _ in jobs],
+            backend=self.engine.name,
+            events=events,
         )

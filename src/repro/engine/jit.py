@@ -25,6 +25,7 @@ from repro.core.params import MotherParameters
 from repro.core.results import ColoringResult
 from repro.engine.array import ArrayEngine
 from repro.engine.base import Engine
+from repro.testing import faults
 
 __all__ = ["JitEngine"]
 
@@ -67,6 +68,18 @@ class JitEngine(Engine):
         self._provider = _UNSET
         self._fallback = ArrayEngine()
         self._warm = False
+        self._warming = False
+
+    def _fire_fault(self, primitive: str) -> None:
+        """The ``"jit"`` fault-injection site: poison this engine's kernels.
+
+        Fires at the entry of every primitive — *before* provider resolution,
+        so an injected crash/hang behaves the same on every tier (numba, C,
+        or the array fallback).  Suppressed during :meth:`warmup`: the retry
+        ladder guards cells, not engine construction.
+        """
+        if not self._warming:
+            faults.fire("jit", primitive=primitive, tier=self.name)
 
     # ------------------------------------------------------------------ #
     # Provider resolution
@@ -113,6 +126,7 @@ class JitEngine(Engine):
         validate_input: bool = True,
         with_orientation: bool = False,
     ) -> ColoringResult:
+        self._fire_fault("run_mother")
         provider = self._resolve()
         if provider is None:
             return self._fallback.run_mother(
@@ -133,6 +147,7 @@ class JitEngine(Engine):
         colors: np.ndarray,
         target_colors: int | None = None,
     ) -> ColoringResult:
+        self._fire_fault("remove_color_class")
         provider = self._resolve()
         if provider is None:
             return self._fallback.remove_color_class(
@@ -152,6 +167,7 @@ class JitEngine(Engine):
         m: int,
         target_colors: int | None = None,
     ) -> ColoringResult:
+        self._fire_fault("kuhn_wattenhofer")
         provider = self._resolve()
         if provider is None:
             return self._fallback.kuhn_wattenhofer(
@@ -180,9 +196,13 @@ class JitEngine(Engine):
             return
         ring = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
         colors = np.array([0, 1, 2, 3], dtype=np.int64)
-        self.run_mother(ring, colors, m=4, d=0, k=1, validate_input=False)
-        self.remove_color_class(ring, colors, target_colors=3)
-        self.kuhn_wattenhofer(ring, colors, m=4)
+        self._warming = True
+        try:
+            self.run_mother(ring, colors, m=4, d=0, k=1, validate_input=False)
+            self.remove_color_class(ring, colors, target_colors=3)
+            self.kuhn_wattenhofer(ring, colors, m=4)
+        finally:
+            self._warming = False
 
     def active_tier(self) -> str:
         """``"jit:numba"`` / ``"jit:cc"``, or ``"jit:fallback-array"``.

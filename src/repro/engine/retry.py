@@ -1,0 +1,363 @@
+"""The fault-tolerance policy layer: retry/timeout policy and error records.
+
+This module defines the vocabulary the execution plane uses to survive
+failures instead of aborting sweeps:
+
+* :class:`RetryPolicy` — a typed, serializable policy (max attempts, per-cell
+  timeout, exponential backoff with *deterministic* jitter) declared on
+  :class:`repro.api.spec.Run` and surfaced as ``--retries`` /
+  ``--cell-timeout`` on the CLI.  The policy is part of the spec schema: a
+  non-default policy is hashed into the spec hash (a default one is omitted,
+  so every pre-existing spec hash is unchanged).
+* **Error classification** — every failure is classified into an *error
+  kind* (:func:`classify_error`): ``"crash"`` (the worker process died),
+  ``"timeout"`` (the cell exceeded its deadline), ``"error"`` (the cell
+  raised an ordinary exception), or a *fatal* kind (``"parity"``,
+  ``"interrupt"``) that always aborts the sweep — a parity mismatch is never
+  something to retry past.
+* **Structured error records** — when a cell exhausts its attempts the sweep
+  records a *CellError record* (:func:`cell_error_record`) carrying the cell
+  identity plus an ``"error"`` object (kind, exception type, message, attempt
+  count, backend tier, traceback digest) and continues with the remaining
+  cells: partial results plus a failure manifest beat an empty directory.
+  Failed cells are *not* treated as completed on resume — a later
+  ``resume=True`` run re-executes exactly those cells.
+
+The retry ladder for one cell (shared by the serial and parallel paths via
+:meth:`RetryPolicy.next_action`)::
+
+    attempt -> ok ........................................ record
+            -> fatal (parity/interrupt) .................. raise (sweep aborts)
+            -> crash/timeout/error
+                 attempts left? .......................... retry (backoff)
+                 backend == "jit", not yet downgraded? .... one attempt on "array"
+                 kind == "error" and on_error == "raise"? . raise (back-compat)
+                 otherwise ............................... CellError record
+
+Crashes get a retry floor of two attempts even under the default policy —
+re-dispatching a cell whose worker was OOM-killed is infrastructure recovery,
+not a user-configured retry.  Plain cell exceptions keep today's fail-fast
+default (``on_error="raise"``): a deterministic bug in an algorithm should
+abort loudly unless the operator opts into ``on_error="record"``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.engine.base import EngineError
+
+__all__ = [
+    "RETRY_SCHEMA_VERSION",
+    "ERROR_KINDS",
+    "FATAL_KINDS",
+    "RetryPolicy",
+    "CellTimeoutError",
+    "WorkerCrashError",
+    "CellExecutionError",
+    "classify_error",
+    "error_digest",
+    "describe_error",
+    "cell_error_record",
+    "call_with_deadline",
+]
+
+#: Version of the serialized RetryPolicy form (bump on incompatible changes).
+RETRY_SCHEMA_VERSION = 1
+
+#: Non-fatal error kinds — eligible for retry / downgrade / CellError records.
+ERROR_KINDS = ("error", "timeout", "crash")
+
+#: Fatal kinds: never retried, always re-raised.  A parity mismatch means the
+#: backend is wrong (retrying would launder a correctness bug into a transient
+#: failure); an interrupt means the operator asked the process to stop.
+FATAL_KINDS = ("parity", "interrupt")
+
+#: What the policy tells the executor to do next with a failed cell.
+_ACTIONS = ("retry", "downgrade", "record", "raise")
+
+
+class CellTimeoutError(EngineError):
+    """A cell exceeded its :attr:`RetryPolicy.cell_timeout` deadline."""
+
+
+class WorkerCrashError(EngineError):
+    """A pool worker died (killed/segfaulted) while executing a cell."""
+
+
+class CellExecutionError(EngineError):
+    """Parent-side stand-in for a worker-cell failure that could not be
+    re-raised natively (the original exception did not survive pickling)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the execution plane treats a failing cell.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per cell (``1`` = no retries, today's behavior).
+        ``--retries N`` on the CLI maps to ``max_attempts = N + 1``.
+    cell_timeout:
+        Per-cell deadline in seconds (``None`` = no deadline).  Parallel
+        workers breaching it are killed and respawned; the serial path
+        abandons the hung thread (documented — a single process cannot
+        preempt its own compute).
+    backoff_base / backoff_factor:
+        Sleep ``backoff_base * backoff_factor**(attempt-1)`` seconds before
+        retry ``attempt+1``; ``backoff_base=0`` disables backoff.
+    jitter:
+        Fractional jitter on the backoff delay, in ``[0, jitter)`` — derived
+        deterministically from the (cell key, attempt) pair, never from a
+        live RNG, so a replayed sweep backs off identically (seed-pinned).
+    on_error:
+        What to do when a cell exhausts its attempts with a *plain
+        exception* (kind ``"error"``): ``"raise"`` (default — abort the
+        sweep, today's behavior) or ``"record"`` (write a CellError record
+        and continue).  Crashes and timeouts always record-and-continue on
+        exhaustion: they are infrastructure failures, and partial results
+        beat an empty directory.
+    """
+
+    max_attempts: int = 1
+    cell_timeout: float | None = None
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.0
+    on_error: str = "raise"
+
+    def __post_init__(self):
+        if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
+            raise ValueError(f"RetryPolicy.max_attempts must be an int >= 1, "
+                             f"got {self.max_attempts!r}")
+        if self.cell_timeout is not None and not float(self.cell_timeout) > 0:
+            raise ValueError(f"RetryPolicy.cell_timeout must be > 0 seconds or None, "
+                             f"got {self.cell_timeout!r}")
+        if float(self.backoff_base) < 0:
+            raise ValueError(f"RetryPolicy.backoff_base must be >= 0, "
+                             f"got {self.backoff_base!r}")
+        if float(self.backoff_factor) < 1:
+            raise ValueError(f"RetryPolicy.backoff_factor must be >= 1, "
+                             f"got {self.backoff_factor!r}")
+        if not 0 <= float(self.jitter) <= 1:
+            raise ValueError(f"RetryPolicy.jitter must be in [0, 1], got {self.jitter!r}")
+        if self.on_error not in ("raise", "record"):
+            raise ValueError(f"RetryPolicy.on_error must be 'raise' or 'record', "
+                             f"got {self.on_error!r}")
+
+    # -- semantics -------------------------------------------------------- #
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this policy is exactly the implicit default (and therefore
+        omitted from serialized specs — keeping all existing spec hashes)."""
+        return self == RetryPolicy()
+
+    def attempts_for(self, kind: str) -> int:
+        """Allowed attempts for an error kind.  Crashes get a floor of two:
+        re-dispatching a cell whose worker died is crash *containment*, not a
+        user-configured retry, so it happens even under the default policy."""
+        if kind == "crash":
+            return max(self.max_attempts, 2)
+        return self.max_attempts
+
+    def next_action(self, kind: str, attempts: int, *,
+                    backend: str | None = None, downgraded: bool = False) -> str:
+        """The retry state machine: what to do after failure ``attempts`` of a
+        cell.  Returns ``"retry"``, ``"downgrade"``, ``"record"`` or
+        ``"raise"`` (see the module docstring for the ladder)."""
+        if kind in FATAL_KINDS:
+            return "raise"
+        if kind not in ERROR_KINDS:
+            raise EngineError(f"unknown error kind {kind!r}; known: "
+                              f"{list(ERROR_KINDS + FATAL_KINDS)}")
+        if not downgraded and attempts < self.attempts_for(kind):
+            return "retry"
+        if backend == "jit" and not downgraded:
+            # Graceful degradation: a failing compiled tier gets one bonus
+            # attempt on the array backend (bit-identical results by the
+            # parity guarantee, only slower).
+            return "downgrade"
+        if kind == "error" and self.on_error == "raise":
+            return "raise"
+        return "record"
+
+    def delay(self, cell_key: str, attempt: int) -> float:
+        """Backoff before retrying ``attempt + 1`` of ``cell_key``.
+
+        Exponential in the attempt number, with deterministic jitter: the
+        jitter fraction is read from a hash of the (cell key, attempt) pair,
+        so two runs of the same sweep sleep identically — no live RNG state
+        leaks into execution timing decisions.
+        """
+        if self.backoff_base <= 0:
+            return 0.0
+        base = self.backoff_base * (self.backoff_factor ** max(0, attempt - 1))
+        if self.jitter <= 0:
+            return base
+        digest = hashlib.sha256(f"{cell_key}\x00{attempt}".encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base * (1.0 + self.jitter * fraction)
+
+    # -- serialization ---------------------------------------------------- #
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": RETRY_SCHEMA_VERSION,
+            "max_attempts": self.max_attempts,
+            "cell_timeout": self.cell_timeout,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "jitter": self.jitter,
+            "on_error": self.on_error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetryPolicy":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"retry policy must be a JSON object, got {data!r}")
+        schema = data.get("schema", RETRY_SCHEMA_VERSION)
+        if not isinstance(schema, int) or schema < 1 or schema > RETRY_SCHEMA_VERSION:
+            raise ValueError(f"cannot read retry policy with schema {schema!r}; "
+                             f"this package reads schema <= {RETRY_SCHEMA_VERSION}")
+        known = {"schema", "max_attempts", "cell_timeout", "backoff_base",
+                 "backoff_factor", "jitter", "on_error"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown retry policy field(s) {sorted(unknown)}; "
+                             f"allowed: {sorted(known - {'schema'})}")
+        timeout = data.get("cell_timeout")
+        return cls(
+            max_attempts=int(data.get("max_attempts", 1)),
+            cell_timeout=None if timeout is None else float(timeout),
+            backoff_base=float(data.get("backoff_base", 0.0)),
+            backoff_factor=float(data.get("backoff_factor", 2.0)),
+            jitter=float(data.get("jitter", 0.0)),
+            on_error=str(data.get("on_error", "raise")),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Error classification and structured error records
+# --------------------------------------------------------------------------- #
+
+
+def classify_error(exc: BaseException) -> str:
+    """The error kind of an exception — see :data:`ERROR_KINDS` / :data:`FATAL_KINDS`."""
+    from repro.engine.batch import ParityError
+
+    if isinstance(exc, ParityError):
+        return "parity"
+    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+        return "interrupt"
+    if isinstance(exc, CellTimeoutError):
+        return "timeout"
+    if isinstance(exc, WorkerCrashError):
+        return "crash"
+    return "error"
+
+
+def error_digest(exc: BaseException) -> str:
+    """Short stable digest of an exception's traceback (hex SHA-256 prefix).
+
+    Two failures with the same traceback shape share a digest, so grouping a
+    failure manifest by digest clusters identical bugs without storing whole
+    tracebacks in every record.
+    """
+    text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    return hashlib.sha256(text.encode("utf-8", "replace")).hexdigest()[:16]
+
+
+def describe_error(
+    exc: BaseException,
+    *,
+    kind: str | None = None,
+    attempts: int | None = None,
+    tier: str | None = None,
+) -> dict[str, Any]:
+    """The structured error object recorded everywhere a failure is durable:
+    CellError records, ``job.json``, SSE ``failed`` events."""
+    out: dict[str, Any] = {
+        "kind": kind or classify_error(exc),
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback_digest": error_digest(exc),
+    }
+    if attempts is not None:
+        out["attempts"] = int(attempts)
+    if tier is not None:
+        out["tier"] = tier
+    return out
+
+
+def cell_error_record(
+    spec,
+    params: Mapping[str, Any],
+    backend: str,
+    error: Mapping[str, Any],
+    seconds: float = 0.0,
+) -> dict[str, Any]:
+    """The *CellError record*: what a sweep records for a cell that exhausted
+    its attempts, in place of a measurement record.
+
+    It mirrors the identity prefix of a normal record (family / n / Delta /
+    seed / params / backend / seconds) — ``n`` and ``Delta`` are the *target*
+    values from the grid spec, since a failing cell may not even have built
+    its graph — plus the structured ``"error"`` object.  The ``"error"`` key
+    is what marks the record as a failure: resume re-runs such cells, and
+    :attr:`repro.engine.batch.BatchResult.failures` collects them.
+    """
+    return {
+        "family": spec.family,
+        "n": spec.n,
+        "Delta": spec.delta,
+        "seed": spec.seed,
+        **dict(params),
+        "backend": backend,
+        "seconds": float(seconds),
+        "error": dict(error),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Serial deadline enforcement
+# --------------------------------------------------------------------------- #
+
+
+def call_with_deadline(fn: Callable[[], Any], timeout: float, label: str) -> Any:
+    """Run ``fn()`` with a wall-clock deadline; raise :class:`CellTimeoutError`
+    on breach.
+
+    The serial path's timeout: the call runs on a daemon thread and the
+    caller waits at most ``timeout`` seconds.  On breach the thread is
+    *abandoned* (a single process cannot preempt its own compute — only the
+    parallel path can kill a hung worker); it keeps no references the sweep
+    reads, so an eventually-completing zombie cell cannot corrupt results.
+    """
+    box: list[tuple[str, Any]] = []
+
+    def target() -> None:
+        try:
+            box.append(("ok", fn()))
+        except BaseException as exc:  # noqa: BLE001 — re-raised on the caller's thread
+            box.append(("err", exc))
+
+    thread = threading.Thread(target=target, daemon=True, name="repro-cell-deadline")
+    start = time.perf_counter()
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive() or not box:
+        raise CellTimeoutError(
+            f"cell {label} exceeded its deadline "
+            f"(cell_timeout={timeout}s, ran {time.perf_counter() - start:.3f}s)"
+        )
+    status, value = box[0]
+    if status == "err":
+        raise value
+    return value

@@ -39,6 +39,8 @@ import pathlib
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Iterable, Mapping
 
+from repro.testing import faults
+
 __all__ = [
     "SinkError",
     "RunManifest",
@@ -205,6 +207,26 @@ class ResultSink:
     def write(self, cell: str, record: Mapping[str, Any]) -> None:
         raise NotImplementedError
 
+    def write_failure(self, cell: str, record: Mapping[str, Any]) -> None:
+        """Record a CellError record (a record whose ``"error"`` key carries a
+        structured failure — see :func:`repro.engine.retry.cell_error_record`).
+
+        Default: same as :meth:`write`.  Sinks whose format cannot hold the
+        nested error object (CSV) override this to keep the failure in their
+        provenance channel instead; either way the cell is *not* treated as
+        completed on resume, so a later run re-executes it.
+        """
+        self.write(cell, record)
+
+    def note(self, event: Mapping[str, Any]) -> None:
+        """Append a provenance event (retry / downgrade / cell-error) to the
+        sink's side channel.  Events are *not* records: resume ignores them
+        and they never mark a cell completed.  Default: dropped."""
+
+    def _fire_write_fault(self, cell: str) -> None:
+        """The ``"sink-write"`` fault-injection site (fires before the append)."""
+        faults.fire("sink-write", cell=cell, write=self.written + 1)
+
     def close(self) -> None:
         pass
 
@@ -257,6 +279,8 @@ class JsonlSink(ResultSink):
             raise SinkError(f"cannot resume from {self.path}: first line is not a manifest")
         manifest.check_resumable(RunManifest.from_dict(head["manifest"]), self.path)
         for lineno, obj in enumerate(parsed[1:], start=2):
+            if isinstance(obj, dict) and "event" in obj and "record" not in obj:
+                continue  # provenance event line (retry/downgrade notes), not a record
             if not isinstance(obj, dict) or "cell" not in obj or "record" not in obj:
                 raise SinkError(
                     f"cannot resume from {self.path}: line {lineno} is not a "
@@ -271,9 +295,13 @@ class JsonlSink(ResultSink):
         self._file.flush()
 
     def write(self, cell: str, record: Mapping[str, Any]) -> None:
+        self._fire_write_fault(cell)
         self._emit({"cell": cell, "record": dict(record)})
         self.written += 1
         self._notify(cell, record)
+
+    def note(self, event: Mapping[str, Any]) -> None:
+        self._emit({"event": dict(event)})
 
     def close(self) -> None:
         if self._file is not None:
@@ -391,6 +419,7 @@ class CsvSink(ResultSink):
         self._columns: list[str] | None = None
         self._column_types: dict[str, str] | None = None
         self._manifest_doc: dict[str, Any] | None = None
+        self._events: list[dict[str, Any]] = []
 
     @property
     def manifest_path(self) -> pathlib.Path:
@@ -410,6 +439,8 @@ class CsvSink(ResultSink):
         doc = dict(self._manifest_doc or {})
         if self._column_types is not None:
             doc["columns"] = dict(self._column_types)
+        if self._events:
+            doc["events"] = list(self._events)
         self.manifest_path.write_text(
             json.dumps(doc, indent=2, default=_jsonable) + "\n", encoding="utf-8"
         )
@@ -426,7 +457,9 @@ class CsvSink(ResultSink):
         existing = RunManifest.from_dict(sidecar)
         manifest.check_resumable(existing, self.path)
         types = sidecar.get("columns")
-        self._manifest_doc = {k: v for k, v in sidecar.items() if k != "columns"}
+        self._events = [dict(e) for e in sidecar.get("events", [])]
+        self._manifest_doc = {k: v for k, v in sidecar.items()
+                              if k not in ("columns", "events")}
         text = self.path.read_text(encoding="utf-8")
         # A trailing chunk without a newline is a row the previous run did not
         # survive mid-write.  Field counting cannot detect a row truncated
@@ -463,7 +496,21 @@ class CsvSink(ResultSink):
         if torn_tail is not None:
             self.path.write_text(text, encoding="utf-8")
 
+    def write_failure(self, cell: str, record: Mapping[str, Any]) -> None:
+        """CSV cannot hold the nested error object as a column (and failure
+        records would poison the frozen column schema), so the failure goes to
+        the sidecar's event list; the cell stays incomplete and re-runs on
+        resume."""
+        self.note({"cell": cell, "event": "cell-error",
+                   "error": dict(record.get("error") or {})})
+        self._notify(cell, record)
+
+    def note(self, event: Mapping[str, Any]) -> None:
+        self._events.append(dict(event))
+        self._write_sidecar()
+
     def write(self, cell: str, record: Mapping[str, Any]) -> None:
+        self._fire_write_fault(cell)
         if self._columns is None:
             self._columns = list(record)
             self._column_types = {col: _csv_tag(record[col]) for col in self._columns}

@@ -85,21 +85,41 @@ class JobServer:
     workers:
         Bound on concurrently *executing* jobs (the :class:`JobQueue` pool);
         further submissions queue.
+    drain_timeout:
+        Seconds a graceful stop waits for running jobs to finish their cells
+        and close their sinks before giving up (``None`` = wait forever).
+        A drain that times out sets :attr:`drained_clean` to ``False``; the
+        abandoned jobs stay ``running`` on disk and resume on restart.
+    reap_interval:
+        Seconds between scans of :meth:`JobQueue.reap` — the background
+        reaper that marks jobs with dead executors as ``failed`` instead of
+        leaving them ``running`` on disk forever.  ``None`` disables the
+        background thread (``reap()`` can still be driven manually).
+    default_retry:
+        Server-wide :class:`~repro.engine.retry.RetryPolicy` for jobs whose
+        spec declares none (see :class:`JobQueue`).
     """
 
     def __init__(self, state_dir, host: str = "127.0.0.1", port: int = 8765,
-                 workers: int = 2):
+                 workers: int = 2, drain_timeout: float | None = 30.0,
+                 reap_interval: float | None = 5.0, default_retry=None):
         self.store = JobStore(state_dir)
         self.host = host
         self.port = int(port)
         self.workers = int(workers)
+        self.drain_timeout = drain_timeout
+        self.reap_interval = reap_interval
+        self.drained_clean = True
         self.queue = JobQueue(self.store, workers=self.workers,
-                              on_event=self._publish_threadsafe)
+                              on_event=self._publish_threadsafe,
+                              default_retry=default_retry)
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._subscribers: dict[str, set[asyncio.Queue]] = {}
         self._stop_event: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
+        self._reaper: threading.Thread | None = None
+        self._reaper_stop = threading.Event()
         self._abort = False
         self._started_at: float | None = None
 
@@ -122,6 +142,19 @@ class JobServer:
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.time()
         self.queue.recover()
+        if self.reap_interval is not None:
+            self._reaper_stop.clear()
+            self._reaper = threading.Thread(target=self._reap_loop,
+                                            name="repro-reaper", daemon=True)
+            self._reaper.start()
+
+    def _reap_loop(self) -> None:
+        """The background reaper: periodically fail jobs with dead executors."""
+        while not self._reaper_stop.wait(self.reap_interval):
+            try:
+                self.queue.reap()
+            except Exception:  # noqa: BLE001 — the reaper itself must survive
+                pass
 
     async def serve_forever(self) -> None:
         """Run until :meth:`stop` (or task cancellation)."""
@@ -137,11 +170,19 @@ class JobServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        # Graceful stop drains running jobs; abort abandons them (they stay
-        # queued/running on disk — the restart-recovery path picks them up).
-        await asyncio.get_running_loop().run_in_executor(
-            None, lambda: self.queue.shutdown(wait=not self._abort)
-        )
+        self._reaper_stop.set()
+        # Graceful stop drains running jobs (bounded by drain_timeout) so
+        # their cells land in the sink and queued jobs persist as `queued`;
+        # abort abandons everything mid-flight (they stay queued/running on
+        # disk — the restart-recovery path picks them up).
+        if self._abort:
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self.queue.shutdown(wait=False)
+            )
+        else:
+            self.drained_clean = await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self.queue.drain(self.drain_timeout)
+            )
 
     # -- background-thread harness (tests, benchmarks, embedding) -------- #
 
@@ -171,16 +212,22 @@ class JobServer:
             raise failure[0]
         return self
 
-    def stop(self, abort: bool = False) -> None:
-        """Stop a background server.  ``abort=True`` models a crash: running
-        jobs are abandoned mid-flight (left incomplete on disk) instead of
-        drained."""
-        self._abort = abort
+    def request_stop(self, abort: bool = False) -> None:
+        """Ask the server to stop without blocking — safe from signal
+        handlers and foreign threads.  ``serve_forever`` then runs the
+        graceful drain (or the abort) and returns."""
+        self._abort = abort or self._abort
         if self._loop is not None and self._stop_event is not None:
             try:
                 self._loop.call_soon_threadsafe(self._stop_event.set)
             except RuntimeError:
                 pass  # loop already closed
+
+    def stop(self, abort: bool = False) -> None:
+        """Stop a background server.  ``abort=True`` models a crash: running
+        jobs are abandoned mid-flight (left incomplete on disk) instead of
+        drained."""
+        self.request_stop(abort=abort)
         if self._thread is not None:
             self._thread.join(timeout=30)
             self._thread = None
@@ -347,6 +394,15 @@ class JobServer:
             ),
             "workers": self.workers,
             "jobs": self.store.counts(),
+            # Fault-tolerance state: how many dead executors the reaper has
+            # failed, and the drain configuration — the /healthz view of the
+            # execution plane's health, not just the process's.
+            "queue": {
+                "pending": self.queue.pending(),
+                "reaped_total": self.queue.reaped_total,
+                "reap_interval": self.reap_interval,
+                "drain_timeout": self.drain_timeout,
+            },
             "backends": describe_backends(),
             # The per-process degradation report: e.g. "jit:numba" vs
             # "jit:fallback-array" — no warning-scraping required.

@@ -17,9 +17,12 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from typing import Any, Callable
 
+from repro.engine.retry import RetryPolicy, describe_error
 from repro.server.store import JobStore
+from repro.testing import faults
 
 __all__ = ["JobQueue"]
 
@@ -35,26 +38,33 @@ class JobQueue:
         {"type": "progress", "done": d, "total": t, "resumed": d}   # on start
         {"type": "cell", "cell": id, "done": d, "total": t, "record": {...}}
         {"type": "done", "cells_done": d, "cells_total": t, "backend_tier": ...}
-        {"type": "failed", "error": "..."}
-    """
+        {"type": "failed", "error": {"kind": ..., "type": ..., "message": ...,
+                                     "traceback_digest": ..., "attempts": ...}}
 
-    #: Test seam: called as ``hook(job_id, done, total)`` after every cell's
-    #: status update.  Tests raise a BaseException from it to simulate the
-    #: process dying mid-job (the job is left ``running`` on disk, exactly
-    #: like a SIGKILL — *not* marked failed).
-    _test_cell_hook: Callable[[str, int, int], None] | None = None
+    ``default_retry`` — when given — is the server-wide
+    :class:`~repro.engine.retry.RetryPolicy` applied to jobs whose spec does
+    not declare its own ``run.retry``; a spec-declared policy always wins
+    (the spec is the contract the job is addressed by).
+
+    The per-cell progress hook doubles as the ``"server-cell"`` fault-injection
+    site (:mod:`repro.testing.faults`): chaos tests inject a raise/hang there
+    to simulate a job executor dying mid-job without patching queue internals.
+    """
 
     def __init__(
         self,
         store: JobStore,
         workers: int = 2,
         on_event: Callable[[str, dict[str, Any]], None] | None = None,
+        default_retry: RetryPolicy | None = None,
     ):
         if int(workers) < 1:
             raise ValueError(f"JobQueue workers must be >= 1, got {workers!r}")
         self.store = store
         self.workers = int(workers)
         self.on_event = on_event
+        self.default_retry = default_retry
+        self.reaped_total = 0
         self._pool = ThreadPoolExecutor(max_workers=self.workers,
                                         thread_name_prefix="repro-job")
         self._futures: dict[str, Future] = {}
@@ -101,6 +111,69 @@ class JobQueue:
             self._closed = True
         self._pool.shutdown(wait=wait, cancel_futures=not wait)
 
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful drain: refuse new work, drop *queued* jobs back to the
+        store (they stay ``queued`` on disk — restart recovery re-queues
+        them), and wait up to ``timeout`` seconds for the jobs already
+        running to finish their cells and close their sinks.
+
+        Returns ``True`` when every running job completed within the budget;
+        ``False`` means the drain timed out and the caller should force-abort
+        (running jobs stay ``running`` on disk and resume on restart, losing
+        at most their in-flight cells).
+        """
+        with self._lock:
+            self._closed = True
+            futures = list(self._futures.values())
+        # cancel_futures drops queued (not-yet-started) jobs; wait=False so
+        # *we* own the bounded wait below instead of blocking indefinitely.
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        running = [f for f in futures if not f.done() and not f.cancelled()]
+        _, not_done = futures_wait(running, timeout=timeout)
+        return not not_done
+
+    # ------------------------------------------------------------------ #
+    # Reaping dead executors
+    # ------------------------------------------------------------------ #
+
+    def reap(self) -> list[str]:
+        """Mark jobs whose executor died without a terminal state as failed.
+
+        A ``BaseException`` escaping a job thread (``SystemExit`` from
+        library code, an injected chaos fault) ends the future but skips the
+        ``except Exception`` bookkeeping, leaving ``job.json`` saying
+        ``running`` forever on a server that is never restarted.  This scans
+        for exactly that: a *done* future whose job is still non-terminal on
+        disk.  Cancelled futures are skipped — their jobs are legitimately
+        ``queued`` (the drain path).  Returns the reaped job ids.
+        """
+        reaped: list[str] = []
+        with self._lock:
+            items = list(self._futures.items())
+        for job_id, future in items:
+            if not future.done() or future.cancelled():
+                continue
+            status = self.store.load(job_id)
+            if status is None or status.terminal or status.state == "queued":
+                continue
+            exc = future.exception()
+            if exc is not None:
+                error = describe_error(exc, attempts=status.attempts)
+            else:
+                error = {
+                    "kind": "crash",
+                    "type": "DeadExecutor",
+                    "message": "job executor ended without recording a terminal state",
+                    "traceback_digest": None,
+                    "attempts": status.attempts,
+                }
+            self.store.update(job_id, state="failed", finished_at=time.time(),
+                              error=error)
+            self._emit(job_id, {"type": "failed", "error": error})
+            reaped.append(job_id)
+        self.reaped_total += len(reaped)
+        return reaped
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -138,22 +211,28 @@ class JobQueue:
                 self.store.update(job_id, **changes)
                 self._emit(job_id, {"type": "cell", "cell": cell, "done": done,
                                     "total": total, "record": dict(record)})
-            hook = type(self)._test_cell_hook
-            if hook is not None and cell is not None:
-                hook(job_id, done, total)
+            if cell is not None:
+                faults.fire("server-cell", job_id=job_id, done=done, total=total)
+
+        # The server-wide default policy applies only when the spec does not
+        # declare its own (the spec is the contract the job is addressed by).
+        retry = None
+        if self.default_retry is not None and \
+                not (status.spec.get("run") or {}).get("retry"):
+            retry = self.default_retry
 
         sink = JsonlSink(self.store.records_path(job_id), resume=True)
         try:
             try:
-                run_spec(status.spec, sink=sink, progress=progress)
+                run_spec(status.spec, sink=sink, retry=retry, progress=progress)
             finally:
                 sink.close()
         except Exception as exc:  # noqa: BLE001 — any job failure is recorded
+            error = describe_error(exc, attempts=status.attempts)
             status = self.store.update(
-                job_id, state="failed", finished_at=time.time(),
-                error=f"{type(exc).__name__}: {exc}",
+                job_id, state="failed", finished_at=time.time(), error=error,
             )
-            self._emit(job_id, {"type": "failed", "error": status.error})
+            self._emit(job_id, {"type": "failed", "error": error})
             return
         manifest = self.store.manifest(job_id) or {}
         status = self.store.update(

@@ -1,0 +1,12 @@
+"""repro.testing — test-support seams shipped with the package.
+
+:mod:`repro.testing.faults` is the fault-injection harness of the execution
+plane: a spec/env-driven way to kill workers mid-cell, hang kernels past
+their deadlines, fail sink writes, or poison the jit tier.  It ships in the
+package (not under ``tests/``) because the seams it drives live in production
+modules and must be importable from freshly spawned worker processes.
+"""
+
+from repro.testing import faults
+
+__all__ = ["faults"]

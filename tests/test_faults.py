@@ -1,0 +1,453 @@
+"""Chaos suite: the fault-tolerant execution plane under injected failures.
+
+Every test here *causes* a failure on purpose — a worker SIGKILLed mid-cell,
+a kernel hanging past its deadline, a sink write blowing up, a poisoned jit
+tier — through the one production seam (:mod:`repro.testing.faults`) and then
+asserts the sweep converges to results byte-identical to an uninterrupted
+run (modulo the wall-clock ``seconds`` field), or to a structured CellError
+record when the policy says record-and-continue.
+"""
+
+import json
+
+import pytest
+
+from repro.api.spec import JobSpec, SpecError, spec_hash
+from repro.engine.base import EngineError
+from repro.engine.batch import BatchRunner, GraphSpec
+from repro.engine.retry import (
+    CellTimeoutError,
+    RetryPolicy,
+    call_with_deadline,
+    cell_error_record,
+    classify_error,
+    describe_error,
+)
+from repro.engine.sink import JsonlSink
+from repro.testing import faults
+from repro.testing.faults import Fault, FaultPlan, InjectedFault
+
+TASK = "delta_squared"
+CELLS = [GraphSpec("gnp", 40, 6, seed=seed) for seed in range(4)]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults(monkeypatch):
+    """No plan leaks into or out of any test (env or programmatic)."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def strip_seconds(records):
+    return [{k: v for k, v in r.items() if k != "seconds"} for r in records]
+
+
+def clean_run(backend="array"):
+    return BatchRunner(backend=backend).run(TASK, CELLS)
+
+
+def event_kinds(result):
+    return [(e["event"], e.get("kind")) for e in result.events]
+
+
+# --------------------------------------------------------------------------- #
+# RetryPolicy: the state machine
+# --------------------------------------------------------------------------- #
+
+
+class TestRetryPolicy:
+    def test_default_policy_is_default(self):
+        assert RetryPolicy().is_default
+        assert not RetryPolicy(max_attempts=2).is_default
+        assert not RetryPolicy(cell_timeout=5.0).is_default
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"max_attempts": 1.5},
+        {"cell_timeout": 0.0},
+        {"cell_timeout": -1.0},
+        {"backoff_base": -0.1},
+        {"backoff_factor": 0.5},
+        {"jitter": 1.5},
+        {"on_error": "explode"},
+    ])
+    def test_validation_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_crashes_get_a_retry_floor_of_two(self):
+        policy = RetryPolicy()  # max_attempts=1
+        assert policy.attempts_for("crash") == 2
+        assert policy.attempts_for("error") == 1
+        assert policy.next_action("crash", 1) == "retry"
+        assert policy.next_action("crash", 2) == "record"
+
+    def test_ladder_retry_then_raise_or_record(self):
+        raise_policy = RetryPolicy(max_attempts=3)
+        assert raise_policy.next_action("error", 1) == "retry"
+        assert raise_policy.next_action("error", 2) == "retry"
+        assert raise_policy.next_action("error", 3) == "raise"  # default on_error
+        record_policy = RetryPolicy(max_attempts=3, on_error="record")
+        assert record_policy.next_action("error", 3) == "record"
+        # timeouts always record on exhaustion, regardless of on_error
+        assert raise_policy.next_action("timeout", 3) == "record"
+
+    def test_jit_gets_one_downgrade_attempt(self):
+        policy = RetryPolicy()
+        assert policy.next_action("error", 1, backend="jit") == "downgrade"
+        assert policy.next_action("error", 1, backend="jit", downgraded=True) == "raise"
+        assert policy.next_action("error", 1, backend="array") == "raise"
+
+    def test_fatal_kinds_always_raise(self):
+        policy = RetryPolicy(max_attempts=10, on_error="record")
+        assert policy.next_action("parity", 1, backend="jit") == "raise"
+        assert policy.next_action("interrupt", 1, backend="jit") == "raise"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EngineError, match="unknown error kind"):
+            RetryPolicy().next_action("gremlin", 1)
+
+    def test_backoff_is_exponential_and_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.5, jitter=0.25)
+        assert RetryPolicy().delay("cell", 1) == 0.0  # base 0 disables backoff
+        first, second = policy.delay("cellA", 1), policy.delay("cellA", 2)
+        assert 0.5 <= first <= 0.5 * 1.25
+        assert 1.0 <= second <= 1.0 * 1.25
+        assert policy.delay("cellA", 1) == first  # seed-pinned, no live RNG
+        assert policy.delay("cellB", 1) != first  # ...but keyed by the cell
+
+    def test_round_trip_and_schema_guards(self):
+        policy = RetryPolicy(max_attempts=3, cell_timeout=2.5, backoff_base=0.1,
+                             jitter=0.5, on_error="record")
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+        assert policy.to_dict()["schema"] == 1
+        with pytest.raises(ValueError, match="unknown retry policy field"):
+            RetryPolicy.from_dict({"max_attempts": 2, "lives": 9})
+        with pytest.raises(ValueError, match="schema"):
+            RetryPolicy.from_dict({"schema": 99})
+
+
+# --------------------------------------------------------------------------- #
+# The fault-injection harness itself
+# --------------------------------------------------------------------------- #
+
+
+class TestFaultHarness:
+    def test_plan_round_trips_through_json(self, tmp_path):
+        plan = FaultPlan(
+            faults=(
+                Fault(site="cell", op="kill", match={"seed": 2}, once="k1"),
+                Fault(site="sink-write", nth=3),
+                Fault(site="jit", op="hang", seconds=1.5),
+                Fault(site="server-cell", exception="SystemExit", message="boom"),
+            ),
+            marker_dir=str(tmp_path),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert faults.ENV_VAR in plan.env()
+
+    def test_bad_triggers_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            Fault(site="warp-core")
+        with pytest.raises(ValueError, match="unknown fault op"):
+            Fault(site="cell", op="implode")
+        with pytest.raises(ValueError, match="unknown fault exception"):
+            Fault(site="cell", exception="Cataclysm")
+        with pytest.raises(ValueError, match="marker_dir"):
+            FaultPlan((Fault(site="cell", once="needs-markers"),))
+
+    def test_nth_counts_per_site(self):
+        faults.install(FaultPlan((Fault(site="cell", nth=2),)))
+        faults.fire("cell")  # first hit: no fault
+        with pytest.raises(InjectedFault):
+            faults.fire("cell")
+        faults.fire("cell")  # third hit: past the trigger
+
+    def test_match_selects_by_context(self):
+        faults.install(FaultPlan((Fault(site="cell", match={"seed": 1}),)))
+        faults.fire("cell", seed=0)
+        faults.fire("cell")  # missing key: no match
+        with pytest.raises(InjectedFault):
+            faults.fire("cell", seed=1)
+
+    def test_once_marker_fires_a_single_time(self, tmp_path):
+        plan = FaultPlan((Fault(site="cell", once="only-one"),),
+                         marker_dir=str(tmp_path))
+        faults.install(plan)
+        with pytest.raises(InjectedFault):
+            faults.fire("cell")
+        faults.fire("cell")  # the marker file absorbs every later hit
+        assert faults.fired_names() == ("only-one",)
+        assert list(tmp_path.glob("repro-fault-*.marker"))
+
+    def test_env_plan_activates_without_install(self, monkeypatch):
+        plan = FaultPlan((Fault(site="cell", message="from env"),))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        assert faults.active_plan() == plan
+        with pytest.raises(InjectedFault, match="from env"):
+            faults.fire("cell")
+
+    def test_hang_op_sleeps_then_returns(self):
+        faults.install(FaultPlan((Fault(site="cell", op="hang", seconds=0.01),)))
+        faults.fire("cell")  # returns (after the nap) instead of raising
+
+
+# --------------------------------------------------------------------------- #
+# Error classification and records
+# --------------------------------------------------------------------------- #
+
+
+class TestErrorRecords:
+    def test_classification(self):
+        assert classify_error(ValueError("x")) == "error"
+        assert classify_error(CellTimeoutError("t")) == "timeout"
+        assert classify_error(KeyboardInterrupt()) == "interrupt"
+
+    def test_describe_error_shape(self):
+        try:
+            raise InjectedFault("chaos")
+        except InjectedFault as exc:
+            err = describe_error(exc, attempts=2, tier="array")
+        assert err["kind"] == "error" and err["type"] == "InjectedFault"
+        assert err["message"] == "chaos" and err["attempts"] == 2
+        assert err["tier"] == "array" and len(err["traceback_digest"]) == 16
+
+    def test_cell_error_record_mirrors_identity_prefix(self):
+        record = cell_error_record(CELLS[0], {"k": 4}, "array",
+                                   {"kind": "error", "type": "X", "message": "m"})
+        assert record["family"] == "gnp" and record["n"] == 40
+        assert record["Delta"] == 6 and record["seed"] == 0 and record["k"] == 4
+        assert record["backend"] == "array" and "error" in record
+
+    def test_call_with_deadline_raises_and_passes_through(self):
+        assert call_with_deadline(lambda: 42, 5.0, "cell") == 42
+        with pytest.raises(CellTimeoutError, match="deadline"):
+            call_with_deadline(lambda: __import__("time").sleep(2.0), 0.1, "cell")
+        with pytest.raises(ValueError, match="inner"):
+            call_with_deadline(lambda: (_ for _ in ()).throw(ValueError("inner")), 5.0, "c")
+
+
+# --------------------------------------------------------------------------- #
+# Serial sweeps under faults
+# --------------------------------------------------------------------------- #
+
+
+class TestSerialFaults:
+    def test_transient_error_retried_to_identical_results(self):
+        faults.install(FaultPlan((Fault(site="cell", match={"seed": 1, "attempt": 1}),)))
+        result = BatchRunner(retry=RetryPolicy(max_attempts=2)).run(TASK, CELLS)
+        faults.clear()
+        assert strip_seconds(result.records) == strip_seconds(clean_run().records)
+        assert event_kinds(result) == [("retry", "error")]
+        assert result.failures == []
+
+    def test_persistent_error_records_cell_error_and_continues(self):
+        faults.install(FaultPlan((Fault(site="cell", match={"seed": 2}),)))
+        policy = RetryPolicy(max_attempts=2, on_error="record")
+        result = BatchRunner(retry=policy).run(TASK, CELLS)
+        assert len(result.records) == 4 and len(result.failures) == 1
+        failed = result.failures[0]
+        assert failed["seed"] == 2 and failed["error"]["kind"] == "error"
+        assert failed["error"]["attempts"] == 2
+        assert ("cell-error", None) in event_kinds(result)
+        faults.clear()
+        # the other cells are untouched by the failing one
+        good = [r for r in result.records if "error" not in r]
+        expected = [r for r in clean_run().records if r["seed"] != 2]
+        assert strip_seconds(good) == strip_seconds(expected)
+
+    def test_persistent_error_default_policy_raises(self):
+        faults.install(FaultPlan((Fault(site="cell", match={"seed": 0}),)))
+        with pytest.raises(InjectedFault):
+            BatchRunner().run(TASK, CELLS)
+
+    def test_timed_out_cell_yields_structured_record(self):
+        faults.install(FaultPlan((Fault(site="cell", op="hang", seconds=1.5,
+                                        match={"seed": 1}),)))
+        policy = RetryPolicy(cell_timeout=0.25, on_error="record")
+        result = BatchRunner(retry=policy).run(TASK, CELLS)
+        assert len(result.failures) == 1
+        assert result.failures[0]["error"]["kind"] == "timeout"
+        assert result.failures[0]["error"]["type"] == "CellTimeoutError"
+        good = [r for r in result.records if "error" not in r]
+        assert len(good) == 3  # the sweep kept going
+
+    def test_events_and_error_records_round_trip_through_jsonl(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        faults.install(FaultPlan((Fault(site="cell", match={"seed": 2}),)))
+        policy = RetryPolicy(max_attempts=2, on_error="record")
+        with JsonlSink(path) as sink:
+            BatchRunner(retry=policy).run(TASK, CELLS, sink=sink)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any("event" in obj and "record" not in obj for obj in lines)
+        faults.clear()
+        # resume: event lines are skipped, the CellError cell is re-run clean
+        with JsonlSink(path, resume=True) as sink:
+            result = BatchRunner().run(TASK, CELLS, sink=sink)
+        assert result.failures == []
+        assert strip_seconds(result.records) == strip_seconds(clean_run().records)
+
+
+# --------------------------------------------------------------------------- #
+# Parallel sweeps: crash containment (the pool under fire)
+# --------------------------------------------------------------------------- #
+
+
+class TestParallelFaults:
+    @pytest.mark.parametrize("backend", ["array", "jit"])
+    def test_worker_kill_recovers_byte_identical(self, tmp_path, monkeypatch, backend):
+        plan = FaultPlan((Fault(site="cell", op="kill", match={"seed": 2},
+                                once=f"kill-{backend}"),),
+                         marker_dir=str(tmp_path))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        result = BatchRunner(backend=backend, workers=2).run(TASK, CELLS)
+        monkeypatch.delenv(faults.ENV_VAR)
+        clean = clean_run(backend)
+        assert strip_seconds(result.records) == strip_seconds(clean.records)
+        assert ("retry", "crash") in event_kinds(result)
+        assert result.failures == []
+
+    def test_hung_worker_is_killed_and_cell_retried(self, tmp_path, monkeypatch):
+        plan = FaultPlan((Fault(site="cell", op="hang", seconds=30.0,
+                                match={"seed": 1}, once="hang-1"),),
+                         marker_dir=str(tmp_path))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        policy = RetryPolicy(max_attempts=2, cell_timeout=1.0)
+        result = BatchRunner(workers=2, retry=policy).run(TASK, CELLS)
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert strip_seconds(result.records) == strip_seconds(clean_run().records)
+        assert ("retry", "timeout") in event_kinds(result)
+
+    def test_persistent_error_records_and_finishes_other_cells(self, monkeypatch):
+        plan = FaultPlan((Fault(site="cell", match={"seed": 3}),))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        policy = RetryPolicy(max_attempts=2, on_error="record")
+        result = BatchRunner(workers=2, retry=policy).run(TASK, CELLS)
+        assert len(result.failures) == 1
+        failed = result.failures[0]
+        assert failed["seed"] == 3 and failed["error"]["attempts"] == 2
+        assert failed["error"]["type"] == "InjectedFault"
+        good = [r for r in result.records if "error" not in r]
+        assert len(good) == 3
+
+    def test_persistent_error_default_policy_raises_natively(self, monkeypatch):
+        plan = FaultPlan((Fault(site="cell", match={"seed": 0}, message="boom"),))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        with pytest.raises(InjectedFault, match="boom"):
+            BatchRunner(workers=2).run(TASK, CELLS)
+
+
+# --------------------------------------------------------------------------- #
+# Graceful degradation: poisoned jit tier lands on array
+# --------------------------------------------------------------------------- #
+
+
+class TestJitDegradation:
+    def test_serial_poisoned_jit_downgrades_with_array_parity(self):
+        faults.install(FaultPlan((Fault(site="jit"),)))
+        result = BatchRunner(backend="jit").run(TASK, CELLS)
+        faults.clear()
+        degrades = [e for e in result.events if e["event"] == "degrade"]
+        assert len(degrades) == len(CELLS)
+        assert all(e["from"] == "jit" and e["to"] == "array" for e in degrades)
+        assert all(r["backend"] == "array" for r in result.records)
+        assert strip_seconds(result.records) == strip_seconds(clean_run("array").records)
+
+    def test_parallel_poisoned_jit_downgrades_with_array_parity(self, monkeypatch):
+        plan = FaultPlan((Fault(site="jit"),))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        result = BatchRunner(backend="jit", workers=2).run(TASK, CELLS)
+        monkeypatch.delenv(faults.ENV_VAR)
+        degrades = [e for e in result.events if e["event"] == "degrade"]
+        assert len(degrades) == len(CELLS)
+        assert all(r["backend"] == "array" for r in result.records)
+        assert strip_seconds(result.records) == strip_seconds(clean_run("array").records)
+
+
+# --------------------------------------------------------------------------- #
+# Sink-write failures: the parent side of the plane
+# --------------------------------------------------------------------------- #
+
+
+class TestSinkWriteFaults:
+    @pytest.mark.parametrize("backend", ["array", "jit"])
+    def test_failed_write_resumes_byte_identical(self, tmp_path, backend):
+        path = tmp_path / f"out-{backend}.jsonl"
+        faults.install(FaultPlan((Fault(site="sink-write", nth=3),)))
+        sink = JsonlSink(path)
+        with pytest.raises(InjectedFault):
+            try:
+                BatchRunner(backend=backend).run(TASK, CELLS, sink=sink)
+            finally:
+                sink.close()
+        faults.clear()
+        persisted = [json.loads(line) for line in path.read_text().splitlines()
+                     if "record" in json.loads(line)]
+        assert len(persisted) == 2  # the third write died before the append
+        with JsonlSink(path, resume=True) as sink:
+            result = BatchRunner(backend=backend).run(TASK, CELLS, sink=sink)
+        assert sink.written == 2  # exactly the lost cells were re-run
+        assert strip_seconds(result.records) == strip_seconds(clean_run(backend).records)
+
+
+# --------------------------------------------------------------------------- #
+# The spec layer: RetryPolicy on Run, hashed only when non-default
+# --------------------------------------------------------------------------- #
+
+
+SPEC_DOC = {
+    "problems": [{"graph": {"family": "gnp", "n": 40, "delta": 6}}],
+    "run": {"algorithm": "delta_plus_one", "backend": "array"},
+}
+
+
+class TestSpecIntegration:
+    def test_default_policy_keeps_every_existing_spec_hash(self):
+        bare = spec_hash(JobSpec.from_dict(SPEC_DOC))
+        explicit = {**SPEC_DOC,
+                    "run": {**SPEC_DOC["run"], "retry": RetryPolicy().to_dict()}}
+        assert spec_hash(JobSpec.from_dict(explicit)) == bare
+        assert "retry" not in JobSpec.from_dict(explicit).to_dict()["run"]
+
+    def test_non_default_policy_round_trips_and_changes_the_hash(self):
+        policy = RetryPolicy(max_attempts=3, cell_timeout=5.0, on_error="record")
+        doc = {**SPEC_DOC, "run": {**SPEC_DOC["run"], "retry": policy.to_dict()}}
+        job = JobSpec.from_dict(doc)
+        assert job.run.retry == policy
+        assert job.to_dict()["run"]["retry"] == policy.to_dict()
+        assert spec_hash(job) != spec_hash(JobSpec.from_dict(SPEC_DOC))
+        assert JobSpec.from_dict(job.to_dict()).run.retry == policy
+
+    def test_bad_retry_policy_is_a_spec_error(self):
+        doc = {**SPEC_DOC,
+               "run": {**SPEC_DOC["run"], "retry": {"max_attempts": 0}}}
+        with pytest.raises(SpecError):
+            JobSpec.from_dict(doc)
+
+
+# --------------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------------- #
+
+
+def test_cli_batch_on_error_record_exits_nonzero(monkeypatch, capsys):
+    from repro.cli import main
+
+    plan = FaultPlan((Fault(site="cell", match={"seed": 1}),))
+    monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+    code = main(["batch", "--task", TASK, "--family", "gnp", "-n", "40",
+                 "--delta", "6", "--seeds", "2", "--retries", "1",
+                 "--on-error", "record"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "FAILED CELLS" in captured.err
+    assert "retried 1 failing attempt" in captured.out
+
+
+def test_cli_rejects_bad_retry_flags():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="bad retry options"):
+        main(["batch", "--task", TASK, "--retries", "-2"])

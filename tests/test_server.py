@@ -5,7 +5,6 @@ bound to a free port; clients are plain ``urllib`` over the loopback.
 """
 
 import json
-import threading
 import time
 import urllib.error
 import urllib.request
@@ -15,8 +14,18 @@ import pytest
 from repro.api.solve import run_spec
 from repro.api.spec import JobSpec, spec_hash
 from repro.engine.sink import JsonlSink
-from repro.server import JobQueue, JobServer, JobStore
+from repro.server import JobServer, JobStore
 from repro.server.store import JobStoreError
+from repro.testing import faults
+from repro.testing.faults import Fault, FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
 
 SPEC = {
     "problems": [
@@ -267,25 +276,28 @@ class TestEvents:
 class TestRestartRecovery:
     def test_killed_job_resumes_and_matches_uninterrupted_run(self, tmp_path):
         state_dir = tmp_path / "state"
-        died = threading.Event()
-
-        def die_after_two(job_id, done, total):
-            if done >= 2:
-                died.set()
-                # BaseException: escapes the queue's `except Exception`, so the
-                # job stays `running` on disk — exactly a SIGKILL mid-cell.
-                raise SystemExit("simulated kill")
-
-        JobQueue._test_cell_hook = staticmethod(die_after_two)
+        # SystemExit at the per-cell seam is a BaseException: it escapes the
+        # queue's `except Exception`, so the job stays `running` on disk —
+        # exactly a SIGKILL mid-cell.  (reap_interval=None: the point here is
+        # the *restart* recovery path, not the in-process reaper.)
+        plan = FaultPlan((Fault(site="server-cell", op="raise",
+                                exception="SystemExit", message="simulated kill",
+                                match={"done": 2}, once="server-kill"),),
+                         marker_dir=str(tmp_path))
+        faults.install(plan)
         try:
-            first = JobServer(state_dir, port=0, workers=1).start_background()
+            first = JobServer(state_dir, port=0, workers=1,
+                              reap_interval=None).start_background()
             _, submitted = post(first.url + "/jobs", SPEC)
             job_id = submitted["id"]
-            assert died.wait(timeout=120)
+            deadline = time.time() + 120
+            while "server-kill" not in faults.fired_names():
+                assert time.time() < deadline, "injected kill never fired"
+                time.sleep(0.05)
             time.sleep(0.3)  # let the dying worker settle
             first.stop(abort=True)
         finally:
-            JobQueue._test_cell_hook = None
+            faults.clear()
 
         # the crash left the job incomplete — not failed — with durable cells
         crashed = JobStore(state_dir).load(job_id)
@@ -330,9 +342,82 @@ class TestRestartRecovery:
         }
         _, submitted = post(server.url + "/jobs", doomed)
         status = wait_terminal(server.url, submitted["id"])
-        assert status["state"] == "failed" and status["error"]
+        assert status["state"] == "failed"
+        # the error is a structured object, not a bare string
+        error = status["error"]
+        assert error["kind"] == "error" and error["message"]
+        assert error["type"] and error["attempts"] == 1
+        assert error["traceback_digest"] and len(error["traceback_digest"]) == 16
+        # ... and the SSE history replays the same structured failure
+        events = sse_events(server.url, submitted["id"])
+        assert events[-1][0] == "failed"
+        assert events[-1][1]["error"]["type"] == error["type"]
         # a resubmission of a failed job retries instead of caching the failure
         code, again = post(server.url + "/jobs", doomed)
         assert code == 201 and again["cached"] is False
         status = wait_terminal(server.url, submitted["id"])
         assert status["state"] == "failed" and status["attempts"] == 2
+
+
+# --------------------------------------------------------------------------- #
+# The fault plane: reaper, drain, structured errors
+# --------------------------------------------------------------------------- #
+
+
+class TestFaultPlane:
+    def test_reaper_fails_jobs_whose_executor_died(self, tmp_path):
+        # A BaseException ends the executor without terminal bookkeeping; on a
+        # server that never restarts, only the reaper can surface that.
+        plan = FaultPlan((Fault(site="server-cell", op="raise",
+                                exception="SystemExit", message="executor died",
+                                match={"done": 1}, once="reap-kill"),),
+                         marker_dir=str(tmp_path))
+        faults.install(plan)
+        server = JobServer(tmp_path / "state", port=0, workers=1,
+                           reap_interval=0.2).start_background()
+        try:
+            _, submitted = post(server.url + "/jobs", SPEC)
+            status = wait_terminal(server.url, submitted["id"], timeout=60)
+            assert status["state"] == "failed"
+            assert status["error"]["type"] == "SystemExit"
+            assert status["error"]["kind"] == "interrupt"
+            _, health = get(server.url + "/healthz")
+            assert health["queue"]["reaped_total"] == 1
+        finally:
+            faults.clear()
+            server.stop()
+
+    def test_healthz_reports_the_queue(self, server):
+        _, health = get(server.url + "/healthz")
+        assert health["queue"]["pending"] == 0
+        assert health["queue"]["reaped_total"] == 0
+        assert health["queue"]["drain_timeout"] == 30.0
+
+    def test_graceful_stop_drains_and_persists(self, tmp_path):
+        server = JobServer(tmp_path / "state", port=0, workers=1).start_background()
+        _, submitted = post(server.url + "/jobs", SPEC)
+        server.stop()  # graceful: wait for the running job, persist the rest
+        assert server.drained_clean
+        status = JobStore(tmp_path / "state").load(submitted["id"])
+        # finished within the budget, or dropped back to `queued` for restart
+        assert status.state in ("done", "queued")
+
+    def test_drain_timeout_reports_unclean_and_leaves_job_resumable(self, tmp_path):
+        plan = FaultPlan((Fault(site="server-cell", op="hang", seconds=6.0,
+                                match={"done": 1}, once="drain-hang"),),
+                         marker_dir=str(tmp_path))
+        faults.install(plan)
+        server = JobServer(tmp_path / "state", port=0, workers=1,
+                           drain_timeout=0.3, reap_interval=None).start_background()
+        try:
+            _, submitted = post(server.url + "/jobs", SPEC)
+            deadline = time.time() + 60
+            while "drain-hang" not in faults.fired_names():
+                assert time.time() < deadline, "injected hang never fired"
+                time.sleep(0.05)
+            server.stop()  # the hung job cannot finish within 0.3s
+            assert not server.drained_clean
+            status = JobStore(tmp_path / "state").load(submitted["id"])
+            assert status.state == "running"  # resumable: recovery re-queues it
+        finally:
+            faults.clear()
