@@ -63,12 +63,20 @@ def record_json():
     across commits by tooling, not just by humans reading the markdown tables.
     Every record carries a ``backend`` field (default ``"array"``) so
     trajectory comparisons never mix execution paths; callers override it via
-    the ``backend=`` argument or an explicit key in ``payload``.
+    the ``backend=`` argument or an explicit key in ``payload``.  Every record
+    also carries ``cores`` (CPU cores available to the run) and ``workers``
+    (process-pool width, default 1 = serial) under those exact keys — the same
+    names :class:`repro.engine.sink.RunManifest` uses — so B-series records
+    are comparable without per-file key archaeology.
     """
+
+    from repro.engine.sink import machine_cores as _cores
 
     def _record(name: str, payload: dict, backend: str = "array") -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         payload.setdefault("backend", backend)
+        payload.setdefault("cores", _cores())
+        payload.setdefault("workers", 1)
         path = RESULTS_DIR / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 

@@ -68,7 +68,7 @@ def test_b2_parallel_speedup(record_table, record_json, machine_cores):
         "task": TASK,
         "cells": len(CELLS),
         "workers": WORKERS,
-        "machine_cores": cores,
+        "cores": cores,
         "serial_seconds": round(serial_seconds, 4),
         "parallel_seconds": round(parallel_seconds, 4),
         "speedup": round(speedup, 2),

@@ -222,7 +222,7 @@ def test_b3_compacted_kernels_speedup(record_table, record_json, machine_cores):
         "delta": DELTA,
         "seeds": list(SEEDS),
         "cells": len(SEEDS),
-        "machine_cores": cores,
+        "cores": cores,
         "legacy_seconds": round(legacy_seconds, 4),
         "compacted_seconds": round(compacted_seconds, 4),
         "speedup": round(speedup, 2),

@@ -183,7 +183,7 @@ def test_b4_construction_speedup_at_scale(record_table, record_json, machine_cor
     record_json("B4", {
         "benchmark": "B4_scale",
         "n": N,
-        "machine_cores": machine_cores,
+        "cores": machine_cores,
         "construction": {
             "families": [r[0] for r in rows],
             "tuple_list_seconds": round(legacy_total, 4),
@@ -242,7 +242,7 @@ def test_b4_shared_memory_sweep_parity_and_flat_memory(record_json, machine_core
         "task": SWEEP_TASK,
         "cells": [[c.family, c.n, c.delta, c.seed] for c in SWEEP_CELLS],
         "workers": 2,
-        "machine_cores": machine_cores,
+        "cores": machine_cores,
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
         "records_byte_identical": True,

@@ -160,7 +160,7 @@ def test_b5_jit_speedup(record_table, record_json, machine_cores):
         "n": N,
         "delta": DELTA,
         "seeds": list(SEEDS),
-        "machine_cores": machine_cores,
+        "cores": machine_cores,
         "kernel_tier": kind,
         "threads": threads,
         "fallback": not available,
@@ -219,7 +219,7 @@ def test_b5_scale_cell_wall_clock(record_json, machine_cores):
     payload["scale"] = {
         "task": SCALE_TASK,
         "cell": [SCALE_CELL.family, SCALE_CELL.n, SCALE_CELL.delta, SCALE_CELL.seed],
-        "machine_cores": machine_cores,
+        "cores": machine_cores,
         "kernel_tier": provider.kind if provider is not None else None,
         "fallback": provider is None,
         "array_seconds": round(array_elapsed, 3),
@@ -228,3 +228,80 @@ def test_b5_scale_cell_wall_clock(record_json, machine_cores):
         "records_identical": True,
     }
     record_json("B5", payload, backend="jit")
+
+
+_SCALING_SCRIPT = """
+import json, time
+from repro.congest import generators
+from repro.core import pipelines
+from repro.core.kernels_jit import get_provider
+
+provider = get_provider()
+graph = generators.random_regular({n}, {delta}, seed={seed})
+pipelines.delta_plus_one_coloring(graph, seed={seed}, backend="jit")  # warm
+start = time.perf_counter()
+result = pipelines.delta_plus_one_coloring(graph, seed={seed}, backend="jit")
+elapsed = time.perf_counter() - start
+print(json.dumps({{
+    "seconds": elapsed,
+    "tier": provider.kind if provider is not None else None,
+    "threads": provider.threads if provider is not None else 1,
+    "rounds": result.rounds,
+    "colors": int(result.colors.max()) + 1,
+}}))
+"""
+
+
+def test_b5_thread_scaling(record_json, machine_cores):
+    """REPRO_NUM_THREADS sweep (1, 2, 4) over one warm jit cell.
+
+    The thread cap is read at kernel-provider init, so each setting runs in
+    a fresh subprocess.  Results must be identical at every thread count
+    (the kernels are deterministic regardless of team size); wall-clock
+    monotone non-regression is asserted only on multi-core machines — on one
+    core extra threads are pure overhead and only the record is kept.
+    """
+    import json as json_mod
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    script = _SCALING_SCRIPT.format(n=N, delta=DELTA, seed=SEEDS[0])
+    sweep: dict[str, dict] = {}
+    for threads in (1, 2, 4):
+        env = {**os.environ, "REPRO_NUM_THREADS": str(threads),
+               "PYTHONPATH": str(src) + os.pathsep + os.environ.get("PYTHONPATH", "")}
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, check=True,
+                              timeout=300)
+        sweep[str(threads)] = json_mod.loads(proc.stdout.strip().splitlines()[-1])
+
+    outcomes = list(sweep.values())
+    assert len({(o["rounds"], o["colors"]) for o in outcomes}) == 1, \
+        f"thread count changed the result: {sweep}"
+    fallback = outcomes[0]["tier"] is None
+
+    path = pathlib.Path(__file__).resolve().parent / "results" / "BENCH_B5.json"
+    payload = json_mod.loads(path.read_text()) if path.exists() else {"benchmark": "B5_jit"}
+    payload["scaling"] = {
+        "task": "delta_plus_one",
+        "cell": [FAMILY, N, DELTA, SEEDS[0]],
+        "cores": machine_cores,
+        "kernel_tier": outcomes[0]["tier"],
+        "fallback": fallback,
+        "threads": {t: {"seconds": round(o["seconds"], 4),
+                        "effective_threads": o["threads"]}
+                    for t, o in sweep.items()},
+        "results_identical": True,
+        "monotone_checked": machine_cores > 1 and not fallback,
+    }
+    record_json("B5", payload, backend="jit")
+
+    if machine_cores > 1 and not fallback:
+        # Monotone non-regression: more threads must never be slower than
+        # fewer (15% tolerance absorbs scheduler noise; 1 -> 2 -> 4).
+        t1, t2, t4 = (sweep[k]["seconds"] for k in ("1", "2", "4"))
+        assert t2 <= t1 * 1.15, f"2 threads slower than 1: {sweep}"
+        assert t4 <= t2 * 1.15, f"4 threads slower than 2: {sweep}"

@@ -141,6 +141,7 @@ def test_b6_serve_load(tmp_path, record_table, record_json, machine_cores):
             "clients": CLIENTS,
             "workers": WORKERS,
             "cores": machine_cores,
+            "execution": health["execution"],
             "latency_p50_seconds": round(p50, 4),
             "latency_p99_seconds": round(p99, 4),
             "latency_mean_seconds": round(statistics.mean(latencies), 4),

@@ -49,7 +49,7 @@ def test_b1_array_backend_speedup(record_table, record_json, machine_cores):
         "benchmark": "B1_batch_backends",
         "task": TASK,
         "cells": len(CELLS),
-        "machine_cores": machine_cores,
+        "cores": machine_cores,
         "reference_seconds": round(reference_seconds, 4),
         "array_seconds": round(array_seconds, 4),
         "speedup": round(speedup, 2),

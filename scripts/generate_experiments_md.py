@@ -250,6 +250,28 @@ COMMENTARY = {
         "environment the table demonstrates bounded sharding overhead rather than the multi-core\n"
         "speedup; CI re-runs the sweep on multi-core runners.",
     ),
+    "B7_fleet": (
+        "B7 — fleet-scale sweeps: deterministic shards + merge",
+        "The fleet plane (see ARCHITECTURE.md, \"Fleet-scale sweeps\"): repro batch --shard i/k\n"
+        "partitions the cell grid by a stable hash of cell identity — worker count, machine, and\n"
+        "launch order never move a cell between shards — and repro merge validates the k shard\n"
+        "files (same spec/grid hash, disjoint and complete coverage) before joining them into a\n"
+        "file byte-identical to the unsharded run modulo the wall-clock field (asserted).  The\n"
+        "benchmark runs the shards back-to-back on one box, so the honest bar is bounded overhead\n"
+        "(<= 2.5x including the merge) rather than a speedup; a real fleet runs shards\n"
+        "concurrently on separate machines.  The machine-readable record lands in\n"
+        "benchmarks/results/BENCH_B7.json; CI's fleet-smoke job re-checks the bars from it.",
+    ),
+    "B7_serve": (
+        "B7 — job server execution planes: thread vs process",
+        "repro serve --execution process dispatches each job's cells through the crash-containing\n"
+        "process pool of the engine layer (per-job worker budget = cores split across job slots,\n"
+        "floored at 2) while keeping the durable-sink, progress, and SSE semantics of the thread\n"
+        "plane; --execution auto picks process on multi-core machines and /healthz reports the\n"
+        "resolved mode.  The benchmark measures jobs/sec over multi-cell jobs on both planes:\n"
+        "on one core only conservative absolute bars apply (the pool is pure overhead), on\n"
+        "multi-core machines the process plane must not lose to the thread plane.",
+    ),
     "E10_baselines": (
         "E10 — baselines",
         "The mother algorithm at k = 1 matches the locally-iterative (BEG18) regime; adding\n"
@@ -265,7 +287,7 @@ ORDER = [
     "E1_linial_one_round", "E2_rounds_vs_k", "E3_delta_squared", "E4_outdegree",
     "E5_defective", "E6_delta_plus_one", "E7_theorem13", "E8_ruling_sets",
     "E9_one_round", "E10_baselines", "B1_batch_backends", "B2_parallel",
-    "B3_kernels", "B4_scale", "B5_jit", "B6_serve",
+    "B3_kernels", "B4_scale", "B5_jit", "B6_serve", "B7_fleet", "B7_serve",
 ]
 
 

@@ -90,19 +90,26 @@ def run_spec(
     parity_check: bool | None = None,
     retry=None,
     progress=None,
+    shard: tuple[int, int] | None = None,
 ) -> tuple[BatchResult, str]:
     """Execute a saved sweep spec; return its records and the spec's hash.
 
     ``job`` may be a :class:`~repro.api.spec.JobSpec` or its dict form (the
     content of a ``run.json``).  The hash is computed over the document *as
-    given* — the ``backend`` / ``workers`` / ``parity_check`` / ``retry``
-    execution overrides (the CLI's flags) never change it — and is embedded
-    in the sink's manifest, so the result file pins the exact spec it came
-    from.  ``progress`` is forwarded to
+    given* — the ``backend`` / ``workers`` / ``parity_check`` / ``retry`` /
+    ``shard`` execution overrides (the CLI's flags) never change it — and is
+    embedded in the sink's manifest, so the result file pins the exact spec
+    it came from.  ``progress`` is forwarded to
     :meth:`~repro.engine.batch.BatchRunner.run` (per-cell completion
     callbacks — what the job server streams over SSE); the spec's declared
     :class:`~repro.engine.retry.RetryPolicy` (``run.retry``) governs failing
     cells unless ``retry`` overrides it.
+
+    ``shard=(i, k)`` — or a spec-declared ``run.shard`` — executes only the
+    deterministic shard ``i`` of ``k`` of the cell grid; the override keeps
+    the hash of the document as given, so a fleet of ``k`` shard runs of one
+    spec all pin the *same* spec hash in their manifests (what ``repro
+    merge`` validates before joining them).
     """
     if isinstance(job, Mapping):
         job = JobSpec.from_dict(job)
@@ -119,6 +126,8 @@ def run_spec(
         run = replace(run, parity_check=parity_check)
     if retry is not None:
         run = replace(run, retry=retry)
+    if shard is not None:
+        run = replace(run, shard=shard)
     job = replace(job, run=run)
 
     algorithm = get_algorithm(run.algorithm)
@@ -131,7 +140,7 @@ def run_spec(
     )
     result = runner.run(
         run.algorithm, job.cells(), params_grid=job.effective_grid(),
-        sink=sink, spec_hash=digest, progress=progress,
+        sink=sink, spec_hash=digest, progress=progress, shard=run.shard,
     )
     return result, digest
 

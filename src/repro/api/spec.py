@@ -175,6 +175,15 @@ class Run:
     ``"retry"`` key and is hashed into the spec hash; the default policy is
     *omitted* from the serialized form, so every pre-existing spec document
     and spec hash is unchanged.
+
+    ``shard`` — an ``(index, of)`` pair — restricts execution to one
+    deterministic shard of the sweep's cell grid (see
+    :func:`repro.engine.sink.shard_of`).  Like ``retry`` it follows the
+    omit-by-default rule: ``None`` (run everything, the default) never
+    appears in the serialized form, so the hash of every pre-existing spec
+    is unchanged; a sharded spec serializes ``"shard": [i, k]`` and hashes
+    differently — shard ``0/2`` of a sweep *is* a different document than
+    the whole sweep.
     """
 
     algorithm: str
@@ -184,6 +193,7 @@ class Run:
     seed: int | None = None
     parity_check: bool = False
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    shard: tuple[int, int] | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "params", dict(self.params))
@@ -200,6 +210,19 @@ class Run:
             raise SpecError(
                 f"Run.retry must be a RetryPolicy, got {type(self.retry).__name__}"
             )
+        if self.shard is not None:
+            try:
+                pair = (int(self.shard[0]), int(self.shard[1]))
+            except (TypeError, ValueError, IndexError, KeyError):
+                raise SpecError(
+                    f"Run.shard must be an (index, of) pair, got {self.shard!r}"
+                ) from None
+            if pair[1] < 1 or not 0 <= pair[0] < pair[1]:
+                raise SpecError(
+                    f"Run.shard must satisfy 0 <= index < of (of >= 1), "
+                    f"got {pair[0]}/{pair[1]}"
+                )
+            object.__setattr__(self, "shard", pair)
 
     def to_dict(self) -> dict[str, Any]:
         data = {
@@ -213,6 +236,8 @@ class Run:
         }
         if not self.retry.is_default:
             data["retry"] = self.retry.to_dict()
+        if self.shard is not None:
+            data["shard"] = list(self.shard)
         return data
 
     @classmethod
@@ -220,7 +245,8 @@ class Run:
         _check_schema(data, "run")
         _reject_unknown(
             data,
-            ("algorithm", "params", "backend", "workers", "seed", "parity_check", "retry"),
+            ("algorithm", "params", "backend", "workers", "seed", "parity_check",
+             "retry", "shard"),
             "run",
         )
         if "algorithm" not in data:
@@ -231,6 +257,9 @@ class Run:
             policy = RetryPolicy() if retry is None else RetryPolicy.from_dict(retry)
         except ValueError as exc:
             raise SpecError(f"bad run spec 'retry' field: {exc}") from None
+        shard = data.get("shard")
+        if shard is not None and (not isinstance(shard, (list, tuple)) or len(shard) != 2):
+            raise SpecError(f"run spec 'shard' must be an [index, of] pair, got {shard!r}")
         return cls(
             algorithm=str(data["algorithm"]),
             params=dict(data.get("params") or {}),
@@ -239,6 +268,7 @@ class Run:
             seed=None if seed is None else int(seed),
             parity_check=bool(data.get("parity_check", False)),
             retry=policy,
+            shard=None if shard is None else tuple(shard),
         )
 
     def to_json(self) -> str:

@@ -85,6 +85,20 @@ def _add_retry_arguments(parser: argparse.ArgumentParser, with_on_error: bool = 
                                  "structured CellError record and continues")
 
 
+def _parse_shard(text: str | None) -> tuple[int, int] | None:
+    """Parse an ``I/K`` shard selector (``repro batch --shard 0/4``)."""
+    if text is None:
+        return None
+    try:
+        index_text, _, of_text = text.partition("/")
+        index, of = int(index_text), int(of_text)
+    except ValueError:
+        raise SystemExit(f"--shard expects I/K (e.g. 0/4), got {text!r}") from None
+    if of < 1 or not 0 <= index < of:
+        raise SystemExit(f"--shard must satisfy 0 <= I < K, got {text!r}")
+    return (index, of)
+
+
 def _retry_from_args(args):
     """The RetryPolicy the CLI flags describe, or None (keep spec/default)."""
     retries = getattr(args, "retries", None)
@@ -197,6 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "manifest embeds the exact spec hash")
     runner.add_argument("--resume", action="store_true",
                         help="skip cells already recorded in --output")
+    runner.add_argument("--shard", metavar="I/K", default=None,
+                        help="execute only deterministic shard I of K of the spec's cell "
+                             "grid (stable hash of cell identity; worker-count-"
+                             "independent); merge the K shard files with `repro merge`")
     _add_retry_arguments(runner)
 
     experiment = sub.add_parser("experiment", help="run one of the experiments E1..E10")
@@ -230,7 +248,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "a run manifest is recorded alongside the records")
     batch.add_argument("--resume", action="store_true",
                        help="skip cells already recorded in --output (restart an interrupted sweep)")
+    batch.add_argument("--shard", metavar="I/K", default=None,
+                       help="execute only deterministic shard I of K of the cell grid "
+                            "(stable hash of cell identity; worker-count-independent); "
+                            "any shard can run anywhere, any time — merge the K shard "
+                            "files with `repro merge`")
+    batch.add_argument("--fleet", type=int, default=None, metavar="N",
+                       help="fleet coordinator: launch N shard subprocesses "
+                            "(--shard 0/N .. N-1/N), stream their progress, retry "
+                            "failed shards per the retry policy, and auto-merge the "
+                            "shard files into --output (required)")
     _add_retry_arguments(batch)
+
+    merge = sub.add_parser(
+        "merge",
+        help="merge shard result files into one canonical run",
+        description="Join the result files of a sharded sweep (`--shard i/k`) "
+                    "into one file indistinguishable from a single-box run.  "
+                    "Validates that the inputs are the k disjoint, complete "
+                    "shards of one sweep (same spec/grid hash, every cell "
+                    "exactly once) and fails loudly on overlap, gaps, or "
+                    "hash drift.",
+    )
+    merge.add_argument("shards", nargs="+", metavar="SHARD",
+                       help="shard result files (.jsonl/.ndjson/.csv) written by "
+                            "--shard i/k runs of one sweep")
+    merge.add_argument("--output", required=True, metavar="PATH",
+                       help="merged result file; format follows the suffix "
+                            "(.jsonl/.ndjson/.csv)")
 
     serve = sub.add_parser(
         "serve",
@@ -254,6 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on SIGTERM/SIGINT, wait this long for running jobs to "
                             "finish before forcing exit (default: 30; they resume "
                             "on restart either way)")
+    serve.add_argument("--execution", choices=("auto", "thread", "process"),
+                       default="auto",
+                       help="per-job execution plane: 'thread' runs a job's cells on "
+                            "its queue thread; 'process' fans them out through the "
+                            "crash-containing process pool (hardware-bound instead of "
+                            "GIL-bound); 'auto' (default) picks process on multi-core "
+                            "machines — /healthz reports the resolved mode")
+    serve.add_argument("--job-workers", type=int, default=None, metavar="N",
+                       help="per-job worker budget in process mode (default: machine "
+                            "cores split across the --workers job slots, min 2)")
     _add_retry_arguments(serve, with_on_error=False)
 
     return parser
@@ -366,17 +421,19 @@ def _cmd_run(args) -> int:
     job = JobSpec.from_dict(document)
     if args.resume and not args.output:
         raise SystemExit("--resume requires --output (the file to resume from)")
+    shard = _parse_shard(args.shard)
     sink = open_sink(args.output, resume=args.resume) if args.output else None
     try:
         result, digest = run_spec(job, sink=sink, backend=args.backend,
                                   workers=args.workers, parity_check=args.parity_check,
-                                  retry=_retry_from_args(args))
+                                  retry=_retry_from_args(args), shard=shard)
     finally:
         if sink is not None:
             sink.close()
     columns = result.columns(exclude=("backend",))
     title = (f"spec {path.name}: algorithm={job.run.algorithm} backend={result.backend} "
-             f"cells={len(result)}")
+             f"cells={len(result)}"
+             + (f" shard={shard[0]}/{shard[1]}" if shard else ""))
     print(result.to_table(title, columns).render())
     print(f"\nspec hash: {digest}")
     print(f"total wall-clock: {result.total_seconds:.3f}s on backend {result.backend!r}")
@@ -409,6 +466,11 @@ def _parse_params(algorithm: str, pairs: list[str]) -> dict:
 def _cmd_batch(args) -> int:
     if args.resume and not args.output:
         raise SystemExit("--resume requires --output (the file to resume from)")
+    if args.fleet is not None:
+        return _cmd_batch_fleet(args)
+    shard = _parse_shard(args.shard)
+    if shard is not None and not args.output:
+        raise SystemExit("--shard requires --output (the shard's result file)")
     runner = BatchRunner(backend=args.backend, parity_check=args.parity_check,
                          workers=args.workers, retry=_retry_from_args(args))
     families = args.family if isinstance(args.family, list) else [args.family]
@@ -417,13 +479,14 @@ def _cmd_batch(args) -> int:
     sink = open_sink(args.output, resume=args.resume) if args.output else None
     try:
         result = runner.run(args.task, cells, params_grid=[params] if params else None,
-                            sink=sink)
+                            sink=sink, shard=shard)
     finally:
         if sink is not None:
             sink.close()
     columns = result.columns(exclude=("backend",))
     title = (
         f"batch: task={args.task} backend={args.backend} cells={len(result)}"
+        + (f" shard={shard[0]}/{shard[1]}" if shard else "")
         + (f" workers={args.workers}" if args.workers > 1 else "")
         + (" parity-checked" if args.parity_check else "")
     )
@@ -438,6 +501,93 @@ def _cmd_batch(args) -> int:
     return _report_faults(result)
 
 
+def _shard_path(output: pathlib.Path, index: int, of: int) -> pathlib.Path:
+    """The per-shard result file the fleet coordinator writes/merges."""
+    return output.with_name(f"{output.stem}.shard{index}of{of}{output.suffix}")
+
+
+def _cmd_batch_fleet(args) -> int:
+    """``repro batch --fleet N``: N shard subprocesses, retried, auto-merged."""
+    if not args.output:
+        raise SystemExit("--fleet requires --output (the merged result file)")
+    if args.shard is not None:
+        raise SystemExit("--fleet and --shard are mutually exclusive "
+                         "(the fleet coordinator launches every shard itself)")
+    if args.fleet < 1:
+        raise SystemExit(f"--fleet must be >= 1, got {args.fleet}")
+    import subprocess
+
+    from repro.engine.fleet import run_fleet
+    from repro.engine.merge import merge_shards
+
+    of = args.fleet
+    output = pathlib.Path(args.output)
+    shard_paths = [_shard_path(output, i, of) for i in range(of)]
+    families = args.family if isinstance(args.family, list) else [args.family]
+
+    base = [sys.executable, "-m", "repro", "batch",
+            "--task", args.task,
+            "--family", *families,
+            "--nodes", *(str(n) for n in args.nodes),
+            "--delta", *(str(d) for d in args.delta),
+            "--seeds", str(args.seeds),
+            "--backend", args.backend,
+            "--workers", str(args.workers)]
+    if args.parity_check:
+        base.append("--parity-check")
+    for pair in args.param:
+        base += ["--param", pair]
+    if args.retries is not None:
+        base += ["--retries", str(args.retries)]
+    if args.cell_timeout is not None:
+        base += ["--cell-timeout", str(args.cell_timeout)]
+    if args.on_error is not None:
+        base += ["--on-error", args.on_error]
+
+    # Every launch resumes the shard's sink: a relaunched shard recomputes
+    # only the cells its previous attempt did not make durable.
+    def spawn(index: int, attempt: int) -> subprocess.Popen:
+        argv = base + ["--shard", f"{index}/{of}",
+                       "--output", str(shard_paths[index]), "--resume"]
+        return subprocess.Popen(argv, stdout=subprocess.PIPE,
+                                stderr=subprocess.STDOUT, text=True)
+
+    print(f"fleet: launching {of} shard subprocess(es) "
+          f"(backend={args.backend!r}, workers={args.workers} each)")
+    outcomes = run_fleet(spawn, of, retry=_retry_from_args(args))
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        for outcome in failed:
+            print(f"fleet: shard {outcome.index}/{of} FAILED with exit code "
+                  f"{outcome.returncode} after {outcome.attempts} attempt(s)",
+                  file=sys.stderr)
+        print("fleet: not merging — completed shard files are kept; re-run to "
+              "resume them", file=sys.stderr)
+        return 1
+    merged = merge_shards(shard_paths, output)
+    attempts = sum(outcome.attempts for outcome in outcomes)
+    print(f"fleet: merged {merged.cells} record(s) from {merged.shards} shard(s) "
+          f"into {output} ({attempts} shard attempt(s) total)")
+    print(f"  grid hash {merged.manifest.grid_hash}; the merged file resumes "
+          "like a single-box run")
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    from repro.engine.merge import merge_shards
+
+    result = merge_shards(args.shards, args.output)
+    manifest = result.manifest
+    print(f"merged {result.shards} shard(s) -> {result.output}")
+    print(f"  task={manifest.task} backend={manifest.backend} cells={result.cells}")
+    print(f"  grid hash {manifest.grid_hash}"
+          + (f", spec hash {manifest.spec_hash}" if manifest.spec_hash else ""))
+    if result.events:
+        print(f"  {result.events} provenance event(s) carried over")
+    print("  the merged file resumes like a single-box run (--resume re-runs 0 cells)")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import signal
@@ -446,7 +596,8 @@ def _cmd_serve(args) -> int:
 
     server = JobServer(args.state_dir, host=args.host, port=args.port,
                        workers=args.workers, drain_timeout=args.drain_timeout,
-                       default_retry=_retry_from_args(args))
+                       default_retry=_retry_from_args(args),
+                       execution=args.execution, job_workers=args.job_workers)
 
     async def _serve() -> int:
         await server.start()
@@ -460,6 +611,10 @@ def _cmd_serve(args) -> int:
         print(f"repro serve: listening on {server.url}")
         print(f"  state dir : {server.store.root}")
         print(f"  workers   : {server.workers}")
+        execution = server.queue.execution
+        if server.queue.job_workers is not None:
+            execution += f" (job workers: {server.queue.job_workers})"
+        print(f"  execution : {execution}")
         if recovered:
             print(f"  recovered : {recovered} incomplete job(s) re-queued")
         print("  routes    : POST /jobs   GET /jobs[/<id>[/records|/events]]   GET /healthz")
@@ -494,6 +649,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "batch": _cmd_batch,
+        "merge": _cmd_merge,
         "serve": _cmd_serve,
     }
     try:

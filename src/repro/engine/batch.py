@@ -52,7 +52,16 @@ from repro.engine.retry import (
     classify_error,
     describe_error,
 )
-from repro.engine.sink import ResultSink, RunManifest, cell_id, cell_key, grid_hash, task_name
+from repro.engine.sink import (
+    ResultSink,
+    RunManifest,
+    cell_id,
+    cell_key,
+    grid_hash,
+    machine_cores,
+    shard_of,
+    task_name,
+)
 from repro.testing import faults
 
 __all__ = ["GraphSpec", "Workload", "BatchRunner", "BatchResult", "ParityError"]
@@ -559,21 +568,62 @@ class BatchRunner:
                 jobs.append((len(jobs), cell_key(task, spec, params), spec, dict(params)))
         return jobs
 
+    @staticmethod
+    def _apply_shard(
+        jobs: list, shard: tuple[int, int] | None,
+    ) -> tuple[list, dict[str, Any] | None]:
+        """Filter the deterministic job list down to one shard.
+
+        Returns ``(shard jobs, shard descriptor)``.  Shard jobs keep their
+        *global* grid indices, so a shard's records — and its sink line order
+        — are exactly the corresponding slice of an unsharded run.  The
+        descriptor (``index`` / ``of`` / ``total`` / ``cells`` mapping each
+        cell id to its global grid position) goes into the sink manifest,
+        where ``repro merge`` validates coverage and restores grid order.
+        """
+        if shard is None:
+            return jobs, None
+        try:
+            index, of = int(shard[0]), int(shard[1])
+        except (TypeError, ValueError, IndexError, KeyError):
+            raise EngineError(
+                f"shard must be an (index, of) pair, got {shard!r}"
+            ) from None
+        if of < 1 or not 0 <= index < of:
+            raise EngineError(
+                f"shard must satisfy 0 <= index < of (of >= 1), got {index}/{of}"
+            )
+        mine = [job for job in jobs if shard_of(job[1], of) == index]
+        descriptor = {
+            "index": index,
+            "of": of,
+            "total": len(jobs),
+            "cells": {cell_id(key): position for position, key, _, _ in mine},
+        }
+        return mine, descriptor
+
     def _manifest_from_jobs(
         self, task: str | Callable[..., Mapping[str, Any]], jobs: list,
-        spec_hash: str | None = None,
+        spec_hash: str | None = None, all_jobs: list | None = None,
+        shard: dict[str, Any] | None = None,
     ) -> RunManifest:
         from repro import __version__
 
+        # grid_hash always pins the FULL grid (identical on every shard and
+        # on an unsharded run); `cells` counts what this file will contain.
+        keys = all_jobs if all_jobs is not None else jobs
         return RunManifest(
             task=task_name(task),
             backend=self.engine.name,
-            grid_hash=grid_hash(key for _, key, _, _ in jobs),
+            grid_hash=grid_hash(key for _, key, _, _ in keys),
             cells=len(jobs),
             parity_check=self.parity_check,
             version=__version__,
             spec_hash=spec_hash,
             backend_tier=self.engine.active_tier(),
+            workers=self.workers,
+            cores=machine_cores(),
+            shard=shard,
         )
 
     def manifest(
@@ -582,10 +632,13 @@ class BatchRunner:
         cells: Iterable[GraphSpec],
         params_grid: Iterable[Mapping[str, Any]] | None = None,
         spec_hash: str | None = None,
+        shard: tuple[int, int] | None = None,
     ) -> RunManifest:
         """The :class:`RunManifest` describing a sweep (what sinks record/check)."""
-        return self._manifest_from_jobs(task, self._jobs(task, cells, params_grid),
-                                        spec_hash=spec_hash)
+        all_jobs = self._jobs(task, cells, params_grid)
+        jobs, descriptor = self._apply_shard(all_jobs, shard)
+        return self._manifest_from_jobs(task, jobs, spec_hash=spec_hash,
+                                        all_jobs=all_jobs, shard=descriptor)
 
     def run(
         self,
@@ -595,6 +648,7 @@ class BatchRunner:
         sink: ResultSink | None = None,
         spec_hash: str | None = None,
         progress: Callable[[int, int, str | None, Mapping[str, Any] | None], None] | None = None,
+        shard: tuple[int, int] | None = None,
     ) -> BatchResult:
         """Sweep ``task`` over every cell (and every params dict, if given).
 
@@ -621,13 +675,24 @@ class BatchRunner:
         field), and exhausted cells yield CellError records in their grid
         slot instead of aborting the sweep.  A resumed sink re-runs cells
         whose stored record is a CellError — failure is never "completed".
+
+        ``shard=(i, k)`` restricts the sweep to shard ``i`` of ``k``: the
+        deterministic, worker-count-independent partition of the full grid
+        by :func:`~repro.engine.sink.shard_of`.  A shard's records are
+        byte-identical (modulo wall-clock fields) to the corresponding slice
+        of an unsharded run, its sink manifest carries the shard descriptor,
+        and ``repro merge`` joins the ``k`` shard files back into one
+        canonical run.
         """
         self._resolve_task(task)  # fail fast on unknown task names
-        jobs = self._jobs(task, cells, params_grid)
+        all_jobs = self._jobs(task, cells, params_grid)
+        jobs, shard_descriptor = self._apply_shard(all_jobs, shard)
         ids = {index: cell_id(key) for index, key, _, _ in jobs}
         records: dict[int, dict[str, Any]] = {}
         if sink is not None:
-            sink.start(self._manifest_from_jobs(task, jobs, spec_hash=spec_hash))
+            sink.start(self._manifest_from_jobs(task, jobs, spec_hash=spec_hash,
+                                                all_jobs=all_jobs,
+                                                shard=shard_descriptor))
             for index, cid in ids.items():
                 done = sink.completed.get(cid)
                 if done is not None and "error" not in done:

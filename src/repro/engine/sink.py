@@ -52,6 +52,8 @@ __all__ = [
     "cell_key",
     "cell_id",
     "grid_hash",
+    "shard_of",
+    "machine_cores",
 ]
 
 
@@ -106,6 +108,31 @@ def grid_hash(keys: Iterable[str]) -> str:
     return digest.hexdigest()[:16]
 
 
+def shard_of(key: str, of: int) -> int:
+    """Deterministic shard index of one cell: a stable hash of its identity.
+
+    The assignment depends only on the cell's canonical :func:`cell_key` and
+    the shard count ``of`` — never on worker counts, the machine, execution
+    order, or Python's per-process hash seed — so shard ``i`` of ``k`` names
+    the same set of cells anywhere, any time.  Domain-separated from
+    :func:`cell_id` (different hash input prefix), so shard index and cell id
+    are independent functions of the same key.
+    """
+    of = int(of)
+    if of < 1:
+        raise SinkError(f"shard count must be >= 1, got {of!r}")
+    digest = hashlib.sha256(b"shard:" + key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % of
+
+
+def machine_cores() -> int:
+    """CPU cores available to this process (manifest/benchmark provenance)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 # --------------------------------------------------------------------------- #
 # Manifest
 # --------------------------------------------------------------------------- #
@@ -126,7 +153,20 @@ class RunManifest:
     backend executed.  The tier is informational provenance, not identity:
     resume does **not** compare it (results are bit-identical across tiers
     by the parity guarantee, and a restart may legitimately resolve a
-    different tier).
+    different tier).  ``workers`` and ``cores`` are equally provenance —
+    how many worker processes the producing run sharded across and how many
+    CPU cores its machine had — and are never compared on resume (records
+    are worker-count-independent by construction).
+
+    ``shard``, when set, marks the file as one shard of a fleet-scale sweep:
+    ``{"index": i, "of": k, "total": N, "cells": {cell_id: grid_position}}``.
+    ``grid_hash`` stays the hash of the *full* grid (all ``N`` cells, the
+    same value on every shard and on an unsharded run), while ``cells``
+    counts only this shard's cells.  Unlike the provenance fields the shard
+    identity *is* compared on resume — resuming shard 1/2 into shard 0/2's
+    file is a different sweep — and ``repro merge`` uses the per-shard cell
+    position maps to validate disjoint, complete coverage and to interleave
+    records back into full grid order.
     """
 
     task: str
@@ -137,6 +177,9 @@ class RunManifest:
     version: str
     spec_hash: str | None = None
     backend_tier: str | None = None
+    workers: int = 1
+    cores: int | None = None
+    shard: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -148,7 +191,16 @@ class RunManifest:
         if any(v is None for v in fields.values()):
             raise SinkError(f"incomplete run manifest: {dict(data)!r}")
         return cls(**fields, spec_hash=data.get("spec_hash"),
-                   backend_tier=data.get("backend_tier"))
+                   backend_tier=data.get("backend_tier"),
+                   workers=int(data.get("workers", 1)),
+                   cores=data.get("cores"),
+                   shard=data.get("shard"))
+
+    def shard_identity(self) -> tuple[int, int] | None:
+        """The ``(index, of)`` pair of a shard manifest, or ``None``."""
+        if self.shard is None:
+            return None
+        return (self.shard.get("index"), self.shard.get("of"))
 
     def check_resumable(self, existing: "RunManifest", path: os.PathLike | str) -> None:
         """Refuse to resume into a file produced by a *different* run setup."""
@@ -160,6 +212,12 @@ class RunManifest:
                     f"{theirs!r} in the file but {ours!r} for this run — the file belongs "
                     f"to a different sweep"
                 )
+        if self.shard_identity() != existing.shard_identity():
+            raise SinkError(
+                f"cannot resume into {os.fspath(path)!r}: the file belongs to shard "
+                f"{existing.shard_identity()!r} but this run is shard "
+                f"{self.shard_identity()!r} — shards never share a result file"
+            )
 
 
 # --------------------------------------------------------------------------- #

@@ -25,7 +25,8 @@ Routes
 * ``GET /healthz`` — liveness + the full backend report
   (:func:`repro.engine.registry.describe_backends`), including each
   backend's *active tier* — the per-process answer to "is the jit backend
-  silently running on the array fallback?".
+  silently running on the array fallback?" — and the execution plane
+  (thread vs process mode, per-job worker budget, pool size).
 
 Restart story: on startup the server re-queues every job the previous
 process left ``queued``/``running``; their JSONL sinks resume, so completed
@@ -98,11 +99,23 @@ class JobServer:
     default_retry:
         Server-wide :class:`~repro.engine.retry.RetryPolicy` for jobs whose
         spec declares none (see :class:`JobQueue`).
+    execution:
+        The per-job execution plane: ``"thread"`` runs a job's cells on its
+        queue thread, ``"process"`` fans them out through the engine's
+        crash-containing process pool (see :class:`JobQueue`), and
+        ``"auto"`` (the default) picks ``"process"`` on a multi-core
+        machine and ``"thread"`` on a single core.
+    job_workers:
+        Per-job worker budget of process mode (default: cores split across
+        the job pool — see :class:`JobQueue`).
     """
 
     def __init__(self, state_dir, host: str = "127.0.0.1", port: int = 8765,
                  workers: int = 2, drain_timeout: float | None = 30.0,
-                 reap_interval: float | None = 5.0, default_retry=None):
+                 reap_interval: float | None = 5.0, default_retry=None,
+                 execution: str = "auto", job_workers: int | None = None):
+        from repro.engine.sink import machine_cores
+
         self.store = JobStore(state_dir)
         self.host = host
         self.port = int(port)
@@ -110,9 +123,12 @@ class JobServer:
         self.drain_timeout = drain_timeout
         self.reap_interval = reap_interval
         self.drained_clean = True
+        if execution == "auto":
+            execution = "process" if machine_cores() > 1 else "thread"
         self.queue = JobQueue(self.store, workers=self.workers,
                               on_event=self._publish_threadsafe,
-                              default_retry=default_retry)
+                              default_retry=default_retry,
+                              execution=execution, job_workers=job_workers)
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._subscribers: dict[str, set[asyncio.Queue]] = {}
@@ -394,6 +410,14 @@ class JobServer:
             ),
             "workers": self.workers,
             "jobs": self.store.counts(),
+            # The execution plane: thread- vs process-mode job execution,
+            # the per-job worker budget, and the job pool size — so a client
+            # can tell a GIL-bound server from a hardware-bound one.
+            "execution": {
+                "mode": self.queue.execution,
+                "job_workers": self.queue.job_workers,
+                "pool_size": self.workers,
+            },
             # Fault-tolerance state: how many dead executors the reaper has
             # failed, and the drain configuration — the /healthz view of the
             # execution plane's health, not just the process's.

@@ -10,6 +10,18 @@ The pool is a :class:`~concurrent.futures.ThreadPoolExecutor`: the hot loops
 are NumPy/compiled kernels that release the GIL, a spec may itself request
 process-pool sharding (``run.workers > 1``), and threads can share the
 process-wide engine instances (and their warmed-up JIT kernels) for free.
+
+With ``execution="process"`` each job *additionally* fans its cells out
+through the crash-containing process pool of :mod:`repro.engine.parallel`:
+the job still runs on its queue thread (keeping the durable-sink, progress,
+and SSE semantics identical), but ``run_spec`` is called with a per-job
+``workers`` budget, so the cells execute in worker processes — hardware-bound
+instead of GIL-bound, with pool-worker crashes contained and re-dispatched by
+the pool itself (kill-restart recovery extends to pool workers for free).
+The budget overrides the spec's own ``run.workers`` (the server owns its
+execution resources; the spec hash is untouched — execution overrides never
+change it).  Single-cell jobs still run serially in-thread: there is nothing
+to fan out.
 """
 
 from __future__ import annotations
@@ -21,10 +33,15 @@ from concurrent.futures import wait as futures_wait
 from typing import Any, Callable
 
 from repro.engine.retry import RetryPolicy, describe_error
+from repro.engine.sink import machine_cores
 from repro.server.store import JobStore
 from repro.testing import faults
 
-__all__ = ["JobQueue"]
+__all__ = ["JobQueue", "EXECUTION_MODES"]
+
+#: Job execution modes: "thread" runs a job's cells on its queue thread;
+#: "process" fans them out through the engine's crash-containing process pool.
+EXECUTION_MODES = ("thread", "process")
 
 
 class JobQueue:
@@ -46,6 +63,14 @@ class JobQueue:
     not declare its own ``run.retry``; a spec-declared policy always wins
     (the spec is the contract the job is addressed by).
 
+    ``execution`` selects the per-job execution plane (see the module
+    docstring): ``"thread"`` or ``"process"``.  ``job_workers`` is the
+    per-job worker budget of process mode; when ``None`` it defaults to
+    ``max(2, cores // workers)`` — the machine's cores split across the
+    concurrently executing jobs, floored at 2 so the crash-containing pool
+    actually engages.  Thread mode ignores the budget unless one is given
+    explicitly (an explicit budget is honored in either mode).
+
     The per-cell progress hook doubles as the ``"server-cell"`` fault-injection
     site (:mod:`repro.testing.faults`): chaos tests inject a raise/hang there
     to simulate a job executor dying mid-job without patching queue internals.
@@ -57,11 +82,25 @@ class JobQueue:
         workers: int = 2,
         on_event: Callable[[str, dict[str, Any]], None] | None = None,
         default_retry: RetryPolicy | None = None,
+        execution: str = "thread",
+        job_workers: int | None = None,
     ):
         if int(workers) < 1:
             raise ValueError(f"JobQueue workers must be >= 1, got {workers!r}")
+        if execution not in EXECUTION_MODES:
+            raise ValueError(f"JobQueue execution must be one of {EXECUTION_MODES}, "
+                             f"got {execution!r}")
+        if job_workers is not None and int(job_workers) < 1:
+            raise ValueError(f"JobQueue job_workers must be >= 1, got {job_workers!r}")
         self.store = store
         self.workers = int(workers)
+        self.execution = execution
+        if job_workers is not None:
+            self.job_workers: int | None = int(job_workers)
+        elif execution == "process":
+            self.job_workers = max(2, machine_cores() // self.workers)
+        else:
+            self.job_workers = None
         self.on_event = on_event
         self.default_retry = default_retry
         self.reaped_total = 0
@@ -224,7 +263,8 @@ class JobQueue:
         sink = JsonlSink(self.store.records_path(job_id), resume=True)
         try:
             try:
-                run_spec(status.spec, sink=sink, retry=retry, progress=progress)
+                run_spec(status.spec, sink=sink, retry=retry, progress=progress,
+                         workers=self.job_workers)
             finally:
                 sink.close()
         except Exception as exc:  # noqa: BLE001 — any job failure is recorded

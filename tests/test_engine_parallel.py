@@ -97,6 +97,9 @@ class TestSinkIntegration:
         def parsed(path):
             lines = [json.loads(line) for line in path.read_text().splitlines()]
             head, rest = lines[0], lines[1:]
+            # `workers` is provenance (how the file was produced), not
+            # identity — it is the one manifest field allowed to differ.
+            head["manifest"].pop("workers")
             return head, [
                 (obj["cell"], {k: v for k, v in obj["record"].items() if k != "seconds"})
                 for obj in rest

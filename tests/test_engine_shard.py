@@ -1,0 +1,173 @@
+"""Deterministic sharding: shard_of, Run.shard, and sharded BatchRunner runs.
+
+The sharding contract under `repro batch --shard i/k` / `run_spec(shard=...)`:
+
+* the partition is a pure function of cell identity and k — worker count,
+  machine, and shard launch order never move a cell between shards;
+* the k shards are disjoint and complete (every cell in exactly one);
+* a shard's records are byte-identical to the corresponding slice of an
+  unsharded run (global grid indices, same values);
+* `Run.shard` is omitted from serialized specs when None, so the hash of
+  every pre-existing spec document is unchanged;
+* a shard's result file refuses to resume as a different shard.
+"""
+
+import json
+
+import pytest
+
+from repro.api.spec import JobSpec, Run, SpecError, spec_hash
+from repro.api.solve import run_spec
+from repro.engine import BatchRunner
+from repro.engine.batch import EngineError
+from repro.engine.sink import JsonlSink, SinkError, cell_id, cell_key, shard_of
+
+CELLS = BatchRunner.grid("random_regular", (30, 40), (4, 6), seeds=(0, 1))
+PARAMS = {"k": 1}
+
+SPEC = {
+    "problems": [
+        {"graph": {"family": "random_regular", "n": n, "delta": 4, "seed": s}}
+        for n in (30, 40) for s in (0, 1)
+    ],
+    "run": {"algorithm": "delta_plus_one", "backend": "array"},
+}
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        keys = [cell_key("kdelta", spec, PARAMS) for spec in CELLS]
+        for of in (1, 2, 3, 7):
+            first = [shard_of(key, of) for key in keys]
+            assert [shard_of(key, of) for key in keys] == first
+            assert all(0 <= index < of for index in first)
+
+    def test_of_one_maps_everything_to_zero(self):
+        assert {shard_of(cell_key("kdelta", spec, PARAMS), 1) for spec in CELLS} == {0}
+
+    def test_domain_separated_from_cell_id(self):
+        # shard_of hashes b"shard:" + key, cell_id hashes the bare key; the
+        # two must never be interchangeable views of the same digest.
+        key = cell_key("kdelta", CELLS[0], PARAMS)
+        assert shard_of(key, 2 ** 63) != int(cell_id(key), 16) % 2 ** 63
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(SinkError, match="shard count"):
+            shard_of("x", 0)
+
+
+class TestRunShardField:
+    def test_omitted_when_none_so_old_hashes_freeze(self):
+        assert "shard" not in Run(algorithm="delta_plus_one").to_dict()
+        assert spec_hash(SPEC) == spec_hash(json.loads(json.dumps(SPEC)))
+
+    def test_round_trips(self):
+        run = Run(algorithm="delta_plus_one", shard=(1, 3))
+        data = run.to_dict()
+        assert data["shard"] == [1, 3]
+        assert Run.from_dict(data).shard == (1, 3)
+
+    def test_sharded_spec_hashes_differently(self):
+        sharded = {**SPEC, "run": {**SPEC["run"], "shard": [0, 2]}}
+        assert spec_hash(sharded) != spec_hash(SPEC)
+
+    @pytest.mark.parametrize("bad", [(2, 2), (-1, 2), (0, 0), "0/2", (1,)])
+    def test_invalid_shard_rejected(self, bad):
+        with pytest.raises(SpecError, match="shard"):
+            Run(algorithm="delta_plus_one", shard=bad)
+
+    def test_runner_rejects_bad_shard(self):
+        runner = BatchRunner(backend="array")
+        with pytest.raises(EngineError, match="shard"):
+            runner.run("kdelta", CELLS[:2], shard=(3, 2))
+
+
+class TestShardedRuns:
+    @pytest.mark.parametrize("of", [1, 2, 3])
+    def test_partition_disjoint_and_complete(self, tmp_path, of):
+        runner = BatchRunner(backend="array")
+        full = runner.run("kdelta", CELLS, params_grid=[PARAMS])
+        merged_cells: list[str] = []
+        for index in range(of):
+            path = tmp_path / f"s{index}.jsonl"
+            with JsonlSink(path) as sink:
+                runner.run("kdelta", CELLS, params_grid=[PARAMS], sink=sink,
+                           shard=(index, of))
+            lines = [json.loads(l) for l in path.read_text().splitlines()]
+            manifest = lines[0]["manifest"]
+            assert manifest["shard"]["index"] == index
+            assert manifest["shard"]["of"] == of
+            assert manifest["shard"]["total"] == len(full)
+            assert manifest["cells"] == len(lines) - 1
+            merged_cells.extend(obj["cell"] for obj in lines[1:])
+        assert len(merged_cells) == len(set(merged_cells)) == len(full)
+
+    def test_shard_records_equal_unsharded_slice(self, tmp_path):
+        runner = BatchRunner(backend="array")
+        full_path = tmp_path / "full.jsonl"
+        with JsonlSink(full_path) as sink:
+            runner.run("kdelta", CELLS, params_grid=[PARAMS], sink=sink)
+        full = [json.loads(l) for l in full_path.read_text().splitlines()][1:]
+        by_cell = {obj["cell"]: obj["record"] for obj in full}
+
+        shard_path = tmp_path / "s0.jsonl"
+        with JsonlSink(shard_path) as sink:
+            runner.run("kdelta", CELLS, params_grid=[PARAMS], sink=sink,
+                       shard=(0, 2))
+        lines = [json.loads(l) for l in shard_path.read_text().splitlines()]
+        manifest, records = lines[0]["manifest"], lines[1:]
+        # Same full-grid hash as the unsharded run: merge validates with it.
+        full_manifest_path = tmp_path / "full.jsonl"
+        full_manifest = json.loads(
+            full_manifest_path.read_text().splitlines()[0])["manifest"]
+        assert manifest["grid_hash"] == full_manifest["grid_hash"]
+        assert records, "shard 0/2 of an 8-cell grid should not be empty"
+        for obj in records:
+            reference = dict(by_cell[obj["cell"]])
+            mine = dict(obj["record"])
+            reference.pop("seconds"), mine.pop("seconds")
+            assert mine == reference
+
+    def test_run_spec_shard_override_keeps_hash(self, tmp_path):
+        # run_spec hashes the canonicalized document (JobSpec round-trip).
+        digest = spec_hash(JobSpec.from_dict(SPEC))
+        path = tmp_path / "s1.jsonl"
+        with JsonlSink(path) as sink:
+            run_spec(SPEC, sink=sink, shard=(1, 2))
+        manifest = json.loads(path.read_text().splitlines()[0])["manifest"]
+        assert manifest["spec_hash"] == digest
+        assert manifest["shard"]["of"] == 2
+
+    def test_spec_declared_shard_executes(self, tmp_path):
+        sharded = {**SPEC, "run": {**SPEC["run"], "shard": [0, 2]}}
+        path = tmp_path / "declared.jsonl"
+        with JsonlSink(path) as sink:
+            run_spec(sharded, sink=sink)
+        manifest = json.loads(path.read_text().splitlines()[0])["manifest"]
+        assert manifest["shard"] == {
+            "index": 0, "of": 2,
+            "total": manifest["shard"]["total"],
+            "cells": manifest["shard"]["cells"],
+        }
+
+    def test_cross_shard_resume_refused(self, tmp_path):
+        runner = BatchRunner(backend="array")
+        path = tmp_path / "s0.jsonl"
+        with JsonlSink(path) as sink:
+            runner.run("kdelta", CELLS, params_grid=[PARAMS], sink=sink,
+                       shard=(0, 2))
+        with pytest.raises(SinkError, match="shard"):
+            with JsonlSink(path, resume=True) as sink:
+                runner.run("kdelta", CELLS, params_grid=[PARAMS], sink=sink,
+                           shard=(1, 2))
+
+    def test_worker_count_does_not_move_cells(self, tmp_path):
+        serial, parallel = tmp_path / "w1.jsonl", tmp_path / "w3.jsonl"
+        for path, workers in ((serial, 1), (parallel, 3)):
+            with JsonlSink(path) as sink:
+                BatchRunner(backend="array", workers=workers).run(
+                    "kdelta", CELLS, params_grid=[PARAMS], sink=sink,
+                    shard=(1, 2))
+        cells = lambda p: [json.loads(l)["cell"]
+                           for l in p.read_text().splitlines()[1:]]
+        assert cells(serial) == cells(parallel)

@@ -421,3 +421,105 @@ class TestFaultPlane:
             assert status.state == "running"  # resumable: recovery re-queues it
         finally:
             faults.clear()
+
+
+# --------------------------------------------------------------------------- #
+# The process execution plane
+# --------------------------------------------------------------------------- #
+
+
+class TestProcessExecution:
+    def test_invalid_execution_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="execution"):
+            JobServer(tmp_path / "state", port=0, execution="fiber")
+
+    def test_auto_resolves_by_core_count(self, tmp_path, monkeypatch):
+        import repro.engine.sink as sink_mod
+        import repro.server.queue as queue_mod
+
+        monkeypatch.setattr(sink_mod, "machine_cores", lambda: 8)
+        monkeypatch.setattr(queue_mod, "machine_cores", lambda: 8)
+        many = JobServer(tmp_path / "a", port=0, workers=2, execution="auto")
+        assert many.queue.execution == "process"
+        assert many.queue.job_workers == 4  # 8 cores over 2 job slots
+        monkeypatch.setattr(sink_mod, "machine_cores", lambda: 1)
+        one = JobServer(tmp_path / "b", port=0, workers=2, execution="auto")
+        assert one.queue.execution == "thread"
+        assert one.queue.job_workers is None
+
+    def test_healthz_reports_execution_plane(self, tmp_path):
+        server = JobServer(tmp_path / "state", port=0, workers=2,
+                           execution="process", job_workers=3).start_background()
+        try:
+            _, health = get(server.url + "/healthz")
+            assert health["execution"] == {"mode": "process",
+                                           "job_workers": 3, "pool_size": 2}
+        finally:
+            server.stop()
+
+    def test_process_job_matches_thread_job(self, tmp_path):
+        server = JobServer(tmp_path / "state", port=0, workers=1,
+                           execution="process", job_workers=2).start_background()
+        try:
+            _, submitted = post(server.url + "/jobs", SPEC)
+            status = wait_terminal(server.url, submitted["id"])
+            assert status["state"] == "done"
+            assert status["cells_done"] == status["cells_total"] == 3
+            _, served = get(f"{server.url}/jobs/{submitted['id']}/records")
+        finally:
+            server.stop()
+        clean = run_spec(SPEC, sink=JsonlSink(tmp_path / "clean.jsonl"))[0]
+        for obj, record in zip(served["records"], clean.records):
+            expected = {k: v for k, v in record.items() if k != "seconds"}
+            got = {k: v for k, v in obj["record"].items() if k != "seconds"}
+            assert got == expected
+
+    def test_pool_worker_sigkill_is_contained(self, tmp_path, monkeypatch):
+        # A SIGKILLed pool worker is the pool's problem, not the job's: the
+        # crash is contained, the cell re-dispatched, the job still `done`.
+        plan = FaultPlan((Fault(site="cell", op="kill", match={"n": 120},
+                                once="server-pool-kill"),),
+                         marker_dir=str(tmp_path))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        server = JobServer(tmp_path / "state", port=0, workers=1,
+                           execution="process", job_workers=2).start_background()
+        try:
+            _, submitted = post(server.url + "/jobs", SPEC)
+            status = wait_terminal(server.url, submitted["id"])
+        finally:
+            server.stop()
+            monkeypatch.delenv(faults.ENV_VAR)
+        assert status["state"] == "done"
+        assert status["cells_done"] == 3
+
+    def test_kill_restart_recovery_in_process_mode(self, tmp_path):
+        state_dir = tmp_path / "state"
+        plan = FaultPlan((Fault(site="server-cell", op="raise",
+                                exception="SystemExit", message="simulated kill",
+                                match={"done": 2}, once="proc-kill"),),
+                         marker_dir=str(tmp_path))
+        faults.install(plan)
+        try:
+            first = JobServer(state_dir, port=0, workers=1, reap_interval=None,
+                              execution="process", job_workers=2).start_background()
+            _, submitted = post(first.url + "/jobs", SPEC)
+            job_id = submitted["id"]
+            deadline = time.time() + 120
+            while "proc-kill" not in faults.fired_names():
+                assert time.time() < deadline, "injected kill never fired"
+                time.sleep(0.05)
+            time.sleep(0.3)
+            first.stop(abort=True)
+        finally:
+            faults.clear()
+
+        assert JobStore(state_dir).load(job_id).state == "running"
+        second = JobServer(state_dir, port=0, workers=1, execution="process",
+                           job_workers=2).start_background()
+        try:
+            status = wait_terminal(second.url, job_id)
+            assert status["state"] == "done"
+            assert status["cells_done"] == status["cells_total"] == 3
+            assert status["attempts"] == 2
+        finally:
+            second.stop()
