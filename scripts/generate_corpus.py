@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Generate the vendored corpus under ``corpus/`` — deterministically.
+
+The repository cannot vendor third-party graph datasets (license/size), so the
+corpus ships *synthetic samples with real-graph topology*, each produced here
+from a fixed seed and written in a different real-world edge-list dialect so
+the ingestion path is exercised end to end:
+
+====================  =========================================  ======================
+graph                 topology model                             file dialect
+====================  =========================================  ======================
+``road-sample``       2d lattice with dropped segments and a     0-indexed, ``#``
+                      few shortcut diagonals (road network)      comments, spaces
+``social-sample``     preferential attachment (Barabasi-Albert   gzipped, 1-indexed,
+                      style heavy-tail social graph), written    tab-separated, both
+                      SNAP-style                                 edge directions listed
+``collab-sample``     overlapping author cliques (one clique     ``.csv`` with a
+                      per "paper", Zipf-ish author popularity)   ``source,target`` header
+``web-sample``        Zipf in-degree link graph (hub pages)      1-indexed, ``%``
+                                                                 comments, spaces
+``mesh-sample``       triangulated 2d grid (planar mesh)         plain 0-indexed
+====================  =========================================  ======================
+
+Re-running the script reproduces every file byte for byte and rewrites
+``corpus/MANIFEST.json`` with each file's measured n / m / Delta and SHA-256,
+which is exactly what ``repro.corpus.vendor.load_manifest(verify=True)``
+checks — the manifest is the corpus' integrity statement, and this script is
+its single source of truth.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.corpus.ingest import build_graph, parse_edge_list  # noqa: E402
+
+LICENSE = "MIT (generated file, this repository's license)"
+
+
+def _dedupe(edges) -> list[tuple[int, int]]:
+    seen = sorted({(min(u, v), max(u, v)) for u, v in edges if u != v})
+    return seen
+
+
+def road_sample(rng: np.random.Generator, k: int = 45):
+    """k x k street grid; ~7% of segments closed, a few diagonal shortcuts."""
+    def node(r, c):
+        return r * k + c
+
+    edges = []
+    for r in range(k):
+        for c in range(k):
+            if c + 1 < k:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < k:
+                edges.append((node(r, c), node(r + 1, c)))
+    edges = np.array(edges, dtype=np.int64)
+    keep = rng.random(len(edges)) >= 0.07
+    kept = [tuple(e) for e in edges[keep].tolist()]
+    for _ in range(k):  # shortcut diagonals
+        r = int(rng.integers(0, k - 1))
+        c = int(rng.integers(0, k - 1))
+        kept.append((node(r, c), node(r + 1, c + 1)))
+    return _dedupe(kept)
+
+
+def social_sample(rng: np.random.Generator, n: int = 1500, m: int = 3):
+    """Preferential attachment: each new vertex attaches to m degree-biased targets."""
+    edges = []
+    stubs = [0, 1, 1, 0]  # seed: an edge 0-1, each endpoint twice
+    edges.append((0, 1))
+    for v in range(2, n):
+        targets = set()
+        while len(targets) < min(m, v):
+            pick = stubs[int(rng.integers(0, len(stubs)))]
+            targets.add(pick)
+        for t in targets:
+            edges.append((v, t))
+            stubs.extend((v, t))
+    return _dedupe(edges)
+
+
+def collab_sample(rng: np.random.Generator, authors: int = 1200, papers: int = 420):
+    """One clique per paper; author participation is Zipf-distributed."""
+    weights = 1.0 / np.arange(1, authors + 1)
+    weights /= weights.sum()
+    edges = []
+    for _ in range(papers):
+        size = int(rng.integers(2, 7))
+        team = rng.choice(authors, size=size, replace=False, p=weights)
+        for i in range(size):
+            for j in range(i + 1, size):
+                edges.append((int(team[i]), int(team[j])))
+    return _dedupe(edges)
+
+
+def web_sample(rng: np.random.Generator, n: int = 1800):
+    """Each page links to a few targets whose popularity is Zipf (hub pages)."""
+    weights = 1.0 / np.arange(1, n + 1) ** 1.1
+    weights /= weights.sum()
+    edges = []
+    for page in range(n):
+        fanout = 1 + int(rng.poisson(1.6))
+        targets = rng.choice(n, size=fanout, replace=False, p=weights)
+        for t in targets:
+            if int(t) != page:
+                edges.append((page, int(t)))
+    return _dedupe(edges)
+
+
+def mesh_sample(rng: np.random.Generator, k: int = 32):
+    """Triangulated k x k grid: lattice edges plus one diagonal per cell."""
+    def node(r, c):
+        return r * k + c
+
+    edges = []
+    for r in range(k):
+        for c in range(k):
+            if c + 1 < k:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < k:
+                edges.append((node(r, c), node(r + 1, c)))
+            if c + 1 < k and r + 1 < k:
+                if rng.random() < 0.5:
+                    edges.append((node(r, c), node(r + 1, c + 1)))
+                else:
+                    edges.append((node(r, c + 1), node(r + 1, c)))
+    return _dedupe(edges)
+
+
+def write_road(path, edges):
+    lines = ["# road-sample: synthetic street grid (see scripts/generate_corpus.py)",
+             "# 0-indexed, space separated"]
+    lines += [f"{u} {v}" for u, v in edges]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def write_social(path, edges):
+    # SNAP dialect: gzipped, tab separated, 1-indexed, both directions listed
+    lines = ["# Directed graph (each unordered pair of nodes is saved once)",
+             "# social-sample: synthetic preferential-attachment graph",
+             "# FromNodeId\tToNodeId"]
+    both = sorted([(u + 1, v + 1) for u, v in edges] + [(v + 1, u + 1) for u, v in edges])
+    lines += [f"{u}\t{v}" for u, v in both]
+    with gzip.GzipFile(filename="", mode="wb", fileobj=path.open("wb"), mtime=0) as fh:
+        fh.write(("\n".join(lines) + "\n").encode("utf-8"))
+
+
+def write_collab(path, edges):
+    lines = ["source,target"]
+    lines += [f"{u},{v}" for u, v in edges]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def write_web(path, edges):
+    lines = ["% web-sample: synthetic Zipf link graph, 1-indexed"]
+    lines += [f"{u + 1} {v + 1}" for u, v in edges]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def write_mesh(path, edges):
+    lines = [f"{u} {v}" for u, v in edges]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+GRAPHS = [
+    # (name, file, kind, builder, writer, seed, description)
+    ("road-sample", "road-sample.txt", "road", road_sample, write_road, 101,
+     "45x45 street grid with ~7% closed segments and shortcut diagonals"),
+    ("social-sample", "social-sample.txt.gz", "social", social_sample, write_social, 202,
+     "preferential-attachment graph (m=3), SNAP dialect: gzip, tabs, 1-indexed, both directions"),
+    ("collab-sample", "collab-sample.csv", "collaboration", collab_sample, write_collab, 303,
+     "overlapping author cliques, one per paper, Zipf author popularity; csv with header"),
+    ("web-sample", "web-sample.txt", "web", web_sample, write_web, 404,
+     "Zipf in-degree link graph with hub pages; %-comments, 1-indexed"),
+    ("mesh-sample", "mesh-sample.txt", "mesh", mesh_sample, write_mesh, 505,
+     "triangulated 32x32 planar mesh"),
+]
+
+
+def main() -> None:
+    corpus_dir = ROOT / "corpus"
+    corpus_dir.mkdir(exist_ok=True)
+    manifest = {"generator": "scripts/generate_corpus.py", "graphs": []}
+    for name, filename, kind, builder, writer, seed, description in GRAPHS:
+        rng = np.random.default_rng(seed)
+        edges = builder(rng)
+        path = corpus_dir / filename
+        writer(path, edges)
+        # measure through the real ingestion path: the manifest must record
+        # the shape repro.corpus will actually load (relabelled, deduped)
+        graph, _meta = build_graph(parse_edge_list(path))
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        manifest["graphs"].append({
+            "name": name,
+            "file": filename,
+            "kind": kind,
+            "source": f"synthetic sample generated by scripts/generate_corpus.py "
+                      f"(seed {seed}), modeled on {kind} topology",
+            "license": LICENSE,
+            "n": graph.n,
+            "m": int(np.asarray(graph.degrees).sum()) // 2,
+            "delta": int(graph.max_degree),
+            "sha256": digest,
+            "description": description,
+        })
+        size = path.stat().st_size
+        print(f"{name:15s} n={graph.n:5d} m={manifest['graphs'][-1]['m']:6d} "
+              f"Delta={graph.max_degree:3d} {size / 1024:7.1f} KiB -> {filename}")
+    (corpus_dir / "MANIFEST.json").write_text(
+        json.dumps(manifest, indent=1) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {corpus_dir / 'MANIFEST.json'} ({len(manifest['graphs'])} graphs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Regenerate the corpus golden snapshots under ``tests/golden/``.
+
+Two artifacts, both deterministic by construction:
+
+``corpus_records.json``
+    The tidy records of the full default zoo over **one** corpus graph
+    (``mesh-sample``), volatile fields stripped and the machine-specific
+    ``path`` reduced to its basename.  ``tests/test_corpus_sweep.py`` asserts
+    the array *and* jit backends still produce exactly these records.
+
+``corpus_summary.json``
+    The ``repro corpus`` summary document for the two-graph smoke subset
+    (``road-sample`` + ``mesh-sample``) the CI corpus-smoke job re-runs with
+    ``--workers 2`` and compares byte for byte.
+
+Regenerate only when an algorithm change is *supposed* to alter results (or
+the corpus itself was regenerated), and say so in the commit message:
+
+    PYTHONPATH=src python scripts/generate_corpus_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import corpus  # noqa: E402
+
+#: Record fields excluded from the snapshot (run-dependent by design).
+VOLATILE_FIELDS = ("seconds", "backend")
+
+GOLDEN_GRAPH = "mesh-sample"
+SMOKE_GRAPHS = ("road-sample", "mesh-sample")
+
+
+def _portable(record: dict) -> dict:
+    out = {k: v for k, v in record.items() if k not in VOLATILE_FIELDS}
+    if "path" in out:
+        out["path"] = pathlib.Path(out["path"]).name
+    return out
+
+
+def main() -> None:
+    entries = corpus.load_manifest(ROOT / "corpus", verify=True)
+    golden_dir = ROOT / "tests" / "golden"
+    golden_dir.mkdir(parents=True, exist_ok=True)
+
+    one = [e for e in entries if e.name == GOLDEN_GRAPH]
+    pairs = corpus.corpus_specs(one)
+    result = corpus.run_corpus_sweep([spec for _, spec in pairs])
+    payload = {
+        "graph": GOLDEN_GRAPH,
+        "volatile_fields": list(VOLATILE_FIELDS),
+        "records": [_portable(rec) for rec in result.records],
+    }
+    records_path = golden_dir / "corpus_records.json"
+    records_path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    print(f"wrote {records_path} ({len(payload['records'])} records)")
+
+    smoke = [e for e in entries if e.name in SMOKE_GRAPHS]
+    pairs = corpus.corpus_specs(smoke)
+    result = corpus.run_corpus_sweep([spec for _, spec in pairs])
+    summary = corpus.summarize(smoke, result)
+    summary_path = golden_dir / "corpus_summary.json"
+    corpus.write_summary(summary, golden_dir)
+    (golden_dir / "corpus_summary.md").unlink()  # only the JSON is golden
+    print(f"wrote {summary_path} ({len(summary['cells'])} cells, "
+          f"{len(summary['graphs'])} graphs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -74,7 +74,7 @@ from repro.api import (
     solve,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Graph",

@@ -73,15 +73,28 @@ def _reject_unknown(data: Mapping[str, Any], allowed: Sequence[str], kind: str) 
 
 
 def _graph_to_dict(graph: GraphSpec) -> dict[str, Any]:
-    return {"family": graph.family, "n": graph.n, "delta": graph.delta, "seed": graph.seed}
+    data = {"family": graph.family, "n": graph.n, "delta": graph.delta, "seed": graph.seed}
+    if graph.path is not None:
+        data["path"] = str(graph.path)
+    return data
 
 
 def _graph_from_dict(data: Mapping[str, Any]) -> GraphSpec:
-    _reject_unknown(data, ("family", "n", "delta", "seed"), "graph")
+    _reject_unknown(data, ("family", "n", "delta", "seed", "path"), "graph")
+    path = data.get("path")
+    family = str(data.get("family", ""))
+    if path is not None and family != "file":
+        raise SpecError(
+            f"graph spec field 'path' is only valid for family 'file', got "
+            f"family {family!r}"
+        )
+    if family == "file" and path is None:
+        raise SpecError("graph spec with family 'file' needs a 'path' field")
     try:
         return GraphSpec(
             family=str(data["family"]), n=int(data["n"]), delta=int(data["delta"]),
             seed=int(data.get("seed", 0)),
+            path=None if path is None else str(path),
         )
     except KeyError as exc:
         raise SpecError(f"graph spec is missing field {exc.args[0]!r}: {dict(data)!r}") from None
@@ -120,9 +133,31 @@ class Problem:
         makes dedupe over live-graph submissions well defined: two
         structurally identical graphs produce the same hash, two different
         graphs never collide by construction.
+
+        A *file-backed* problem (``GraphSpec(family="file", path=...)``)
+        canonicalizes by **content**, not location: the ``path`` field is
+        replaced by the SHA-256 digest of the file's bytes (the same key the
+        ingestion cache uses).  Submitting one corpus graph from two paths —
+        two checkouts, a moved corpus directory, a server-side copy — hashes
+        identically, and an edited file is a different document.
         """
         if self.is_serializable:
-            return self.to_dict()
+            data = self.to_dict()
+            graph = self.graph
+            if isinstance(graph, GraphSpec) and graph.family == "file":
+                from repro.corpus import cache
+
+                try:
+                    digest = cache.file_digest(graph.path)
+                except OSError as exc:
+                    raise SpecError(
+                        f"cannot hash file-backed graph spec: {exc}"
+                    ) from None
+                entry = dict(data["graph"])
+                del entry["path"]
+                entry["digest"] = digest
+                data["graph"] = entry
+            return data
         return {
             "schema": SCHEMA_VERSION,
             "graph": {

@@ -37,6 +37,8 @@ import argparse
 import json
 import pathlib
 import sys
+import zipfile
+from typing import Any
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.api.registry import (
@@ -48,6 +50,8 @@ from repro.api.registry import (
 from repro.api.solve import run_spec, solve
 from repro.api.spec import JobSpec, Problem, Run, SpecError
 from repro.congest import generators
+from repro.congest.graph import GraphError
+from repro.corpus.vendor import CorpusError
 from repro.engine.base import EngineError
 from repro.engine.batch import BatchRunner, GraphSpec
 from repro.engine.registry import available_backends
@@ -310,6 +314,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-job worker budget in process mode (default: machine "
                             "cores split across the --workers job slots, min 2)")
     _add_retry_arguments(serve, with_on_error=False)
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="sweep the algorithm zoo over the vendored real-graph corpus, verified",
+        description="Run every default-runnable registered algorithm over the "
+                    "graphs of corpus/MANIFEST.json through BatchRunner, "
+                    "independently re-verify every output with repro.verify, "
+                    "and write a deterministic per-graph summary "
+                    "(corpus_summary.md + corpus_summary.json).",
+    )
+    corpus.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="corpus directory (default: discover corpus/MANIFEST.json "
+                             "from the cwd, $REPRO_CORPUS_DIR, or the checkout)")
+    corpus.add_argument("--graphs", nargs="+", default=None, metavar="NAME",
+                        help="restrict to these manifest graph names (default: all)")
+    corpus.add_argument("--algorithms", nargs="+", default=None, metavar="ALGORITHM",
+                        help="restrict the zoo to these algorithms (default: every "
+                             "registered algorithm runnable with default parameters)")
+    _add_backend_argument(corpus)
+    corpus.add_argument("--parity-check", action="store_true",
+                        help="re-run every cell on the reference backend and require "
+                             "identical results")
+    corpus.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default: 1; records and summary are "
+                             "identical and deterministically ordered either way)")
+    corpus.add_argument("--output", metavar="PATH", default=None,
+                        help="stream each record to PATH (.jsonl/.ndjson/.csv)")
+    corpus.add_argument("--shard", metavar="I/K", default=None,
+                        help="execute only deterministic shard I of K of the corpus "
+                             "grid; merge the K record files with `repro merge`")
+    corpus.add_argument("--summary-dir", metavar="DIR", default=None,
+                        help="write corpus_summary.{md,json} here (default: print the "
+                             "markdown only)")
+    corpus.add_argument("--no-verify-manifest", action="store_true",
+                        help="skip the corpus integrity check (file digests vs the "
+                             "manifest) before sweeping")
+    _add_retry_arguments(corpus)
+
+    graph = sub.add_parser(
+        "graph",
+        help="inspect graphs (edge-list files, cached artifacts, generator specs)")
+    graph_sub = graph.add_subparsers(dest="graph_command", required=True)
+    info = graph_sub.add_parser(
+        "info",
+        help="structural facts of a graph: n, m, Delta, degree histogram, components",
+        description="TARGET is an edge-list file (.txt/.csv, optionally .gz — "
+                    "ingested through the corpus cache), a corpus graph name, or "
+                    "a generator spec FAMILY:N:DELTA[:SEED] "
+                    "(e.g. random_regular:200:8).",
+    )
+    info.add_argument("target", metavar="TARGET",
+                      help="edge-list path, corpus graph name, or FAMILY:N:DELTA[:SEED]")
+    info.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable JSON instead of the table")
+    info.add_argument("--corpus-dir", default=None, metavar="DIR",
+                      help="corpus directory for corpus-name targets")
 
     return parser
 
@@ -640,6 +700,143 @@ def _cmd_serve(args) -> int:
     os._exit(1)
 
 
+def _cmd_corpus(args) -> int:
+    from repro import corpus as corpus_mod
+
+    entries = corpus_mod.load_manifest(args.corpus_dir,
+                                       verify=not args.no_verify_manifest)
+    if args.graphs:
+        known = {entry.name for entry in entries}
+        missing = sorted(set(args.graphs) - known)
+        if missing:
+            raise SystemExit(f"unknown corpus graph(s) {missing}; "
+                             f"manifest has: {sorted(known)}")
+        entries = [entry for entry in entries if entry.name in args.graphs]
+    if args.algorithms:
+        zoo = [{"algorithm": _resolve_algorithm(name).name} for name in args.algorithms]
+    else:
+        zoo = corpus_mod.default_zoo()
+
+    shard = _parse_shard(args.shard)
+    if shard is not None and not args.output:
+        raise SystemExit("--shard requires --output (the shard's result file)")
+    pairs = corpus_mod.corpus_specs(entries)
+    sink = open_sink(args.output) if args.output else None
+    try:
+        result = corpus_mod.run_corpus_sweep(
+            [spec for _, spec in pairs], zoo=zoo, backend=args.backend,
+            workers=args.workers, parity_check=args.parity_check,
+            retry=_retry_from_args(args), shard=shard, sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
+    summary = corpus_mod.summarize(entries, result, backend=args.backend)
+    print(corpus_mod.render_summary(summary))
+    if args.summary_dir:
+        json_path, md_path = corpus_mod.write_summary(summary, args.summary_dir)
+        print(f"\nwrote {json_path} and {md_path}")
+    if sink is not None:
+        print(f"wrote {sink.written} record(s) to {args.output}")
+    unverified = [c for c in summary["cells"]
+                  if "error" not in c and c.get("verified") is not True]
+    if unverified:  # corpus_task raises on failure, so this is belt+braces
+        print(f"VERIFICATION FAILED: {len(unverified)} cell(s) unverified",
+              file=sys.stderr)
+        return 1
+    return _report_faults(result)
+
+
+def _resolve_algorithm(name: str):
+    from repro.api.registry import get_algorithm
+
+    spec = get_algorithm(name)  # UnknownAlgorithmError -> ERROR
+    if any(p.required for p in spec.params):
+        raise SystemExit(
+            f"algorithm {name!r} has required parameters ({spec.signature()}) and "
+            f"cannot run in a corpus sweep; use `repro color {name}` instead")
+    return spec
+
+
+def _cmd_graph(args) -> int:
+    if args.graph_command == "info":
+        return _cmd_graph_info(args)
+    raise SystemExit(f"unknown graph command {args.graph_command!r}")
+
+
+def _cmd_graph_info(args) -> int:
+    from repro import corpus as corpus_mod
+
+    target = args.target
+    path = pathlib.Path(target)
+    origin: dict[str, Any] = {}
+    if path.is_file() and path.suffix == ".npz":
+        # a cached CSR artifact (see repro.corpus.cache) — load it directly
+        import numpy as np
+
+        from repro.congest.graph import Graph
+
+        try:
+            with np.load(path) as bundle:
+                graph = Graph.from_csr_arrays(bundle["indptr"], bundle["indices"])
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise GraphError(f"{path.name}: not a CSR .npz artifact: {exc}") from None
+        origin = {"target": str(path), "source": "npz artifact",
+                  "digest": path.stem}
+    elif path.is_file():
+        ingested = corpus_mod.ingest(path)
+        graph = ingested.graph
+        origin = {"target": str(path), "source": "file",
+                  "sha256": ingested.digest, "cached": ingested.cached,
+                  **{k: v for k, v in ingested.meta.items()
+                     if k in ("format", "compressed", "edges_raw", "duplicate_edges",
+                              "self_loops_dropped", "relabelled", "header_skipped")}}
+    elif ":" in target:
+        family, _, rest = target.partition(":")
+        try:
+            numbers = [int(x) for x in rest.split(":")]
+            n, delta = numbers[0], numbers[1]
+            seed = numbers[2] if len(numbers) > 2 else 0
+        except (ValueError, IndexError):
+            raise SystemExit(
+                f"bad generator spec {target!r}; expected FAMILY:N:DELTA[:SEED]"
+            ) from None
+        graph = generators.by_name(family, n, delta, seed=seed)
+        origin = {"target": target, "source": "generator", "family": family,
+                  "seed": seed}
+    else:
+        entries = [entry for entry in corpus_mod.load_manifest(args.corpus_dir)
+                   if entry.name == target]
+        if not entries:
+            raise SystemExit(
+                f"{target!r} is neither a file, a FAMILY:N:DELTA spec, nor a "
+                "corpus graph name")
+        ingested = corpus_mod.ingest(entries[0].path)
+        graph = ingested.graph
+        origin = {"target": target, "source": "corpus",
+                  "file": entries[0].path.name, "kind": entries[0].kind,
+                  "sha256": ingested.digest}
+
+    info = corpus_mod.graph_info(graph)
+    if args.as_json:
+        print(json.dumps({**origin, **info}, indent=2))
+        return 0
+    from repro.analysis.tables import Table
+
+    table = Table(f"graph info — {origin.get('target', '?')} ({origin['source']})",
+                  ["property", "value"])
+    for key, value in {**origin, **info}.items():
+        if key in ("target", "degree_histogram"):
+            continue
+        table.add_row(key, value)
+    histogram = info["degree_histogram"]
+    spread = ", ".join(f"{d}:{c}" for d, c in list(histogram.items())[:12])
+    if len(histogram) > 12:
+        spread += f", ... ({len(histogram)} distinct degrees)"
+    table.add_row("degree histogram", spread)
+    print(table.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {
@@ -651,14 +848,17 @@ def main(argv: list[str] | None = None) -> int:
         "batch": _cmd_batch,
         "merge": _cmd_merge,
         "serve": _cmd_serve,
+        "corpus": _cmd_corpus,
+        "graph": _cmd_graph,
     }
     try:
         return commands[args.command](args)
     except AssertionError as exc:  # verification failure (incl. parity errors)
         print(f"VERIFICATION FAILED: {exc}", file=sys.stderr)
         return 1
-    except (SinkError, EngineError, AlgorithmError, SpecError) as exc:
-        # unusable sink file / backend setup / registry or spec mismatch
+    except (SinkError, EngineError, AlgorithmError, SpecError,
+            GraphError, CorpusError) as exc:
+        # unusable sink / backend setup / spec mismatch / malformed graph file
         print(f"ERROR: {exc}", file=sys.stderr)
         return 1
 

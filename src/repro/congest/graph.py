@@ -26,11 +26,43 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.congest.shared import SharedGraphHandle
 
-__all__ = ["Graph", "GraphError", "GraphPerformanceWarning"]
+__all__ = ["Graph", "GraphError", "GraphFormatError", "GraphPerformanceWarning"]
 
 
 class GraphError(ValueError):
     """Raised for malformed graph inputs (self loops, out-of-range vertices, ...)."""
+
+
+class GraphFormatError(GraphError):
+    """A malformed edge in graph input data, pinned to the offending entry.
+
+    Raised by :meth:`Graph.from_edge_array` (and the corpus ingestion layer,
+    :mod:`repro.corpus`) instead of a bare :class:`GraphError` or an opaque
+    NumPy error when the *data* is dirty — a self loop, an out-of-range
+    endpoint, an unparseable token.  The structured attributes let callers
+    report exactly where the input went wrong:
+
+    ``edge``
+        The offending ``(u, v)`` pair, when known.
+    ``index``
+        Row index of the offending edge within the edge array, when known.
+    ``line``
+        1-based source line number in the file being ingested (set by the
+        edge-list parser, which tracks line provenance through filtering).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        edge: tuple[int, int] | None = None,
+        index: int | None = None,
+        line: int | None = None,
+    ):
+        super().__init__(message)
+        self.edge = edge
+        self.index = index
+        self.line = line
 
 
 class GraphPerformanceWarning(UserWarning):
@@ -53,7 +85,23 @@ def _csr_from_edge_array(n: int, edges: np.ndarray):
     ``O(m log m)`` in array ops; at ``n = 10^6`` this is the difference
     between milliseconds and minutes.
     """
-    edges = np.asarray(edges, dtype=np.int64)
+    raw = np.asarray(edges)
+    if raw.dtype.kind == "f":
+        # A float edge array is tolerated only when every value is integral;
+        # silently truncating 2.7 -> 2 would mis-wire real-world inputs.
+        bad_vals = ~np.isfinite(raw) | (raw != np.trunc(raw))
+        if raw.size and bad_vals.any():
+            flat = int(np.argmax(bad_vals))
+            i = flat // 2 if raw.ndim == 2 else flat
+            raise GraphFormatError(
+                f"edge array has non-integral endpoint {raw.ravel()[flat]!r} "
+                f"(edge {i})", index=i,
+            )
+    elif raw.dtype.kind not in "iub":
+        raise GraphFormatError(
+            f"edge array must contain integers, got dtype {raw.dtype!s}"
+        )
+    edges = raw.astype(np.int64, copy=False)
     if edges.size == 0:
         dst = np.empty(0, dtype=np.int64)
         counts = np.zeros(n, dtype=np.int64)
@@ -63,13 +111,19 @@ def _csr_from_edge_array(n: int, edges: np.ndarray):
         u, v = edges[:, 0], edges[:, 1]
         loops = u == v
         if loops.any():
-            raise GraphError(
-                f"self loop on vertex {int(u[np.argmax(loops)])} is not allowed"
+            i = int(np.argmax(loops))
+            raise GraphFormatError(
+                f"self loop on vertex {int(u[i])} is not allowed (edge {i} of {u.size})",
+                edge=(int(u[i]), int(v[i])), index=i,
             )
         bad = (u < 0) | (u >= n) | (v < 0) | (v >= n)
         if bad.any():
             i = int(np.argmax(bad))
-            raise GraphError(f"edge ({int(u[i])}, {int(v[i])}) out of range for n={n}")
+            raise GraphFormatError(
+                f"edge ({int(u[i])}, {int(v[i])}) out of range for n={n} "
+                f"(edge {i} of {u.size})",
+                edge=(int(u[i]), int(v[i])), index=i,
+            )
         lo = np.minimum(u, v)
         hi = np.maximum(u, v)
         # Duplicate edges (in either orientation) collapse via sorted integer
@@ -164,9 +218,15 @@ class Graph:
         ``unique``-dedup, ``lexsort``, ``bincount``) that never walks edges in
         the interpreter.  Semantics match ``Graph(n, edges)`` exactly —
         duplicate edges (in either orientation) collapse, self loops and
-        out-of-range endpoints raise :class:`GraphError`.
+        out-of-range endpoints raise :class:`GraphFormatError` naming the
+        offending edge (a :class:`GraphError` subclass), as do non-integer
+        edge arrays — ingestion inputs fail loudly, never silently truncate.
         """
-        return cls(n, np.asarray(edges, dtype=np.int64))
+        try:
+            arr = np.asarray(edges)
+        except (TypeError, ValueError) as exc:
+            raise GraphFormatError(f"edge array is not array-like: {exc}") from None
+        return cls(n, arr)
 
     @classmethod
     def from_csr_arrays(

@@ -269,6 +269,11 @@ def _run_outdegree(w, engine, beta: int = 1):
     record["max outdegree"] = (
         int(np.bincount(sources, minlength=w.graph.n).max()) if sources.size else 0
     )
+    # the orientation itself, as a canonically ordered (k, 2) artifact, so
+    # external validators (e.g. the corpus sweep) can re-verify the guarantee
+    record["_orientation"] = np.array(
+        sorted(res.orientation), dtype=np.int64
+    ).reshape(-1, 2)
     return record
 
 

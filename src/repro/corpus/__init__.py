@@ -1,0 +1,182 @@
+"""Real-graph corpus: edge-list ingestion, content-addressed caching, sweeps.
+
+The generators in :mod:`repro.congest.generators` exercise the algorithms on
+*synthetic* workloads with dialled-in ``n`` and ``Delta``; this subpackage is
+the complementary plane — **graphs that arrive as files**.  It has four parts:
+
+:mod:`repro.corpus.ingest`
+    SNAP-style edge-list parsing (``.txt`` / ``.csv``, optionally gzipped;
+    comment- and header-tolerant; 0- or 1-indexed) into the repo's CSR
+    :class:`~repro.congest.graph.Graph`, with errors that name the offending
+    source line.
+:mod:`repro.corpus.cache`
+    A content-addressed artifact cache (``~/.cache/repro/corpus``): parsed
+    CSR arrays land in ``<sha256>.npz`` and reload via ``np.memmap`` without
+    re-parsing — re-ingesting an unchanged file is an mmap, not a parse.
+:mod:`repro.corpus.vendor`
+    The vendored ``corpus/`` directory and its ``MANIFEST.json`` (provenance,
+    license, expected shape, digest per graph).
+:mod:`repro.corpus.sweep`
+    ``repro corpus``: the registered algorithm zoo over the corpus through
+    :class:`~repro.engine.batch.BatchRunner`, every output independently
+    re-verified with :mod:`repro.verify`.
+
+File-backed graphs enter the engine as ordinary
+:class:`~repro.engine.batch.GraphSpec` cells with ``family="file"`` and a
+``path`` — :func:`file_spec` builds one, :func:`load_file_graph` is the
+``_build_graph`` dispatch target — so batch sweeps, sharding, the job server
+and retry policy all work on corpus graphs unchanged.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from repro.corpus.cache import cache_root, file_digest
+from repro.corpus.ingest import CorpusGraph, build_graph, ingest, parse_edge_list
+from repro.corpus.sweep import (
+    corpus_task,
+    default_zoo,
+    render_summary,
+    run_corpus_sweep,
+    summarize,
+    write_summary,
+)
+from repro.corpus.vendor import (
+    CorpusEntry,
+    CorpusError,
+    corpus_root,
+    corpus_specs,
+    load_manifest,
+)
+
+__all__ = [
+    "FILE_FAMILY",
+    "CorpusEntry",
+    "CorpusError",
+    "CorpusGraph",
+    "build_graph",
+    "cache_root",
+    "corpus_root",
+    "corpus_specs",
+    "corpus_task",
+    "default_zoo",
+    "file_digest",
+    "file_spec",
+    "graph_info",
+    "ingest",
+    "load_file_graph",
+    "load_manifest",
+    "parse_edge_list",
+    "render_summary",
+    "run_corpus_sweep",
+    "summarize",
+    "write_summary",
+]
+
+#: The :class:`~repro.engine.batch.GraphSpec` family of file-backed graphs.
+FILE_FAMILY = "file"
+
+
+def file_spec(path: str | pathlib.Path, cache_dir: str | pathlib.Path | None = None):
+    """Ingest ``path`` and return the file-family GraphSpec describing it.
+
+    The spec's ``n`` / ``delta`` are the *measured* values of the ingested
+    graph (so spec labels, records and CLI output are truthful), ``seed`` is
+    fixed at 0 — a file graph has no generator randomness.
+    """
+    from repro.engine.batch import GraphSpec
+
+    corpus_graph = ingest(path, cache_dir=cache_dir)
+    graph = corpus_graph.graph
+    return GraphSpec(
+        family=FILE_FAMILY,
+        n=graph.n,
+        delta=max(1, graph.max_degree),
+        seed=0,
+        path=str(pathlib.Path(path)),
+    )
+
+
+def load_file_graph(spec):
+    """Build the graph of a ``family="file"`` spec (the ``_build_graph`` hook).
+
+    Ingestion goes through the content-addressed cache, so repeated cells on
+    one graph parse its file once.  The spec's declared ``n`` / ``delta`` are
+    checked against the ingested graph: a mismatch means the file drifted
+    under a stored spec (or a manifest lies about its graph), and silently
+    solving the *wrong* graph would poison every downstream record.
+    """
+    from repro.congest.graph import GraphError
+
+    if getattr(spec, "path", None) is None:
+        raise GraphError("file-family GraphSpec has no path")
+    corpus_graph = ingest(spec.path)
+    graph = corpus_graph.graph
+    delta = max(1, graph.max_degree)
+    if graph.n != spec.n or delta != spec.delta:
+        raise GraphError(
+            f"graph file {pathlib.Path(spec.path).name} does not match its spec: "
+            f"file has n={graph.n}, Delta={delta}; spec declares "
+            f"n={spec.n}, Delta={spec.delta} (re-ingest with repro.corpus.file_spec)"
+        )
+    return graph
+
+
+def graph_info(graph) -> dict[str, Any]:
+    """Structural facts of a graph: n, m, Delta, degree histogram, components.
+
+    The payload behind ``repro graph info`` — everything derives from the CSR
+    arrays, so it is exact and deterministic.
+    """
+    degrees = np.asarray(graph.degrees)
+    n = int(graph.n)
+    m = int(degrees.sum()) // 2
+    delta = int(degrees.max()) if n else 0
+    histogram = np.bincount(degrees, minlength=delta + 1) if n else np.zeros(1, np.int64)
+    return {
+        "n": n,
+        "m": m,
+        "delta": delta,
+        "min_degree": int(degrees.min()) if n else 0,
+        "mean_degree": (2.0 * m / n) if n else 0.0,
+        "degree_histogram": {int(d): int(c) for d, c in enumerate(histogram) if c},
+        "isolated_vertices": int((degrees == 0).sum()),
+        "components": _component_count(graph),
+    }
+
+
+def _component_count(graph) -> int:
+    """Connected components by vectorized BFS over the CSR arrays."""
+    n = int(graph.n)
+    if n == 0:
+        return 0
+    indptr = np.asarray(graph.indptr)
+    indices = np.asarray(graph.indices)
+    seen = np.zeros(n, dtype=bool)
+    components = 0
+    for root in range(n):
+        if seen[root]:
+            continue
+        components += 1
+        seen[root] = True
+        frontier = np.array([root], dtype=np.int64)
+        while frontier.size:
+            starts = indptr[frontier]
+            ends = indptr[frontier + 1]
+            counts = ends - starts
+            total = int(counts.sum())
+            if not total:
+                break
+            # gather all neighbours of the frontier in one shot
+            offsets = np.repeat(starts, counts) + (
+                np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+            )
+            neighbours = indices[offsets]
+            fresh = np.unique(neighbours[~seen[neighbours]])
+            seen[fresh] = True
+            frontier = fresh
+    return components

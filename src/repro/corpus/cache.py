@@ -1,0 +1,171 @@
+"""Content-addressed CSR artifact cache for ingested edge lists.
+
+Layout: one ``<sha256>.npz`` (uncompressed ``np.savez``: ``indptr`` +
+``indices``) plus a ``<sha256>.json`` meta sidecar per distinct *file
+content*, under ``~/.cache/repro/corpus`` (override with the
+``REPRO_CORPUS_CACHE`` environment variable, or per call).  The key is the
+SHA-256 of the source file's bytes, so
+
+* re-ingesting byte-identical content — same path or a copy anywhere — is a
+  cache hit that never re-parses the text;
+* editing the file changes the digest and misses naturally — no mtime
+  heuristics, no invalidation logic;
+* two corpus directories (or two machines sharing a cache volume) dedupe
+  storage by content.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed ingest never
+leaves a torn artifact behind, and a corrupt/unreadable entry is treated as
+a miss (re-parsed and rewritten), never an error.
+
+Loading is mmap-friendly: ``np.savez`` stores members *uncompressed*, so each
+embedded ``.npy`` sits at a fixed offset inside the zip and can be
+``np.memmap``-ed directly — a warm load touches no array bytes until a kernel
+does.  :meth:`Graph.from_csr_arrays` keeps the read-only memmaps as the
+graph's backing arrays (its copy guard only copies *writable* caller
+buffers).  If the offset probe fails for any reason the loader falls back to
+a plain ``np.load``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import zipfile
+from typing import Any
+
+import numpy as np
+
+from repro.congest.graph import Graph
+
+__all__ = ["cache_root", "file_digest", "store", "load", "artifact_path"]
+
+#: Environment variable overriding the default cache directory.
+CACHE_ENV = "REPRO_CORPUS_CACHE"
+
+
+def cache_root(override: str | pathlib.Path | None = None) -> pathlib.Path:
+    """The cache directory: ``override`` > ``$REPRO_CORPUS_CACHE`` > default."""
+    if override is not None:
+        return pathlib.Path(override)
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro" / "corpus"
+
+
+def file_digest(path: str | pathlib.Path) -> str:
+    """Full SHA-256 hex digest of a file's bytes (the cache / identity key)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def artifact_path(digest: str, root: pathlib.Path | None = None) -> pathlib.Path:
+    return (cache_root() if root is None else root) / f"{digest}.npz"
+
+
+def _meta_path(digest: str, root: pathlib.Path) -> pathlib.Path:
+    return root / f"{digest}.json"
+
+
+def store(
+    digest: str, graph: Graph, meta: dict[str, Any], root: pathlib.Path | None = None
+) -> pathlib.Path:
+    """Write the graph's CSR arrays and meta under ``digest``; return the .npz path."""
+    root = cache_root() if root is None else root
+    root.mkdir(parents=True, exist_ok=True)
+    target = artifact_path(digest, root)
+    fd, tmp = tempfile.mkstemp(dir=root, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle,
+                     indptr=np.ascontiguousarray(graph.indptr, dtype=np.int64),
+                     indices=np.ascontiguousarray(graph.indices, dtype=np.int64))
+        os.replace(tmp, target)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    meta_target = _meta_path(digest, root)
+    fd, tmp = tempfile.mkstemp(dir=root, suffix=".json.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, sort_keys=True, indent=1)
+        os.replace(tmp, meta_target)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return target
+
+
+def _mmap_npz(path: pathlib.Path) -> dict[str, np.ndarray] | None:
+    """Memory-map the members of an *uncompressed* ``.npz`` in place.
+
+    ``np.savez`` writes ZIP_STORED members, each a verbatim ``.npy`` at a
+    knowable offset: local header + its name/extra fields, then the npy
+    magic/header, then the raw array bytes.  Any surprise (compressed member,
+    unexpected magic, npy format drift) returns ``None`` and the caller falls
+    back to ``np.load``.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        with open(path, "rb") as handle, zipfile.ZipFile(handle) as bundle:
+            for info in bundle.infolist():
+                if info.compress_type != zipfile.ZIP_STORED:
+                    return None
+                handle.seek(info.header_offset)
+                local = handle.read(30)
+                if local[:4] != b"PK\x03\x04":
+                    return None
+                name_len = int.from_bytes(local[26:28], "little")
+                extra_len = int.from_bytes(local[28:30], "little")
+                handle.seek(info.header_offset + 30 + name_len + extra_len)
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+                else:
+                    return None
+                if fortran or dtype.hasobject:
+                    return None
+                name = info.filename[:-4] if info.filename.endswith(".npy") else info.filename
+                arrays[name] = np.memmap(path, dtype=dtype, mode="r",
+                                         offset=handle.tell(), shape=shape)
+    except (OSError, ValueError, zipfile.BadZipFile, KeyError):
+        return None
+    return arrays
+
+
+def load(
+    digest: str, root: pathlib.Path | None = None, mmap: bool = True
+) -> tuple[Graph, dict[str, Any]] | None:
+    """Load the cached graph for ``digest``, or ``None`` on a miss.
+
+    A present-but-unreadable entry (torn write from a killed process, foreign
+    garbage in the cache dir) counts as a miss: ingestion re-parses the
+    source and overwrites the entry.
+    """
+    root = cache_root() if root is None else root
+    target = artifact_path(digest, root)
+    meta_target = _meta_path(digest, root)
+    if not target.is_file() or not meta_target.is_file():
+        return None
+    try:
+        meta = json.loads(meta_target.read_text(encoding="utf-8"))
+        arrays = _mmap_npz(target) if mmap else None
+        if arrays is None:
+            with np.load(target) as bundle:
+                arrays = {name: bundle[name] for name in bundle.files}
+        graph = Graph.from_csr_arrays(arrays["indptr"], arrays["indices"])
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile, json.JSONDecodeError):
+        return None
+    if not isinstance(meta, dict):
+        return None
+    return graph, meta

@@ -1,0 +1,264 @@
+"""Edge-list ingestion: on-disk graph files -> :class:`~repro.congest.graph.Graph`.
+
+Real-world graph files (SNAP exports, Konect dumps, CSV edge tables) are
+messy: comment lines (``#``, ``%``, ``//``), a header row naming the columns,
+whitespace *or* comma separated fields, extra columns (weights, timestamps),
+0- or 1-based (or entirely arbitrary, gappy) vertex ids, duplicate edges in
+either orientation.  :func:`parse_edge_list` tolerates all of that and fails
+*loudly* on anything genuinely malformed — a self loop, an unparseable token,
+a one-column line — with a :class:`~repro.congest.graph.GraphFormatError`
+naming the offending source line.
+
+The parse result keeps per-edge line provenance (``lines[i]`` is the 1-based
+source line of raw edge ``i``), so every downstream rejection can point back
+into the file.  Vertex ids are relabelled to ``0..n-1`` in sorted order
+(which is the identity for an already-contiguous 0-based file), and the
+relabelled edges go through :meth:`Graph.from_edge_array`, the canonical
+validating CSR constructor — duplicates collapse there.
+
+:func:`ingest` wraps the parser with the content-addressed CSR cache
+(:mod:`repro.corpus.cache`): the first ingest of a file parses and caches,
+every later ingest of byte-identical content loads the cached ``.npz``
+artifact (mmap-friendly) without touching the text at all.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.congest.graph import Graph, GraphFormatError
+
+__all__ = ["ParsedEdgeList", "CorpusGraph", "parse_edge_list", "ingest"]
+
+#: Line prefixes treated as comments (SNAP ``#``, Matrix-Market ``%``, C ``//``).
+COMMENT_PREFIXES = ("#", "%", "//")
+
+#: Field separators normalized to whitespace before splitting.
+_SEPARATORS = (",", ";")
+
+
+@dataclass(frozen=True)
+class ParsedEdgeList:
+    """The raw parse of one edge-list file, before CSR construction.
+
+    ``edges`` are the *relabelled* ``(m_raw, 2)`` endpoint pairs (vertex ids
+    ``0..n-1``, duplicates still present); ``lines[i]`` is the 1-based source
+    line of ``edges[i]``; ``meta`` records what the parser saw (raw id range,
+    comment/header/blank counts, dropped self loops).
+    """
+
+    n: int
+    edges: np.ndarray
+    lines: np.ndarray
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CorpusGraph:
+    """An ingested on-disk graph: the CSR graph plus its provenance.
+
+    ``digest`` is the full SHA-256 of the source file's bytes — the cache key
+    and the content identity :func:`repro.api.spec.spec_hash` pins for
+    ``family="file"`` graph specs.  ``cached`` tells whether this load came
+    from the ``.npz`` artifact (warm) or parsed the text (cold).
+    """
+
+    path: str
+    digest: str
+    graph: Graph
+    meta: dict[str, Any]
+    cached: bool
+
+
+def _open_text(path: pathlib.Path) -> io.TextIOBase:
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8", errors="replace")
+    return open(path, "r", encoding="utf-8", errors="replace")
+
+
+def _split_fields(text: str) -> list[str]:
+    for sep in _SEPARATORS:
+        if sep in text:
+            text = text.replace(sep, " ")
+    return text.split()
+
+
+def _looks_like_header(fields: list[str]) -> bool:
+    """A non-numeric first data row (``source,target`` / ``FromNodeId ToNodeId``)."""
+    def numeric(tok: str) -> bool:
+        try:
+            int(tok)
+        except ValueError:
+            return False
+        return True
+
+    return bool(fields) and not all(numeric(tok) for tok in fields[:2])
+
+
+def parse_edge_list(
+    path: str | pathlib.Path,
+    drop_self_loops: bool = False,
+) -> ParsedEdgeList:
+    """Parse an on-disk edge list into relabelled endpoint pairs.
+
+    Parameters
+    ----------
+    path:
+        A ``.txt`` / ``.csv`` / ``.edges`` file, optionally ``.gz``-compressed
+        (by suffix).  Each data line contributes one edge: its first two
+        fields are the endpoints; extra fields (weights, timestamps) are
+        ignored.
+    drop_self_loops:
+        Real-world exports sometimes contain ``u u`` rows.  By default they
+        raise a :class:`GraphFormatError` naming the line; with
+        ``drop_self_loops=True`` they are dropped and counted in
+        ``meta["self_loops_dropped"]``.
+
+    Raises
+    ------
+    GraphFormatError
+        On an unparseable token or a one-field line (always naming the
+        1-based source line), or on a self loop unless ``drop_self_loops``.
+    """
+    path = pathlib.Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"edge-list file not found: {path}")
+    pairs: list[tuple[int, int]] = []
+    linenos: list[int] = []
+    comments = 0
+    self_loops = 0
+    header_skipped = False
+    first_data = True
+    with _open_text(path) as handle:
+        for lineno, raw in enumerate(handle, 1):
+            text = raw.strip()
+            if not text:
+                continue
+            if text.startswith(COMMENT_PREFIXES):
+                comments += 1
+                continue
+            fields = _split_fields(text)
+            if first_data and _looks_like_header(fields):
+                # Tolerate exactly one header row naming the columns.
+                first_data = False
+                header_skipped = True
+                continue
+            first_data = False
+            if len(fields) < 2:
+                raise GraphFormatError(
+                    f"{path.name}:{lineno}: expected two endpoint fields, "
+                    f"got {text!r}", line=lineno,
+                )
+            try:
+                u, v = int(fields[0]), int(fields[1])
+            except ValueError:
+                raise GraphFormatError(
+                    f"{path.name}:{lineno}: unparseable edge endpoints in "
+                    f"{text!r}", line=lineno,
+                ) from None
+            if u == v:
+                if drop_self_loops:
+                    self_loops += 1
+                    continue
+                raise GraphFormatError(
+                    f"{path.name}:{lineno}: self loop on vertex {u} "
+                    "(pass drop_self_loops=True to skip such rows)",
+                    edge=(u, v), line=lineno,
+                )
+            pairs.append((u, v))
+            linenos.append(lineno)
+
+    if not pairs:
+        raise GraphFormatError(
+            f"{path.name}: no edges found (only comments/blank lines)"
+        )
+    raw_edges = np.array(pairs, dtype=np.int64)
+    lines = np.array(linenos, dtype=np.int64)
+    ids = np.unique(raw_edges.ravel())
+    relabelled = not (
+        ids[0] == 0 and ids[-1] == ids.size - 1
+    )  # identity mapping for contiguous 0-based ids
+    edges = np.searchsorted(ids, raw_edges)
+    n = int(ids.size)
+    id_min, id_max = int(ids[0]), int(ids[-1])
+    meta = {
+        "format": "csv" if ".csv" in path.suffixes else "txt",
+        "compressed": path.suffix == ".gz",
+        "header_skipped": header_skipped,
+        "comment_lines": comments,
+        "edges_raw": int(edges.shape[0]),
+        "self_loops_dropped": self_loops,
+        "id_min": id_min,
+        "id_max": id_max,
+        "relabelled": bool(relabelled),
+    }
+    return ParsedEdgeList(n=n, edges=edges, lines=lines, meta=meta)
+
+
+def build_graph(parsed: ParsedEdgeList) -> tuple[Graph, dict[str, Any]]:
+    """CSR-construct the parsed edges; return the graph and enriched meta.
+
+    Duplicate edges (either orientation) collapse inside
+    :meth:`Graph.from_edge_array`; the number collapsed is recorded in
+    ``meta["duplicate_edges"]``.  A :class:`GraphFormatError` raised by the
+    constructor is re-raised with the offending *source line* attached (the
+    parser's per-edge line map makes the translation exact).
+    """
+    try:
+        graph = Graph.from_edge_array(parsed.n, parsed.edges)
+    except GraphFormatError as exc:
+        if exc.index is not None and exc.index < parsed.lines.size:
+            line = int(parsed.lines[exc.index])
+            raise GraphFormatError(
+                f"line {line}: {exc}", edge=exc.edge, index=exc.index, line=line
+            ) from None
+        raise
+    meta = dict(parsed.meta)
+    meta.update(
+        n=graph.n,
+        m=graph.num_edges,
+        delta=graph.max_degree,
+        duplicate_edges=int(parsed.edges.shape[0] - graph.num_edges),
+    )
+    return graph, meta
+
+
+def ingest(
+    path: str | pathlib.Path,
+    cache_dir: str | pathlib.Path | None = None,
+    use_cache: bool = True,
+    drop_self_loops: bool = False,
+) -> CorpusGraph:
+    """Load an on-disk edge list as a :class:`Graph`, through the CSR cache.
+
+    The cache (:mod:`repro.corpus.cache`) is keyed by the SHA-256 of the
+    file's bytes: a warm load memory-maps the stored ``.npz`` CSR arrays and
+    never re-parses the text; editing the file changes the digest and misses
+    the cache naturally.  ``use_cache=False`` forces a cold parse (and still
+    refreshes the cache entry).
+    """
+    from repro.corpus import cache
+
+    path = pathlib.Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"edge-list file not found: {path}")
+    digest = cache.file_digest(path)
+    root = cache.cache_root(cache_dir)
+    if use_cache:
+        hit = cache.load(digest, root)
+        if hit is not None:
+            graph, meta = hit
+            return CorpusGraph(path=str(path), digest=digest, graph=graph,
+                               meta=meta, cached=True)
+    parsed = parse_edge_list(path, drop_self_loops=drop_self_loops)
+    graph, meta = build_graph(parsed)
+    meta["source"] = path.name
+    cache.store(digest, graph, meta, root)
+    return CorpusGraph(path=str(path), digest=digest, graph=graph, meta=meta,
+                       cached=False)

@@ -1,0 +1,167 @@
+"""The vendored corpus: discovery, manifest parsing, and validation.
+
+The repository ships a small corpus of real-topology graphs under
+``corpus/`` — road, social, collaboration, web and mesh samples, each a few
+thousand vertices — described by ``corpus/MANIFEST.json``.  Every entry
+records the file, its topology kind, provenance ("source"), license, the
+expected ``n`` / ``m`` / ``delta``, and the SHA-256 of the file's bytes, so
+the manifest doubles as an integrity check: :func:`load_manifest` (with
+``verify=True``) refuses a corpus whose files drifted from their recorded
+digests or shapes.
+
+Discovery order for the corpus directory:
+
+1. an explicit ``corpus_dir`` argument,
+2. the ``REPRO_CORPUS_DIR`` environment variable,
+3. a ``corpus/MANIFEST.json`` in the current directory or any ancestor,
+4. the repository checkout this package was imported from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["CorpusError", "CorpusEntry", "corpus_root", "load_manifest", "corpus_specs"]
+
+#: Environment variable overriding corpus discovery.
+CORPUS_ENV = "REPRO_CORPUS_DIR"
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+class CorpusError(ValueError):
+    """A missing, malformed, or drifted vendored corpus."""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One vendored graph: its file plus the manifest's recorded facts."""
+
+    name: str
+    path: pathlib.Path
+    kind: str
+    source: str
+    license: str
+    n: int
+    m: int
+    delta: int
+    sha256: str
+    description: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "file": self.path.name,
+            "kind": self.kind,
+            "source": self.source,
+            "license": self.license,
+            "n": self.n,
+            "m": self.m,
+            "delta": self.delta,
+            "sha256": self.sha256,
+            "description": self.description,
+        }
+
+
+def corpus_root(corpus_dir: str | pathlib.Path | None = None) -> pathlib.Path:
+    """Locate the corpus directory (see the module docstring for the order)."""
+    if corpus_dir is not None:
+        root = pathlib.Path(corpus_dir)
+        if not (root / MANIFEST_NAME).is_file():
+            raise CorpusError(f"no {MANIFEST_NAME} in corpus directory {root}")
+        return root
+    env = os.environ.get(CORPUS_ENV)
+    if env:
+        return corpus_root(env)
+    for base in [pathlib.Path.cwd(), *pathlib.Path.cwd().parents]:
+        candidate = base / "corpus"
+        if (candidate / MANIFEST_NAME).is_file():
+            return candidate
+    # the checkout this package lives in: src/repro/corpus/vendor.py -> repo root
+    checkout = pathlib.Path(__file__).resolve().parents[3] / "corpus"
+    if (checkout / MANIFEST_NAME).is_file():
+        return checkout
+    raise CorpusError(
+        "cannot find the vendored corpus: no corpus/MANIFEST.json in the "
+        "current directory, its ancestors, or the package checkout "
+        f"(set ${CORPUS_ENV} or pass --corpus-dir)"
+    )
+
+
+def load_manifest(
+    corpus_dir: str | pathlib.Path | None = None, verify: bool = False
+) -> list[CorpusEntry]:
+    """Parse ``MANIFEST.json``; optionally verify file digests against it.
+
+    Entries come back in manifest order (the corpus' canonical order — the
+    sweep summary lists graphs in exactly this order).
+    """
+    root = corpus_root(corpus_dir)
+    manifest = root / MANIFEST_NAME
+    try:
+        document = json.loads(manifest.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CorpusError(f"unreadable corpus manifest {manifest}: {exc}") from None
+    if not isinstance(document, dict) or not isinstance(document.get("graphs"), list):
+        raise CorpusError(f"corpus manifest {manifest} must be {{'graphs': [...]}}")
+    entries = []
+    for raw in document["graphs"]:
+        try:
+            entry = CorpusEntry(
+                name=str(raw["name"]),
+                path=root / str(raw["file"]),
+                kind=str(raw["kind"]),
+                source=str(raw["source"]),
+                license=str(raw["license"]),
+                n=int(raw["n"]),
+                m=int(raw["m"]),
+                delta=int(raw["delta"]),
+                sha256=str(raw["sha256"]),
+                description=str(raw.get("description", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorpusError(f"bad corpus manifest entry {raw!r}: {exc}") from None
+        if not entry.path.is_file():
+            raise CorpusError(f"corpus file missing: {entry.path} (named by {manifest})")
+        entries.append(entry)
+    names = [entry.name for entry in entries]
+    if len(set(names)) != len(names):
+        raise CorpusError(f"duplicate graph names in corpus manifest: {names}")
+    if verify:
+        from repro.corpus import cache
+
+        for entry in entries:
+            digest = cache.file_digest(entry.path)
+            if digest != entry.sha256:
+                raise CorpusError(
+                    f"corpus file {entry.path.name} drifted from its manifest: "
+                    f"sha256 {digest[:16]}... != recorded {entry.sha256[:16]}..."
+                )
+    return entries
+
+
+def corpus_specs(
+    entries: list[CorpusEntry] | None = None,
+    corpus_dir: str | pathlib.Path | None = None,
+):
+    """``(entry, GraphSpec)`` pairs for the vendored corpus.
+
+    The spec's ``n`` / ``delta`` come from the manifest (verified against the
+    ingested graph at build time by
+    :func:`repro.corpus.load_file_graph`), so building the sweep grid needs
+    no ingestion at all — graphs load lazily, per cell, through the cache.
+    """
+    from repro.engine.batch import GraphSpec
+
+    if entries is None:
+        entries = load_manifest(corpus_dir)
+    pairs = []
+    for entry in entries:
+        spec = GraphSpec(family="file", n=entry.n, delta=entry.delta, seed=0,
+                         path=str(entry.path))
+        pairs.append((entry, spec))
+    return pairs

@@ -73,15 +73,36 @@ class ParityError(AssertionError):
 
 @dataclass(frozen=True)
 class GraphSpec:
-    """One cell of a sweep grid: a graph family instantiation plus its seed."""
+    """One cell of a sweep grid: a graph family instantiation plus its seed.
+
+    Two kinds of cell share this shape:
+
+    * a *generator* cell — ``family`` names one of
+      :data:`repro.congest.generators.FAMILIES` and ``path`` is ``None``;
+    * a *file* cell — ``family == "file"`` and ``path`` names an on-disk edge
+      list (or cached artifact) ingested by :mod:`repro.corpus`; ``n`` and
+      ``delta`` record the ingested graph's actual values and are verified
+      against the file at build time, so a spec silently drifting from its
+      file fails loudly.
+
+    ``path`` defaults to ``None`` and is omitted from every serialized form
+    when absent, so the identity (cell keys, grid hashes, spec hashes) of all
+    pre-existing generator specs is unchanged.
+    """
 
     family: str
     n: int
     delta: int
     seed: int = 0
+    path: str | None = None
 
     def label(self) -> str:
-        return f"{self.family}(n={self.n}, Delta={self.delta}, seed={self.seed})"
+        base = f"{self.family}(n={self.n}, Delta={self.delta}, seed={self.seed})"
+        if self.path is not None:
+            import pathlib
+
+            return f"{self.family}({pathlib.Path(self.path).name}, n={self.n}, Delta={self.delta})"
+        return base
 
 
 @dataclass(frozen=True)
@@ -321,6 +342,10 @@ class BatchRunner:
         """
         if spec in self._graphs:
             return self._graphs[spec]
+        if spec.family == "file":
+            from repro.corpus import load_file_graph
+
+            return load_file_graph(spec)
         from repro.congest import generators
 
         return generators.by_name(spec.family, spec.n, spec.delta, seed=spec.seed)
@@ -452,6 +477,8 @@ class BatchRunner:
             "backend": engine.name,
             "seconds": elapsed,
         }
+        if getattr(spec, "path", None) is not None:
+            out["path"] = str(spec.path)
         return out, artifacts
 
     # ------------------------------------------------------------------ #

@@ -313,7 +313,7 @@ def cell_error_record(
     is what marks the record as a failure: resume re-runs such cells, and
     :attr:`repro.engine.batch.BatchResult.failures` collects them.
     """
-    return {
+    record = {
         "family": spec.family,
         "n": spec.n,
         "Delta": spec.delta,
@@ -323,6 +323,9 @@ def cell_error_record(
         "seconds": float(seconds),
         "error": dict(error),
     }
+    if getattr(spec, "path", None) is not None:
+        record["path"] = str(spec.path)
+    return record
 
 
 # --------------------------------------------------------------------------- #

@@ -82,7 +82,13 @@ def _jsonable(value: Any) -> Any:
 
 
 def cell_key(task: str | Callable[..., Any], spec, params: Mapping[str, Any]) -> str:
-    """Canonical JSON identity of one (task, graph spec, params) cell."""
+    """Canonical JSON identity of one (task, graph spec, params) cell.
+
+    A file-backed spec (``family="file"``) contributes its ``path`` — two
+    corpus cells with equal (n, delta) must not collide — while generator
+    specs keep the exact pre-file payload, so every existing cell id, grid
+    hash, and shard assignment is unchanged.
+    """
     payload = {
         "task": task_name(task),
         "family": spec.family,
@@ -91,6 +97,9 @@ def cell_key(task: str | Callable[..., Any], spec, params: Mapping[str, Any]) ->
         "seed": spec.seed,
         "params": {k: params[k] for k in sorted(params)},
     }
+    path = getattr(spec, "path", None)
+    if path is not None:
+        payload["path"] = str(path)
     return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_jsonable)
 
 

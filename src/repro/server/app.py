@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import pathlib
 import threading
 import time
 from typing import Any
@@ -457,11 +458,19 @@ class JobServer:
             if not problem.is_serializable:  # unreachable from JSON; belt+braces
                 raise SpecError("job problems must be GraphSpec-described")
             family = problem.graph.family
-            if family not in generators.FAMILIES:
+            if family == "file":
+                # corpus cell: the file must exist server-side; content drift
+                # still 422s at canonical-hash time (file_digest raises there)
+                path = getattr(problem.graph, "path", None)
+                if not path or not pathlib.Path(path).is_file():
+                    raise _HttpError(
+                        422, f"graph file not found on server: {path!r}"
+                    )
+            elif family not in generators.FAMILIES:
                 raise _HttpError(
                     422,
                     f"unknown graph family {family!r}; known: "
-                    f"{sorted(generators.FAMILIES)}",
+                    f"{sorted(generators.FAMILIES)} + ['file']",
                 )
         return spec_hash(job), job
 

@@ -1,0 +1,159 @@
+"""CLI tests for `repro corpus` and `repro graph info`."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.corpus import cache
+
+REPO_CORPUS = str(pathlib.Path(__file__).resolve().parent.parent / "corpus")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache.CACHE_ENV, str(tmp_path / "corpus-cache"))
+
+
+@pytest.fixture
+def toy(tmp_path):
+    path = tmp_path / "toy.txt"
+    path.write_text("0 1\n1 2\n2 3\n3 4\n4 0\n0 2\n")
+    return path
+
+
+class TestCorpusCommand:
+    def test_subset_sweep_prints_summary(self, capsys):
+        code = main(["corpus", "--corpus-dir", REPO_CORPUS,
+                     "--graphs", "mesh-sample",
+                     "--algorithms", "linial", "delta_plus_one"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mesh-sample" in out
+        assert "all verified" in out
+        assert "| yes" in out
+
+    def test_summary_files_written_and_deterministic(self, tmp_path, capsys):
+        argv = ["corpus", "--corpus-dir", REPO_CORPUS, "--graphs", "mesh-sample",
+                "--algorithms", "linial"]
+        assert main(argv + ["--summary-dir", str(tmp_path / "a")]) == 0
+        assert main(argv + ["--summary-dir", str(tmp_path / "b"),
+                            "--workers", "2"]) == 0
+        for name in ("corpus_summary.json", "corpus_summary.md"):
+            assert (tmp_path / "a" / name).read_bytes() == \
+                   (tmp_path / "b" / name).read_bytes()
+
+    def test_records_sink(self, tmp_path, capsys):
+        out_path = tmp_path / "records.jsonl"
+        assert main(["corpus", "--corpus-dir", REPO_CORPUS,
+                     "--graphs", "mesh-sample", "--algorithms", "linial",
+                     "--output", str(out_path)]) == 0
+        lines = [json.loads(line) for line in out_path.read_text().splitlines()]
+        records = [entry["record"] for entry in lines if "record" in entry]
+        assert len(records) == 1
+        assert records[0]["algorithm"] == "linial"
+        assert records[0]["verified"] is True
+
+    def test_unknown_graph_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="unknown corpus graph"):
+            main(["corpus", "--corpus-dir", REPO_CORPUS, "--graphs", "nope"])
+
+    def test_required_param_algorithm_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="required parameters"):
+            main(["corpus", "--corpus-dir", REPO_CORPUS,
+                  "--algorithms", "baseline"])
+
+    def test_drifted_corpus_fails_integrity_check(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        corpus_dir.mkdir()
+        manifest = json.loads(
+            (pathlib.Path(REPO_CORPUS) / "MANIFEST.json").read_text())
+        manifest["graphs"] = manifest["graphs"][:1]
+        entry = manifest["graphs"][0]
+        (corpus_dir / entry["file"]).write_text("0 1\n")  # drifted bytes
+        (corpus_dir / "MANIFEST.json").write_text(json.dumps(manifest))
+        code = main(["corpus", "--corpus-dir", str(corpus_dir)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "drifted" in err
+
+    def test_shard_requires_output(self):
+        with pytest.raises(SystemExit, match="--shard requires --output"):
+            main(["corpus", "--corpus-dir", REPO_CORPUS, "--shard", "0/2"])
+
+
+class TestGraphInfo:
+    def test_file_target(self, toy, capsys):
+        assert main(["graph", "info", str(toy)]) == 0
+        out = capsys.readouterr().out
+        assert "graph info" in out
+        assert "components" in out
+
+    def test_file_target_json(self, toy, capsys):
+        assert main(["graph", "info", str(toy), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "file"
+        assert (payload["n"], payload["m"], payload["delta"]) == (5, 6, 3)
+        assert payload["components"] == 1
+        assert payload["degree_histogram"] == {"2": 3, "3": 2}
+
+    def test_generator_spec_target(self, capsys):
+        assert main(["graph", "info", "random_regular:60:4:1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "generator"
+        assert payload["n"] == 60 and payload["delta"] == 4
+
+    def test_corpus_name_target(self, capsys):
+        assert main(["graph", "info", "mesh-sample",
+                     "--corpus-dir", REPO_CORPUS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "corpus"
+        assert payload["kind"] == "mesh"
+
+    def test_cached_npz_artifact_target(self, toy, capsys):
+        from repro.corpus import ingest
+
+        ingested = ingest(toy)
+        artifact = cache.artifact_path(ingested.digest)
+        assert main(["graph", "info", str(artifact), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "npz artifact"
+        assert payload["digest"] == ingested.digest
+        assert (payload["n"], payload["m"], payload["delta"]) == (5, 6, 3)
+
+    def test_corrupt_npz_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"garbage")
+        code = main(["graph", "info", str(path)])
+        assert code == 1
+        assert "not a CSR .npz artifact" in capsys.readouterr().err
+
+    def test_malformed_file_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\nnot numbers\n")
+        code = main(["graph", "info", str(path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "ERROR" in err and "bad.txt:2" in err
+
+    def test_nonsense_target_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="neither a file"):
+            main(["graph", "info", "no-such-thing", "--corpus-dir", REPO_CORPUS])
+
+    def test_missing_corpus_dir_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["graph", "info", "no-such-thing",
+                     "--corpus-dir", str(tmp_path)])
+        assert code == 1
+        assert "no MANIFEST.json" in capsys.readouterr().err
+
+    def test_bad_generator_spec_rejected(self):
+        with pytest.raises(SystemExit, match="FAMILY:N:DELTA"):
+            main(["graph", "info", "random_regular:abc:4"])
+
+    def test_parser_has_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["corpus", "--graphs", "a", "b"])
+        assert args.command == "corpus" and args.graphs == ["a", "b"]
+        args = parser.parse_args(["graph", "info", "x", "--json"])
+        assert args.command == "graph" and args.as_json is True

@@ -1,0 +1,285 @@
+"""Edge-list ingestion, the content-addressed cache, and GraphFormatError."""
+
+import gzip
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest.graph import Graph, GraphError, GraphFormatError
+from repro.corpus import cache, file_spec, graph_info, ingest, load_file_graph, parse_edge_list
+from repro.corpus.ingest import build_graph
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache.CACHE_ENV, str(tmp_path / "corpus-cache"))
+
+
+def write(tmp_path, text, name="edges.txt"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# Parsing dialects
+# --------------------------------------------------------------------------- #
+
+
+class TestParseEdgeList:
+    def test_plain_zero_indexed(self, tmp_path):
+        parsed = parse_edge_list(write(tmp_path, "0 1\n1 2\n2 0\n"))
+        assert parsed.n == 3
+        assert parsed.edges.tolist() == [[0, 1], [1, 2], [2, 0]]
+
+    def test_comments_blanks_and_tabs(self, tmp_path):
+        text = "# a comment\n\n% another\n// third style\n0\t1\n\n1\t2\n"
+        parsed = parse_edge_list(write(tmp_path, text))
+        assert parsed.edges.tolist() == [[0, 1], [1, 2]]
+        assert parsed.meta["comment_lines"] == 3
+
+    def test_csv_with_header(self, tmp_path):
+        parsed = parse_edge_list(write(tmp_path, "source,target\n0,1\n1,2\n", "e.csv"))
+        assert parsed.meta["header_skipped"] is True
+        assert parsed.meta["format"] == "csv"
+        assert parsed.edges.tolist() == [[0, 1], [1, 2]]
+
+    def test_one_indexed_relabelled(self, tmp_path):
+        parsed = parse_edge_list(write(tmp_path, "1 2\n2 3\n"))
+        assert parsed.n == 3
+        assert parsed.meta["relabelled"] is True
+        assert parsed.meta["id_min"] == 1
+        assert parsed.edges.min() == 0
+
+    def test_gapped_ids_relabelled_densely(self, tmp_path):
+        parsed = parse_edge_list(write(tmp_path, "10 20\n20 900\n"))
+        assert parsed.n == 3
+        assert sorted(np.unique(parsed.edges).tolist()) == [0, 1, 2]
+
+    def test_gzip_snap_dialect(self, tmp_path):
+        path = tmp_path / "snap.txt.gz"
+        body = "# FromNodeId\tToNodeId\n1\t2\n2\t1\n2\t3\n3\t2\n"
+        path.write_bytes(gzip.compress(body.encode()))
+        parsed = parse_edge_list(path)
+        assert parsed.meta["compressed"] is True
+        graph, meta = build_graph(parsed)
+        assert graph.n == 3
+        assert meta["m"] == 2  # both directions collapse
+        assert meta["duplicate_edges"] == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        # SNAP-adjacent formats carry weights/timestamps in trailing columns
+        parsed = parse_edge_list(write(tmp_path, "0 1 1.5 999\n1 2 0.25 998\n"))
+        assert parsed.edges.tolist() == [[0, 1], [1, 2]]
+
+    def test_self_loop_rejected_with_line(self, tmp_path):
+        path = write(tmp_path, "# c\n0 1\n1 1\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            build_graph(parse_edge_list(path))
+        assert "edges.txt:3" in str(excinfo.value)
+
+    def test_self_loop_dropped_on_request(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 1\n1 2\n")
+        parsed = parse_edge_list(path, drop_self_loops=True)
+        assert parsed.meta["self_loops_dropped"] == 1
+        assert parsed.edges.tolist() == [[0, 1], [1, 2]]
+
+    def test_non_numeric_payload_rejected_with_line(self, tmp_path):
+        path = write(tmp_path, "0 1\nfoo bar\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            parse_edge_list(path)
+        assert "edges.txt:2" in str(excinfo.value)
+
+    def test_second_header_rejected(self, tmp_path):
+        path = write(tmp_path, "source,target\nalso,text\n0,1\n", "e.csv")
+        with pytest.raises(GraphFormatError):
+            parse_edge_list(path)
+
+    def test_single_column_rejected(self, tmp_path):
+        with pytest.raises(GraphFormatError) as excinfo:
+            parse_edge_list(write(tmp_path, "0 1\n42\n"))
+        assert "edges.txt:2" in str(excinfo.value)
+
+    def test_empty_file_rejected(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            parse_edge_list(write(tmp_path, "# only comments\n"))
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            parse_edge_list(tmp_path / "absent.txt")
+
+
+# --------------------------------------------------------------------------- #
+# GraphFormatError out of Graph.from_edge_array (satellite: typed errors)
+# --------------------------------------------------------------------------- #
+
+
+class TestGraphFormatError:
+    def test_self_loop_names_edge_index(self):
+        with pytest.raises(GraphFormatError) as excinfo:
+            Graph.from_edge_array(3, np.array([[0, 1], [2, 2]]))
+        assert excinfo.value.index == 1
+        assert "self loop" in str(excinfo.value)
+
+    def test_out_of_range_names_edge(self):
+        with pytest.raises(GraphFormatError) as excinfo:
+            Graph.from_edge_array(2, np.array([[0, 1], [1, 5]]))
+        assert excinfo.value.index == 1
+
+    def test_non_integral_float_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edge_array(3, np.array([[0.0, 1.5], [1.0, 2.0]]))
+
+    def test_integral_float_accepted(self):
+        graph = Graph.from_edge_array(3, np.array([[0.0, 1.0], [1.0, 2.0]]))
+        assert graph.n == 3
+
+    def test_string_edges_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edge_array(2, [["a", "b"]])
+
+    def test_is_a_graph_error(self):
+        assert issubclass(GraphFormatError, GraphError)
+
+
+# --------------------------------------------------------------------------- #
+# Property: edge list -> CSR -> edge list round-trip
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=24))
+    pool = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    count = draw(st.integers(min_value=1, max_value=min(len(pool), 40)))
+    return draw(st.permutations(pool)), count
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=edge_lists(), one_indexed=st.booleans(), list_both=st.booleans())
+def test_roundtrip_edge_list_csr_edge_list(tmp_path_factory, data, one_indexed, list_both):
+    pool, count = data
+    edges = sorted(pool[:count])
+    offset = 1 if one_indexed else 0
+    lines = [f"{u + offset} {v + offset}" for u, v in edges]
+    if list_both:
+        lines += [f"{v + offset} {u + offset}" for u, v in edges]
+    tmp = tmp_path_factory.mktemp("roundtrip")
+    path = tmp / "edges.txt"
+    path.write_text("\n".join(lines) + "\n")
+
+    graph, _meta = build_graph(parse_edge_list(path))
+    # CSR -> edge list: every adjacency appears exactly once per direction
+    recovered = set()
+    indptr = np.asarray(graph.indptr)
+    indices = np.asarray(graph.indices)
+    for u in range(graph.n):
+        for v in indices[indptr[u]:indptr[u + 1]].tolist():
+            recovered.add((min(u, v), max(u, v)))
+    # relabel the written edges the way ingestion does (dense, order-preserving)
+    used = sorted({x for e in edges for x in e})
+    relabel = {old: new for new, old in enumerate(used)}
+    expected = {(relabel[u], relabel[v]) for u, v in edges}
+    assert recovered == expected
+    assert graph.n == len(used)
+
+
+# --------------------------------------------------------------------------- #
+# The content-addressed cache
+# --------------------------------------------------------------------------- #
+
+
+class TestCache:
+    def test_second_ingest_hits_cache(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 2\n")
+        first = ingest(path)
+        second = ingest(path)
+        assert first.cached is False and second.cached is True
+        assert first.digest == second.digest
+
+    def test_cache_hit_is_byte_identical(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 2\n2 3\n1 3\n")
+        first = ingest(path)
+        artifact = cache.artifact_path(first.digest)
+        before = artifact.read_bytes()
+        second = ingest(path)
+        assert artifact.read_bytes() == before
+        for field in ("indptr", "indices"):
+            np.testing.assert_array_equal(
+                np.asarray(getattr(first.graph, field)),
+                np.asarray(getattr(second.graph, field)),
+            )
+
+    def test_content_addressing_follows_bytes(self, tmp_path):
+        a = write(tmp_path, "0 1\n1 2\n", "a.txt")
+        b = write(tmp_path, "0 1\n1 2\n", "b.txt")
+        c = write(tmp_path, "0 1\n1 2\n2 3\n", "c.txt")
+        assert ingest(a).digest == ingest(b).digest
+        assert ingest(a).digest != ingest(c).digest
+        assert ingest(b).cached is True  # same bytes, different name: cache hit
+
+    def test_cached_load_is_mmap_backed(self, tmp_path):
+        path = write(tmp_path, "\n".join(f"{i} {i+1}" for i in range(200)) + "\n")
+        digest = ingest(path).digest
+        loaded = cache.load(digest)
+        assert loaded is not None
+        graph, _meta = loaded
+        assert isinstance(np.asarray(graph.indptr).base, np.memmap) or isinstance(
+            graph.indptr, np.memmap
+        )
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 2\n")
+        digest = ingest(path).digest
+        cache.artifact_path(digest).write_bytes(b"not a zip file")
+        assert cache.load(digest) is None
+        again = ingest(path)  # falls back to a re-parse and re-store
+        assert again.cached is False
+        assert again.graph.n == 3
+
+    def test_use_cache_false_forces_cold_parse(self, tmp_path):
+        path = write(tmp_path, "0 1\n")
+        ingest(path)
+        again = ingest(path, use_cache=False)  # hit available, but skipped
+        assert again.cached is False
+        assert cache.artifact_path(again.digest).exists()  # entry refreshed
+
+
+# --------------------------------------------------------------------------- #
+# file_spec / load_file_graph / graph_info
+# --------------------------------------------------------------------------- #
+
+
+class TestFileSpec:
+    def test_spec_records_measured_shape(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 2\n2 0\n0 3\n")
+        spec = file_spec(path)
+        assert (spec.family, spec.n, spec.delta, spec.seed) == ("file", 4, 3, 0)
+        graph = load_file_graph(spec)
+        assert graph.n == 4
+
+    def test_drifted_file_is_rejected(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 2\n")
+        spec = file_spec(path)
+        path.write_text("0 1\n1 2\n2 3\n3 4\n")  # the file changes under the spec
+        with pytest.raises(GraphError, match="does not match its spec"):
+            load_file_graph(spec)
+
+    def test_pathless_file_spec_rejected(self, tmp_path):
+        from repro.engine.batch import GraphSpec
+
+        with pytest.raises(GraphError, match="no path"):
+            load_file_graph(GraphSpec("file", 4, 2, 0))
+
+    def test_graph_info_facts(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 2\n3 4\n")
+        info = graph_info(ingest(path).graph)
+        assert info["n"] == 5
+        assert info["m"] == 3
+        assert info["delta"] == 2
+        assert info["components"] == 2
+        assert info["degree_histogram"] == {1: 4, 2: 1}

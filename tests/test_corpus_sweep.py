@@ -1,0 +1,312 @@
+"""Corpus sweeps through the engine: manifest, hashing, sharding, serve, goldens."""
+
+import json
+import pathlib
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api.spec import JobSpec, Problem, SpecError, spec_hash
+from repro.corpus import cache
+from repro.corpus.vendor import CorpusError
+from repro.engine.batch import BatchRunner, GraphSpec
+from repro.engine.merge import merge_shards
+from repro.engine.sink import cell_key, open_sink, shard_of
+
+from repro import corpus
+
+REPO_CORPUS = pathlib.Path(__file__).resolve().parent.parent / "corpus"
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache.CACHE_ENV, str(tmp_path / "corpus-cache"))
+
+
+@pytest.fixture
+def toy(tmp_path):
+    """A small deterministic file graph (5-cycle plus a chord)."""
+    path = tmp_path / "toy.txt"
+    path.write_text("0 1\n1 2\n2 3\n3 4\n4 0\n0 2\n")
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# The vendored manifest
+# --------------------------------------------------------------------------- #
+
+
+class TestManifest:
+    def test_vendored_corpus_loads_and_verifies(self):
+        entries = corpus.load_manifest(REPO_CORPUS, verify=True)
+        assert len(entries) >= 5
+        kinds = {entry.kind for entry in entries}
+        assert {"road", "social", "collaboration", "web", "mesh"} <= kinds
+        for entry in entries:
+            assert entry.source  # provenance is mandatory
+            assert entry.license
+            assert entry.path.stat().st_size < 3 * 1024 * 1024  # a few MB max
+
+    def test_manifest_shapes_match_ingestion(self):
+        for entry in corpus.load_manifest(REPO_CORPUS):
+            graph = corpus.ingest(entry.path).graph
+            assert (graph.n, graph.max_degree) == (entry.n, entry.delta), entry.name
+
+    def test_digest_drift_detected(self, tmp_path):
+        entries = corpus.load_manifest(REPO_CORPUS)
+        corpus_dir = tmp_path / "corpus"
+        corpus_dir.mkdir()
+        manifest = {"graphs": [dict(entries[0].to_dict())]}
+        (corpus_dir / entries[0].path.name).write_text("0 1\n")  # drifted content
+        (corpus_dir / "MANIFEST.json").write_text(json.dumps(manifest))
+        assert corpus.load_manifest(corpus_dir, verify=False)  # lazy: loads
+        with pytest.raises(CorpusError, match="drifted"):
+            corpus.load_manifest(corpus_dir, verify=True)
+
+    def test_missing_file_rejected(self, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        corpus_dir.mkdir()
+        (corpus_dir / "MANIFEST.json").write_text(json.dumps({"graphs": [
+            {"name": "ghost", "file": "ghost.txt", "kind": "road", "source": "s",
+             "license": "l", "n": 1, "m": 1, "delta": 1, "sha256": "0" * 64},
+        ]}))
+        with pytest.raises(CorpusError, match="missing"):
+            corpus.load_manifest(corpus_dir)
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        corpus_dir.mkdir()
+        (corpus_dir / "g.txt").write_text("0 1\n")
+        entry = {"name": "g", "file": "g.txt", "kind": "road", "source": "s",
+                 "license": "l", "n": 2, "m": 1, "delta": 1, "sha256": "0" * 64}
+        (corpus_dir / "MANIFEST.json").write_text(json.dumps({"graphs": [entry, entry]}))
+        with pytest.raises(CorpusError, match="duplicate"):
+            corpus.load_manifest(corpus_dir)
+
+    def test_generator_script_is_the_source_of_truth(self):
+        manifest = json.loads((REPO_CORPUS / "MANIFEST.json").read_text())
+        assert manifest["generator"] == "scripts/generate_corpus.py"
+
+
+# --------------------------------------------------------------------------- #
+# Spec identity: hashes, cell keys, sharding
+# --------------------------------------------------------------------------- #
+
+
+class TestSpecIdentity:
+    def test_spec_hash_is_path_independent(self, tmp_path, toy):
+        copy = tmp_path / "elsewhere" / "renamed.txt"
+        copy.parent.mkdir()
+        copy.write_bytes(toy.read_bytes())
+        h1 = spec_hash(Problem(graph=corpus.file_spec(toy)))
+        h2 = spec_hash(Problem(graph=corpus.file_spec(copy)))
+        assert h1 == h2  # same content, different path: same identity
+
+    def test_spec_hash_follows_content(self, tmp_path, toy):
+        h1 = spec_hash(Problem(graph=corpus.file_spec(toy)))
+        toy.write_text("0 1\n1 2\n2 0\n")
+        h2 = spec_hash(Problem(graph=corpus.file_spec(toy)))
+        assert h1 != h2
+
+    def test_spec_hash_of_missing_file_is_a_spec_error(self, tmp_path):
+        spec = GraphSpec("file", 5, 2, 0, path=str(tmp_path / "gone.txt"))
+        with pytest.raises(SpecError, match="cannot hash"):
+            spec_hash(Problem(graph=spec))
+
+    def test_generator_cell_keys_unchanged_by_path_field(self):
+        # the corpus feature must not move any pre-existing cell identity
+        spec = GraphSpec("random_regular", 40, 4, 0)
+        key = cell_key("delta_plus_one", spec, {})
+        assert "path" not in key
+        assert json.loads(key)["family"] == "random_regular"
+
+    def test_file_cells_with_same_shape_do_not_collide(self, tmp_path):
+        a = GraphSpec("file", 5, 2, 0, path=str(tmp_path / "a.txt"))
+        b = GraphSpec("file", 5, 2, 0, path=str(tmp_path / "b.txt"))
+        assert cell_key("linial", a, {}) != cell_key("linial", b, {})
+
+    def test_file_round_trips_through_jobspec_json(self, toy):
+        spec = corpus.file_spec(toy)
+        document = {
+            "problems": [{"graph": {"family": "file", "n": spec.n,
+                                    "delta": spec.delta, "seed": 0,
+                                    "path": str(toy)}}],
+            "run": {"algorithm": "linial", "backend": "array"},
+        }
+        job = JobSpec.from_dict(document)
+        graph_spec = job.problems[0].graph
+        assert graph_spec.family == "file" and graph_spec.path == str(toy)
+        assert JobSpec.from_dict(job.to_dict()).to_dict() == job.to_dict()
+
+    def test_path_on_generator_family_rejected(self):
+        from repro.api.spec import Problem as P
+
+        with pytest.raises(SpecError):
+            JobSpec.from_dict({
+                "problems": [{"graph": {"family": "ring", "n": 10, "delta": 2,
+                                        "seed": 0, "path": "/tmp/x.txt"}}],
+                "run": {"algorithm": "linial", "backend": "array"},
+            })
+
+
+# --------------------------------------------------------------------------- #
+# Sweeps: batch machinery inheritance (workers, shards, merge)
+# --------------------------------------------------------------------------- #
+
+
+ZOO2 = [{"algorithm": "linial"}, {"algorithm": "delta_plus_one"}]
+
+
+def _stable(records):
+    return [{k: v for k, v in r.items() if k != "seconds"} for r in records]
+
+
+class TestSweep:
+    def test_serial_equals_parallel(self, toy):
+        spec = corpus.file_spec(toy)
+        serial = corpus.run_corpus_sweep([spec], zoo=ZOO2)
+        parallel = corpus.run_corpus_sweep([spec], zoo=ZOO2, workers=2)
+        assert _stable(serial.records) == _stable(parallel.records)
+
+    def test_sweep_through_batch_cli_shards_and_merges(self, tmp_path, toy):
+        """File cells flow through `repro batch --shard`-style runs + merge."""
+        spec = corpus.file_spec(toy)
+        shard_paths = []
+        for index in range(2):
+            path = tmp_path / f"shard{index}.jsonl"
+            sink = open_sink(path)
+            try:
+                corpus.run_corpus_sweep([spec], zoo=ZOO2, sink=sink,
+                                        shard=(index, 2))
+            finally:
+                sink.close()
+            shard_paths.append(path)
+        merged_path = tmp_path / "merged.jsonl"
+        merge_shards(shard_paths, merged_path)
+        merged = [entry["record"] for entry in
+                  (json.loads(line) for line in merged_path.read_text().splitlines())
+                  if "record" in entry]
+        full = corpus.run_corpus_sweep([spec], zoo=ZOO2)
+        assert _stable(merged) == _stable(full.records)
+
+    def test_shard_assignment_is_stable(self, toy):
+        spec = corpus.file_spec(toy)
+        keys = [cell_key(corpus.corpus_task, spec, entry) for entry in ZOO2]
+        assert [shard_of(k, 2) for k in keys] == [shard_of(k, 2) for k in keys]
+
+    def test_verification_failure_aborts_loudly(self, toy, monkeypatch):
+        """A sweep can never quietly report an invalid structure."""
+        from repro.engine.retry import RetryPolicy
+        from repro.verify.coloring import VerificationError
+
+        spec = corpus.file_spec(toy)
+
+        def sabotage(graph, colors, max_colors=None):
+            raise VerificationError("injected")
+
+        monkeypatch.setattr("repro.verify.assert_proper_coloring", sabotage)
+        # default policy: a deterministic failure aborts the sweep
+        with pytest.raises(VerificationError, match="injected"):
+            corpus.run_corpus_sweep([spec], zoo=[{"algorithm": "linial"}])
+        # opt-in record policy: the failure lands as a structured CellError
+        result = corpus.run_corpus_sweep(
+            [spec], zoo=[{"algorithm": "linial"}],
+            retry=RetryPolicy(on_error="record"))
+        assert len(result.failures) == 1
+        assert "injected" in json.dumps(result.failures[0]["error"])
+
+    def test_runs_on_jit_backend(self, toy):
+        spec = corpus.file_spec(toy)
+        result = corpus.run_corpus_sweep([spec], zoo=ZOO2, backend="jit")
+        assert len(result.failures) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Golden records: one corpus graph, both backends
+# --------------------------------------------------------------------------- #
+
+
+GOLDEN = json.loads((GOLDEN_DIR / "corpus_records.json").read_text())
+
+
+def _portable(record):
+    out = {k: v for k, v in record.items() if k not in GOLDEN["volatile_fields"]}
+    if "path" in out:
+        out["path"] = pathlib.Path(out["path"]).name
+    return out
+
+
+@pytest.mark.parametrize("backend", ["array", "jit"])
+def test_golden_corpus_records(backend):
+    entries = [e for e in corpus.load_manifest(REPO_CORPUS)
+               if e.name == GOLDEN["graph"]]
+    pairs = corpus.corpus_specs(entries)
+    result = corpus.run_corpus_sweep([s for _, s in pairs], backend=backend)
+    assert [_portable(r) for r in result.records] == GOLDEN["records"]
+
+
+def test_golden_summary_matches_cli_document(tmp_path):
+    """The committed smoke summary is exactly what a fresh sweep produces."""
+    golden = json.loads((GOLDEN_DIR / "corpus_summary.json").read_text())
+    names = [g["name"] for g in golden["graphs"]]
+    entries = [e for e in corpus.load_manifest(REPO_CORPUS) if e.name in names]
+    result = corpus.run_corpus_sweep([s for _, s in corpus.corpus_specs(entries)],
+                                     workers=2)
+    summary = corpus.summarize(entries, result)
+    json_path, _ = corpus.write_summary(summary, tmp_path)
+    assert json.loads(json_path.read_text()) == golden
+
+
+# --------------------------------------------------------------------------- #
+# The job server accepts file-family specs
+# --------------------------------------------------------------------------- #
+
+
+class TestServe:
+    def _post(self, url, document):
+        body = json.dumps(document).encode()
+        request = urllib.request.Request(
+            url, data=body, method="POST",
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.load(response)
+
+    def test_file_job_runs_and_missing_file_422s(self, tmp_path, toy):
+        from repro.server.app import JobServer
+
+        server = JobServer(tmp_path / "state", port=0, workers=1).start_background()
+        try:
+            url = f"http://127.0.0.1:{server.port}"
+            spec = corpus.file_spec(toy)
+            document = {
+                "problems": [{"graph": {"family": "file", "n": spec.n,
+                                        "delta": spec.delta, "seed": 0,
+                                        "path": str(toy)}}],
+                "run": {"algorithm": "linial", "backend": "array"},
+            }
+            status, payload = self._post(f"{url}/jobs", document)
+            assert status in (200, 201, 202)
+            job_id = payload["id"]
+            import time
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                with urllib.request.urlopen(f"{url}/jobs/{job_id}", timeout=30) as r:
+                    state = json.load(r)
+                if state["state"] in ("done", "failed"):
+                    break
+                time.sleep(0.1)
+            assert state["state"] == "done", state
+
+            bad = {
+                "problems": [{"graph": {"family": "file", "n": 4, "delta": 2,
+                                        "seed": 0,
+                                        "path": str(tmp_path / "ghost.txt")}}],
+                "run": {"algorithm": "linial", "backend": "array"},
+            }
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._post(f"{url}/jobs", bad)
+            assert excinfo.value.code == 422
+        finally:
+            server.stop()
